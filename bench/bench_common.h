@@ -1,0 +1,85 @@
+#ifndef PTRIDER_BENCH_BENCH_COMMON_H_
+#define PTRIDER_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the experiment binaries (DESIGN.md section 6).
+// Each bench prints a header naming the paper artifact it reproduces and
+// one table of results; `for b in build/bench/*; do $b; done` regenerates
+// every figure/statistic of the paper.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ptrider.h"
+#include "roadnet/graph_generator.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace ptrider::bench {
+
+inline void PrintHeader(const char* experiment_id, const char* artifact,
+                        const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment_id, artifact);
+  std::printf("%s\n", description);
+  std::printf("==============================================================\n");
+}
+
+/// Standard benchmark city (scaled-down Shanghai-style street grid).
+inline util::Result<roadnet::RoadNetwork> MakeBenchCity(int rows, int cols,
+                                                        uint64_t seed = 7) {
+  roadnet::CityGridOptions opts;
+  opts.rows = rows;
+  opts.cols = cols;
+  opts.spacing_m = 250.0;
+  opts.seed = seed;
+  return roadnet::MakeCityGrid(opts);
+}
+
+/// Builds a PTRider over `graph` with `taxis` uniformly-placed vehicles.
+inline util::Result<std::unique_ptr<core::PTRider>> MakeBenchSystem(
+    const roadnet::RoadNetwork& graph, core::Config cfg, size_t taxis,
+    uint64_t seed = 3) {
+  PTRIDER_ASSIGN_OR_RETURN(std::unique_ptr<core::PTRider> sys,
+                           core::PTRider::Create(graph, cfg));
+  PTRIDER_RETURN_IF_ERROR(sys->InitFleetUniform(taxis, seed));
+  return sys;
+}
+
+/// Runs `trips` through a fresh system per call and returns the report.
+inline util::Result<sim::SimulationReport> RunScenario(
+    const roadnet::RoadNetwork& graph, const core::Config& cfg,
+    size_t taxis, const std::vector<sim::Trip>& trips,
+    sim::SimulatorOptions sopts = {}) {
+  PTRIDER_ASSIGN_OR_RETURN(std::unique_ptr<core::PTRider> sys,
+                           MakeBenchSystem(graph, cfg, taxis));
+  sim::Simulator simulator(*sys, sopts);
+  return simulator.Run(trips);
+}
+
+/// Pre-warms a system with `count` committed requests so matching benches
+/// operate on realistically loaded kinetic trees. Returns the number of
+/// requests actually assigned.
+inline size_t WarmupAssignments(core::PTRider& sys,
+                                const std::vector<sim::Trip>& trips,
+                                size_t count, double now) {
+  size_t assigned = 0;
+  vehicle::RequestId id = 1000000;
+  for (size_t i = 0; i < trips.size() && assigned < count; ++i) {
+    vehicle::Request r;
+    r.id = id++;
+    r.start = trips[i].origin;
+    r.destination = trips[i].destination;
+    r.num_riders = trips[i].num_riders;
+    r.max_wait_s = sys.config().default_max_wait_s;
+    r.service_sigma = sys.config().default_service_sigma;
+    auto m = sys.SubmitRequest(r, now);
+    if (!m.ok() || m->options.empty()) continue;
+    if (sys.ChooseOption(r, m->options.front(), now).ok()) ++assigned;
+  }
+  return assigned;
+}
+
+}  // namespace ptrider::bench
+
+#endif  // PTRIDER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,90 @@
+// E13 — extension ablation: grid-index vs ALT landmark lower bounds.
+//
+// The companion research paper's pruning framework accepts any
+// admissible distance estimator. This bench compares the paper's grid
+// bounds against ALT landmarks (and their pointwise max) on tightness,
+// build cost and memory — quantifying whether a deployment would add
+// landmarks to the index stack.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "roadnet/dijkstra.h"
+#include "roadnet/grid_index.h"
+#include "roadnet/landmarks.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace ptrider;
+  bench::PrintHeader(
+      "E13", "extension: landmark (ALT) bounds vs grid bounds",
+      "LB tightness (mean LB/true over random pairs), build time, memory");
+
+  auto graph = bench::MakeBenchCity(60, 60);
+  if (!graph.ok()) return 1;
+  std::printf("network: %zu vertices\n\n", graph->NumVertices());
+
+  // Grid index baseline (paper's estimator).
+  util::WallTimer grid_timer;
+  roadnet::GridIndexOptions gopts;
+  gopts.cells_x = 32;
+  gopts.cells_y = 32;
+  auto grid = roadnet::GridIndex::Build(*graph, gopts);
+  if (!grid.ok()) return 1;
+  const double grid_build = grid_timer.ElapsedSeconds();
+
+  roadnet::DijkstraEngine dij(*graph);
+  util::Rng rng(77);
+  std::vector<std::pair<roadnet::VertexId, roadnet::VertexId>> pairs;
+  for (int i = 0; i < 500; ++i) {
+    pairs.push_back(
+        {static_cast<roadnet::VertexId>(rng.UniformInt(
+             0, static_cast<int64_t>(graph->NumVertices()) - 1)),
+         static_cast<roadnet::VertexId>(rng.UniformInt(
+             0, static_cast<int64_t>(graph->NumVertices()) - 1))});
+  }
+
+  std::printf("%-22s %9s %10s %10s\n", "estimator", "LB/true", "build",
+              "memory");
+  {
+    util::RunningStats ratio;
+    for (const auto& [u, v] : pairs) {
+      const roadnet::Weight exact = dij.Distance(u, v);
+      if (exact == roadnet::kInfWeight || exact == 0.0) continue;
+      ratio.Add(grid->LowerBound(u, v) / exact);
+    }
+    std::printf("%-22s %9.3f %10s %9.1fMB\n", "grid 32x32", ratio.mean(),
+                util::FormatDuration(grid_build).c_str(),
+                grid->build_stats().approx_memory_bytes / 1048576.0);
+  }
+
+  for (const int num_landmarks : {4, 8, 16, 32}) {
+    util::WallTimer t;
+    auto alt = roadnet::LandmarkIndex::Build(*graph, num_landmarks, 5);
+    if (!alt.ok()) return 1;
+    const double build = t.ElapsedSeconds();
+    util::RunningStats ratio;
+    util::RunningStats combined_ratio;
+    for (const auto& [u, v] : pairs) {
+      const roadnet::Weight exact = dij.Distance(u, v);
+      if (exact == roadnet::kInfWeight || exact == 0.0) continue;
+      ratio.Add(alt->LowerBound(u, v) / exact);
+      combined_ratio.Add(
+          std::max(alt->LowerBound(u, v), grid->LowerBound(u, v)) / exact);
+    }
+    std::printf("%-22s %9.3f %10s %9.1fMB\n",
+                util::StrFormat("ALT %d landmarks", num_landmarks).c_str(),
+                ratio.mean(), util::FormatDuration(build).c_str(),
+                alt->ApproxMemoryBytes() / 1048576.0);
+    std::printf("%-22s %9.3f %10s %10s\n",
+                "  + grid (max)",
+                combined_ratio.mean(), "-", "-");
+  }
+  std::printf(
+      "\nShape check: ALT tightens with landmark count at a fraction of\n"
+      "the grid's build cost and memory; the pointwise max dominates\n"
+      "both, motivating a combined estimator as future work.\n");
+  return 0;
+}

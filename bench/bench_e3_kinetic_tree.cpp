@@ -1,0 +1,152 @@
+// E3 — Fig. 3: the kinetic tree on vehicle trip schedules.
+//
+// Insertion latency, branch/node counts and the distance computations
+// saved by the lower-bound short-circuit, as the number of pending
+// requests per vehicle grows. Uses google-benchmark for the latency
+// numbers plus a summary table for the structural counts.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/distance_providers.h"
+#include "roadnet/distance_oracle.h"
+#include "roadnet/grid_index.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ptrider;
+
+struct TreeScenario {
+  roadnet::RoadNetwork graph;
+  std::unique_ptr<roadnet::GridIndex> grid;
+  std::unique_ptr<roadnet::DistanceOracle> oracle;
+  vehicle::KineticTree tree{0, 6};
+  std::vector<vehicle::Request> probes;
+};
+
+/// Builds a vehicle with `pending` committed requests (capacity 6, lax
+/// constraints so branch counts grow with pending).
+TreeScenario MakeScenario(int pending, uint64_t seed) {
+  TreeScenario s;
+  auto g = bench::MakeBenchCity(30, 30, seed);
+  if (!g.ok()) std::abort();
+  s.graph = std::move(g).value();
+  roadnet::GridIndexOptions gopts;
+  gopts.cells_x = 16;
+  gopts.cells_y = 16;
+  auto grid = roadnet::GridIndex::Build(s.graph, gopts);
+  if (!grid.ok()) std::abort();
+  s.grid = std::make_unique<roadnet::GridIndex>(std::move(grid).value());
+  s.oracle = std::make_unique<roadnet::DistanceOracle>(s.graph);
+
+  util::Rng rng(seed);
+  auto rv = [&]() {
+    return static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(s.graph.NumVertices()) - 1));
+  };
+  s.tree = vehicle::KineticTree(rv(), 6);
+  core::ExactDistanceProvider dist(*s.oracle);
+  vehicle::ScheduleContext ctx{0.0, 13.3};
+  for (int i = 0; i < pending; ++i) {
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      vehicle::Request r;
+      r.id = i + 1;
+      r.start = rv();
+      r.destination = rv();
+      if (r.start == r.destination) continue;
+      r.num_riders = 1;
+      r.max_wait_s = 1800.0;
+      r.service_sigma = 1.0;
+      auto cands = s.tree.TrialInsert(r, ctx, dist, nullptr);
+      if (cands.empty()) continue;
+      if (s.tree.CommitInsert(r, cands.front().pickup_distance, 0.0, ctx,
+                              dist)
+              .ok()) {
+        break;
+      }
+    }
+  }
+  for (int i = 0; i < 64; ++i) {
+    vehicle::Request r;
+    r.id = 1000 + i;
+    r.start = rv();
+    r.destination = rv();
+    if (r.start == r.destination) {
+      --i;
+      continue;
+    }
+    r.num_riders = 1;
+    r.max_wait_s = 1800.0;
+    r.service_sigma = 1.0;
+    s.probes.push_back(r);
+  }
+  return s;
+}
+
+void BM_TrialInsert(benchmark::State& state, bool use_bounds) {
+  const int pending = static_cast<int>(state.range(0));
+  TreeScenario s = MakeScenario(pending, 11);
+  core::ExactDistanceProvider exact(*s.oracle);
+  core::IndexedDistanceProvider indexed(*s.oracle, *s.grid);
+  vehicle::DistanceProvider& dist =
+      use_bounds ? static_cast<vehicle::DistanceProvider&>(indexed)
+                 : static_cast<vehicle::DistanceProvider&>(exact);
+  vehicle::ScheduleContext ctx{0.0, 13.3};
+  size_t i = 0;
+  vehicle::InsertionStats stats;
+  for (auto _ : state) {
+    auto cands = s.tree.TrialInsert(s.probes[i % s.probes.size()], ctx,
+                                    dist, &stats);
+    benchmark::DoNotOptimize(cands);
+    ++i;
+  }
+  state.counters["branches"] =
+      static_cast<double>(s.tree.NumBranches());
+  state.counters["tree_nodes"] =
+      static_cast<double>(s.tree.NumTreeNodes());
+  state.counters["bound_pruned_frac"] =
+      stats.sequences_generated > 0
+          ? static_cast<double>(stats.bound_pruned) /
+                static_cast<double>(stats.sequences_generated)
+          : 0.0;
+}
+
+void BM_TrialInsertExact(benchmark::State& state) {
+  BM_TrialInsert(state, /*use_bounds=*/false);
+}
+void BM_TrialInsertBounded(benchmark::State& state) {
+  BM_TrialInsert(state, /*use_bounds=*/true);
+}
+
+BENCHMARK(BM_TrialInsertExact)->DenseRange(0, 5, 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TrialInsertBounded)->DenseRange(0, 5, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ptrider::bench::PrintHeader(
+      "E3", "Fig. 3 kinetic tree",
+      "trial-insertion latency vs pending requests; exact [7] vs "
+      "bound-screened validation");
+  // Structural summary table.
+  std::printf("%8s %9s %11s %11s\n", "pending", "branches", "tree nodes",
+              "stops");
+  for (int pending = 0; pending <= 5; ++pending) {
+    TreeScenario s = MakeScenario(pending, 11);
+    std::printf("%8d %9zu %11zu %11zu\n", pending, s.tree.NumBranches(),
+                s.tree.NumTreeNodes(),
+                s.tree.empty() ? 0 : s.tree.BestBranch().stops.size());
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf(
+      "\nShape check: branches/nodes grow combinatorially with pending\n"
+      "requests; bounded validation stays cheaper than exact-first.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E4 — Fig. 2: the PTRider framework end to end.
+//
+// Steady-state throughput and latency of the full request -> options ->
+// choice -> index-update loop, per matching algorithm, on a loaded
+// system. This is the "answer the ridesharing request in real time"
+// claim in microbenchmark form.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace ptrider;
+  bench::PrintHeader(
+      "E4", "Fig. 2 framework end-to-end",
+      "request->options->choice->update loop latency on a loaded system");
+
+  auto graph = bench::MakeBenchCity(50, 50);
+  if (!graph.ok()) return 1;
+
+  sim::HotspotWorkloadOptions wopts;
+  wopts.num_trips = 3000;
+  wopts.duration_s = 3600.0;
+  auto trips = sim::GenerateHotspotTrips(*graph, wopts);
+  if (!trips.ok()) return 1;
+
+  std::printf("%-12s %9s %9s %9s %9s %10s %9s\n", "matcher", "p50(ms)",
+              "p95(ms)", "p99(ms)", "mean(ms)", "req/s", "options");
+
+  for (const auto algo :
+       {core::MatcherAlgorithm::kNaive, core::MatcherAlgorithm::kSingleSide,
+        core::MatcherAlgorithm::kDualSide}) {
+    core::Config cfg;
+    cfg.matcher = algo;
+    auto sys = bench::MakeBenchSystem(*graph, cfg, /*taxis=*/1000);
+    if (!sys.ok()) return 1;
+    // Load the system with ongoing assignments.
+    bench::WarmupAssignments(**sys, *trips, 400, /*now=*/0.0);
+
+    util::Percentiles lat;
+    util::RunningStats options;
+    util::WallTimer total;
+    size_t processed = 0;
+    double now = 1.0;
+    util::Rng rng(5);
+    for (size_t i = 400; i < 800 && i < trips->size(); ++i) {
+      vehicle::Request r;
+      r.id = static_cast<vehicle::RequestId>(i);
+      r.start = (*trips)[i].origin;
+      r.destination = (*trips)[i].destination;
+      r.num_riders = (*trips)[i].num_riders;
+      r.max_wait_s = cfg.default_max_wait_s;
+      r.service_sigma = cfg.default_service_sigma;
+      util::WallTimer t;
+      auto m = (*sys)->SubmitRequest(r, now);
+      if (!m.ok()) return 1;
+      const bool has_options = !m->options.empty();
+      if (has_options) {
+        const size_t pick = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(m->options.size()) - 1));
+        if (!(*sys)->ChooseOption(r, m->options[pick], now).ok()) {
+          return 1;
+        }
+      }
+      lat.Add(t.ElapsedMillis());  // full loop including commit
+      options.Add(static_cast<double>(m->options.size()));
+      ++processed;
+      now += 0.5;
+    }
+    const double wall = total.ElapsedSeconds();
+    std::printf("%-12s %9.3f %9.3f %9.3f %9.3f %10.0f %9.2f\n",
+                core::MatcherAlgorithmName(algo), lat.Value(50),
+                lat.Value(95), lat.Value(99),
+                processed > 0 ? wall / processed * 1e3 : 0.0,
+                processed / wall, options.mean());
+  }
+  std::printf(
+      "\nShape check: every matcher answers well under a second (the\n"
+      "demo's real-time claim); indexed matchers are several times\n"
+      "faster than naive, dual-side fastest.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E7 — Fig. 4(c) admin panel: maximal waiting time w.
+//
+// Sweeps the global waiting-time constraint and reports the statistics
+// panel per setting. Larger w keeps more insertion orderings feasible:
+// more options per request, higher sharing, later pickups.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ptrider;
+  bench::PrintHeader("E7", "Fig. 4(c) maximal waiting time sweep",
+                     "demo statistics vs w (all else at demo defaults)");
+
+  auto graph = bench::MakeBenchCity(35, 35);
+  if (!graph.ok()) return 1;
+  sim::HotspotWorkloadOptions wopts;
+  wopts.num_trips = 1500;
+  wopts.duration_s = 5400.0;
+  auto trips = sim::GenerateHotspotTrips(*graph, wopts);
+  if (!trips.ok()) return 1;
+
+  std::printf("%8s %10s %9s %9s %8s %9s %9s\n", "w (min)", "resp(ms)",
+              "sharing", "served", "opts", "wait(s)", "detour");
+  for (const double w_min : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+    core::Config cfg;
+    cfg.default_max_wait_s = w_min * 60.0;
+    cfg.matcher = core::MatcherAlgorithm::kDualSide;
+    auto report = bench::RunScenario(*graph, cfg, /*taxis=*/120, *trips);
+    if (!report.ok()) return 1;
+    std::printf("%8.0f %10.3f %8.1f%% %8.1f%% %8.2f %9.1f %9.3f\n", w_min,
+                1e3 * report->AvgResponseTimeS(),
+                100.0 * report->SharingRate(),
+                100.0 * report->ServiceRate(),
+                report->options_per_request.mean(),
+                report->pickup_wait_s.mean(), report->detour_ratio.mean());
+  }
+  std::printf(
+      "\nShape check: larger w -> more feasible orderings (options and\n"
+      "sharing do not decrease); response time stays real-time.\n");
+  return 0;
+}

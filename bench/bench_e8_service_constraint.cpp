@@ -1,0 +1,42 @@
+// E8 — Fig. 4(c) admin panel: service constraint sigma.
+//
+// Sweeps the detour tolerance. Larger sigma admits more interleavings:
+// sharing and options rise, at the cost of longer in-vehicle detours.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ptrider;
+  bench::PrintHeader("E8", "Fig. 4(c) service constraint sweep",
+                     "demo statistics vs sigma");
+
+  auto graph = bench::MakeBenchCity(35, 35);
+  if (!graph.ok()) return 1;
+  sim::HotspotWorkloadOptions wopts;
+  wopts.num_trips = 1500;
+  wopts.duration_s = 5400.0;
+  auto trips = sim::GenerateHotspotTrips(*graph, wopts);
+  if (!trips.ok()) return 1;
+
+  std::printf("%8s %10s %9s %9s %8s %9s %9s\n", "sigma", "resp(ms)",
+              "sharing", "served", "opts", "wait(s)", "detour");
+  for (const double sigma : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    core::Config cfg;
+    cfg.default_service_sigma = sigma;
+    cfg.matcher = core::MatcherAlgorithm::kDualSide;
+    auto report = bench::RunScenario(*graph, cfg, /*taxis=*/120, *trips);
+    if (!report.ok()) return 1;
+    std::printf("%8.1f %10.3f %8.1f%% %8.1f%% %8.2f %9.1f %9.3f\n", sigma,
+                1e3 * report->AvgResponseTimeS(),
+                100.0 * report->SharingRate(),
+                100.0 * report->ServiceRate(),
+                report->options_per_request.mean(),
+                report->pickup_wait_s.mean(), report->detour_ratio.mean());
+  }
+  std::printf(
+      "\nShape check: sharing rate and mean detour rise with sigma; the\n"
+      "detour ratio stays below 1 + sigma.\n");
+  return 0;
+}

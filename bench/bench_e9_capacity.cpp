@@ -1,0 +1,43 @@
+// E9 — Fig. 4(c) admin panel: taxi capacity.
+//
+// Sweeps seats per taxi. More seats admit more concurrent groups per
+// vehicle: service rate and sharing rise until demand saturates.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ptrider;
+  bench::PrintHeader("E9", "Fig. 4(c) taxi capacity sweep",
+                     "demo statistics vs seats per taxi");
+
+  auto graph = bench::MakeBenchCity(35, 35);
+  if (!graph.ok()) return 1;
+  sim::HotspotWorkloadOptions wopts;
+  wopts.num_trips = 1500;
+  wopts.duration_s = 5400.0;
+  auto trips = sim::GenerateHotspotTrips(*graph, wopts);
+  if (!trips.ok()) return 1;
+
+  std::printf("%9s %10s %9s %9s %8s %9s %9s\n", "capacity", "resp(ms)",
+              "sharing", "served", "opts", "wait(s)", "occupancy");
+  for (const int capacity : {2, 3, 4, 6, 8}) {
+    core::Config cfg;
+    cfg.vehicle_capacity = capacity;
+    cfg.matcher = core::MatcherAlgorithm::kDualSide;
+    auto report = bench::RunScenario(*graph, cfg, /*taxis=*/120, *trips);
+    if (!report.ok()) return 1;
+    std::printf("%9d %10.3f %8.1f%% %8.1f%% %8.2f %9.1f %8.1f%%\n",
+                capacity, 1e3 * report->AvgResponseTimeS(),
+                100.0 * report->SharingRate(),
+                100.0 * report->ServiceRate(),
+                report->options_per_request.mean(),
+                report->pickup_wait_s.mean(),
+                100.0 * report->OccupancyRate());
+  }
+  std::printf(
+      "\nShape check: service and sharing rates rise with capacity and\n"
+      "flatten once demand is absorbed; response time stays real-time.\n");
+  return 0;
+}

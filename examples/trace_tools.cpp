@@ -1,0 +1,95 @@
+// Trace tooling: generate a synthetic trip trace, persist it as CSV
+// (the schema a real taxi trace — e.g. the paper's Shanghai dataset —
+// would be converted into), reload it, and replay it through two
+// simulator configurations for an apples-to-apples comparison.
+//
+// Usage:  ./build/examples/example_trace_tools [trips] [out.csv]
+// Default: 400 trips, temp-file path.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/ptrider.h"
+#include "roadnet/graph_generator.h"
+#include "roadnet/graph_io.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace ptrider;
+  const size_t trips = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  const std::string trace_path =
+      argc > 2 ? argv[2] : "/tmp/ptrider_trace.csv";
+  const std::string graph_path = "/tmp/ptrider_network.csv";
+
+  // 1. A city and a workload.
+  roadnet::CityGridOptions city;
+  city.rows = 22;
+  city.cols = 22;
+  city.seed = 5;
+  auto graph = roadnet::MakeCityGrid(city);
+  if (!graph.ok()) return 1;
+
+  sim::HotspotWorkloadOptions wl;
+  wl.num_trips = trips;
+  wl.duration_s = 3600.0;
+  wl.seed = 99;
+  auto generated = sim::GenerateHotspotTrips(*graph, wl);
+  if (!generated.ok()) return 1;
+
+  // 2. Persist both artifacts: the road network and the trip trace.
+  if (!roadnet::SaveGraphCsv(*graph, graph_path).ok()) return 1;
+  if (!sim::SaveTrips(*generated, trace_path).ok()) return 1;
+  std::printf("wrote %s (%zu vertices) and %s (%zu trips)\n",
+              graph_path.c_str(), graph->NumVertices(), trace_path.c_str(),
+              generated->size());
+
+  // 3. Reload from disk — the same entry point a real trace would use.
+  auto reloaded_graph = roadnet::LoadGraphCsv(graph_path);
+  if (!reloaded_graph.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 reloaded_graph.status().ToString().c_str());
+    return 1;
+  }
+  auto reloaded = sim::LoadTrips(*reloaded_graph, trace_path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "%s\n", reloaded.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Replay the identical trace under two rider populations.
+  std::printf("\nreplaying %zu trips with 70 taxis under two rider "
+              "populations:\n\n",
+              reloaded->size());
+  std::printf("  %-18s %10s %9s %9s %10s %9s\n", "rider model",
+              "resp(ms)", "sharing", "served", "price", "wait(s)");
+  for (const auto model : {sim::RiderChoiceModel::kEarliestPickup,
+                           sim::RiderChoiceModel::kCheapest}) {
+    core::Config cfg;
+    cfg.matcher = core::MatcherAlgorithm::kDualSide;
+    auto sys = core::PTRider::Create(*reloaded_graph, cfg);
+    if (!sys.ok()) return 1;
+    if (!(*sys)->InitFleetUniform(70, 8).ok()) return 1;
+    sim::SimulatorOptions sopts;
+    sopts.choice.model = model;
+    sim::Simulator simulator(**sys, sopts);
+    auto report = simulator.Run(*reloaded);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-18s %10.3f %8.1f%% %8.1f%% %10.2f %9.1f\n",
+                sim::RiderChoiceModelName(model),
+                1e3 * report->AvgResponseTimeS(),
+                100.0 * report->SharingRate(),
+                100.0 * report->ServiceRate(),
+                report->quoted_price.mean(),
+                report->pickup_wait_s.mean());
+  }
+  std::printf(
+      "\nPrice-sensitive riders pay less and wait more than\n"
+      "time-sensitive riders on the identical demand — the behavioral\n"
+      "spread PTRider's multi-option answers enable.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "core/batch.h"
+
+#include <algorithm>
+
+namespace ptrider::core {
+
+std::optional<size_t> BatchDispatcher::ChooseEarliest(
+    const vehicle::Request&, const std::vector<Option>& options) {
+  if (options.empty()) return std::nullopt;
+  size_t best = 0;
+  for (size_t i = 1; i < options.size(); ++i) {
+    if (options[i].pickup_time_s < options[best].pickup_time_s) best = i;
+  }
+  return best;
+}
+
+std::optional<size_t> BatchDispatcher::ChooseCheapest(
+    const vehicle::Request&, const std::vector<Option>& options) {
+  if (options.empty()) return std::nullopt;
+  size_t best = 0;
+  for (size_t i = 1; i < options.size(); ++i) {
+    if (options[i].price < options[best].price) best = i;
+  }
+  return best;
+}
+
+util::Result<std::vector<BatchItem>> BatchDispatcher::Dispatch(
+    std::vector<vehicle::Request> batch, double now_s,
+    const BatchChooser& chooser) {
+  if (!chooser) {
+    return util::Status::InvalidArgument("batch dispatch needs a chooser");
+  }
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const vehicle::Request& a, const vehicle::Request& b) {
+                     if (a.submit_time_s != b.submit_time_s) {
+                       return a.submit_time_s < b.submit_time_s;
+                     }
+                     return a.id < b.id;
+                   });
+
+  std::vector<BatchItem> out;
+  out.reserve(batch.size());
+  for (vehicle::Request& r : batch) {
+    BatchItem item;
+    item.request = r;
+    auto match = system_->SubmitRequest(r, now_s);
+    if (!match.ok()) {
+      // Invalid individual request: report it unassigned, keep going.
+      out.push_back(std::move(item));
+      continue;
+    }
+    item.match = std::move(match).value();
+    const std::optional<size_t> pick = chooser(r, item.match.options);
+    if (pick.has_value()) {
+      if (*pick >= item.match.options.size()) {
+        return util::Status::OutOfRange("chooser returned a bad index");
+      }
+      const Option& option = item.match.options[*pick];
+      // Options were computed against live state within this batch, so
+      // the commitment cannot race; surface any failure.
+      PTRIDER_RETURN_IF_ERROR(system_->ChooseOption(r, option, now_s));
+      item.assigned = true;
+      item.chosen = option;
+    }
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace ptrider::core

@@ -1,0 +1,59 @@
+#ifndef PTRIDER_CORE_BATCH_H_
+#define PTRIDER_CORE_BATCH_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/ptrider.h"
+
+namespace ptrider::core {
+
+/// Outcome of one request within a dispatched batch.
+struct BatchItem {
+  vehicle::Request request;
+  MatchResult match;
+  /// True when the rider accepted an option and it was committed.
+  bool assigned = false;
+  /// The committed option (meaningful when `assigned`).
+  Option chosen;
+};
+
+/// The rider-side decision for a batch request: the index of the chosen
+/// option, or nullopt to decline (e.g. all options too expensive).
+using BatchChooser = std::function<std::optional<size_t>(
+    const vehicle::Request&, const std::vector<Option>&)>;
+
+/// Greedy handling of simultaneous requests (Section 2.5: "a greedy
+/// strategy is used when multiple requests are issued simultaneously").
+/// Requests are processed one at a time in ascending (submit_time, id)
+/// order — the order c.S is sorted by (Section 3.2.2) — and every
+/// commitment updates vehicle state before the next request is matched,
+/// so later requests see the schedules earlier ones created.
+class BatchDispatcher {
+ public:
+  explicit BatchDispatcher(PTRider& system) : system_(&system) {}
+
+  /// Matches and (per `chooser`) commits every request in `batch` at
+  /// time `now_s`. Returns one BatchItem per request, in processing
+  /// order. Requests that fail validation (e.g. s == d) are returned
+  /// unassigned with an empty option list rather than aborting the
+  /// batch.
+  util::Result<std::vector<BatchItem>> Dispatch(
+      std::vector<vehicle::Request> batch, double now_s,
+      const BatchChooser& chooser);
+
+  /// Convenience chooser: always take the earliest pick-up.
+  static std::optional<size_t> ChooseEarliest(
+      const vehicle::Request&, const std::vector<Option>& options);
+  /// Convenience chooser: always take the lowest price.
+  static std::optional<size_t> ChooseCheapest(
+      const vehicle::Request&, const std::vector<Option>& options);
+
+ private:
+  PTRider* system_;
+};
+
+}  // namespace ptrider::core
+
+#endif  // PTRIDER_CORE_BATCH_H_

@@ -1,0 +1,46 @@
+#include "core/config.h"
+
+#include "util/string_util.h"
+
+namespace ptrider::core {
+
+const char* MatcherAlgorithmName(MatcherAlgorithm algorithm) {
+  switch (algorithm) {
+    case MatcherAlgorithm::kNaive:
+      return "naive";
+    case MatcherAlgorithm::kSingleSide:
+      return "single-side";
+    case MatcherAlgorithm::kDualSide:
+      return "dual-side";
+  }
+  return "unknown";
+}
+
+util::Status Config::Validate() const {
+  if (!(speed_mps > 0.0)) {
+    return util::Status::InvalidArgument("speed must be positive");
+  }
+  if (vehicle_capacity < 1) {
+    return util::Status::InvalidArgument("capacity must be >= 1");
+  }
+  if (default_max_wait_s < 0.0) {
+    return util::Status::InvalidArgument("max wait must be >= 0");
+  }
+  if (default_service_sigma < 0.0) {
+    return util::Status::InvalidArgument("service sigma must be >= 0");
+  }
+  if (!(price_base_ratio >= 0.0) || price_per_extra_rider < 0.0) {
+    return util::Status::InvalidArgument("price ratios must be >= 0");
+  }
+  if (!(price_distance_unit_m > 0.0)) {
+    return util::Status::InvalidArgument(
+        "price distance unit must be positive");
+  }
+  if (!(max_planned_pickup_s > 0.0)) {
+    return util::Status::InvalidArgument(
+        "pickup horizon must be positive");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace ptrider::core

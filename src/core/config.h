@@ -1,0 +1,65 @@
+#ifndef PTRIDER_CORE_CONFIG_H_
+#define PTRIDER_CORE_CONFIG_H_
+
+#include "util/status.h"
+
+namespace ptrider::core {
+
+/// Which matching algorithm PTRider uses (Section 3.3; selectable from the
+/// demo's website interface).
+enum class MatcherAlgorithm {
+  /// Evaluate every vehicle with full kinetic-tree insertion ([7] extended
+  /// to return all non-dominated pairs). The baseline.
+  kNaive,
+  /// Grid expansion from the request start with pruning lemmas.
+  kSingleSide,
+  /// Single-side plus destination-side pruning of the price lower bound.
+  kDualSide,
+};
+
+const char* MatcherAlgorithmName(MatcherAlgorithm algorithm);
+
+/// Global system parameters (the demo's admin panel, Fig. 4(c): taxi
+/// capacity, number of taxis, maximal waiting time, service constraint,
+/// price calculator function, matching algorithm).
+struct Config {
+  /// Constant vehicle speed (Section 4 uses 48 km/h).
+  double speed_mps = 48.0 / 3.6;
+  /// Seats per taxi.
+  int vehicle_capacity = 3;
+  /// Global maximal waiting time w applied to requests, seconds.
+  double default_max_wait_s = 300.0;
+  /// Global service constraint sigma.
+  double default_service_sigma = 0.2;
+
+  // --- Price model (Definition 3) -----------------------------------------
+  /// f_n = base + (n - 1) * per_extra; paper: 0.3 + (n-1)*0.1.
+  double price_base_ratio = 0.3;
+  double price_per_extra_rider = 0.1;
+  /// Distance unit the price multiplies (meters). 1000 prices per km;
+  /// the paper's worked example uses 1 (unit edge weights).
+  double price_distance_unit_m = 1000.0;
+
+  // --- Matching ------------------------------------------------------------
+  MatcherAlgorithm matcher = MatcherAlgorithm::kDualSide;
+  /// Options whose planned pick-up lies beyond this horizon are not
+  /// offered (bounds the search; a real dispatcher would not offer a taxi
+  /// an hour away).
+  double max_planned_pickup_s = 900.0;
+  /// Caps each vehicle's kinetic-tree schedule set after commitments
+  /// (0 = unlimited). Bounds worst-case matching cost on busy vehicles
+  /// at the price of reordering flexibility.
+  size_t max_schedules_per_vehicle = 0;
+
+  /// Planned pick-up radius in meters implied by the horizon.
+  double MaxPickupRadiusM() const {
+    return max_planned_pickup_s * speed_mps;
+  }
+
+  /// Validates parameter ranges.
+  util::Status Validate() const;
+};
+
+}  // namespace ptrider::core
+
+#endif  // PTRIDER_CORE_CONFIG_H_

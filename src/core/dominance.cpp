@@ -1,0 +1,67 @@
+#include "core/dominance.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ptrider::core {
+
+std::string Option::DebugString() const {
+  return util::StrFormat("<c%d, dist_pt=%.2f, t=%.1fs, price=%.2f>",
+                         vehicle, pickup_distance, pickup_time_s, price);
+}
+
+bool Dominates(const Option& a, const Option& b) {
+  return (a.pickup_distance <= b.pickup_distance && a.price < b.price) ||
+         (a.pickup_distance < b.pickup_distance && a.price <= b.price);
+}
+
+bool Skyline::Add(Option option) {
+  for (const Option& kept : options_) {
+    if (Dominates(kept, option)) return false;
+    // Two schedules of the same vehicle with identical time and price are
+    // one offer; keep the first (candidate enumeration order is
+    // deterministic). Ties across vehicles are distinct offers and stay.
+    if (kept.vehicle == option.vehicle &&
+        kept.pickup_distance == option.pickup_distance &&
+        kept.price == option.price) {
+      return false;
+    }
+  }
+  options_.erase(std::remove_if(options_.begin(), options_.end(),
+                                [&option](const Option& kept) {
+                                  return Dominates(option, kept);
+                                }),
+                 options_.end());
+  options_.push_back(std::move(option));
+  return true;
+}
+
+bool Skyline::CoveredBy(roadnet::Weight time_lb, double price_lb) const {
+  for (const Option& kept : options_) {
+    // Strict in at least one coordinate: a kept option merely *equal* to
+    // the candidate's lower bounds does not dominate an exact-tie option
+    // (Definition 4 keeps ties), so pruning on equality would drop
+    // options the naive matcher reports — e.g. two empty vehicles parked
+    // at the request start.
+    if ((kept.pickup_distance <= time_lb && kept.price < price_lb) ||
+        (kept.pickup_distance < time_lb && kept.price <= price_lb)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Option> Skyline::TakeSorted() {
+  std::sort(options_.begin(), options_.end(),
+            [](const Option& a, const Option& b) {
+              if (a.pickup_distance != b.pickup_distance) {
+                return a.pickup_distance < b.pickup_distance;
+              }
+              if (a.price != b.price) return a.price < b.price;
+              return a.vehicle < b.vehicle;
+            });
+  return std::move(options_);
+}
+
+}  // namespace ptrider::core

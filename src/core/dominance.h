@@ -1,0 +1,50 @@
+#ifndef PTRIDER_CORE_DOMINANCE_H_
+#define PTRIDER_CORE_DOMINANCE_H_
+
+#include <vector>
+
+#include "core/option.h"
+
+namespace ptrider::core {
+
+/// Definition 4: r_i dominates r_j iff
+/// (r_i.time <= r_j.time and r_i.price < r_j.price) or
+/// (r_i.time <  r_j.time and r_i.price <= r_j.price).
+/// Two options equal in both coordinates do not dominate each other.
+bool Dominates(const Option& a, const Option& b);
+
+/// Incrementally maintained set of non-dominated options over
+/// (pickup_distance, price), sorted ascending by pickup distance (so
+/// prices are non-increasing along the vector). Options tied in both
+/// coordinates are all kept — every qualified vehicle is reported, as
+/// Definition 4 requires.
+class Skyline {
+ public:
+  /// Inserts unless dominated; evicts options the newcomer dominates.
+  /// Returns true when the option was kept.
+  bool Add(Option option);
+
+  const std::vector<Option>& options() const { return options_; }
+  bool empty() const { return options_.empty(); }
+  size_t size() const { return options_.size(); }
+
+  /// Pruning test: with `time_lb` and `price_lb` lower bounds for every
+  /// option a candidate vehicle could still produce, true means every
+  /// such option is strictly dominated by a kept option (some kept option
+  /// is <= in both coordinates and < in at least one). Sound because the
+  /// dominance region is upward closed; exact ties are NOT covered, so
+  /// tied offers from distinct vehicles all survive, exactly as the
+  /// naive matcher reports them.
+  bool CoveredBy(roadnet::Weight time_lb, double price_lb) const;
+
+  /// Extracts the final result, sorted by (pickup_distance, price,
+  /// vehicle id) for deterministic output.
+  std::vector<Option> TakeSorted();
+
+ private:
+  std::vector<Option> options_;
+};
+
+}  // namespace ptrider::core
+
+#endif  // PTRIDER_CORE_DOMINANCE_H_

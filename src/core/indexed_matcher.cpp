@@ -1,0 +1,173 @@
+#include "core/indexed_matcher.h"
+
+#include <algorithm>
+
+#include "core/distance_providers.h"
+#include "core/dominance.h"
+#include "util/timer.h"
+
+namespace ptrider::core {
+
+namespace {
+
+/// Clamp-to-zero helper for detour terms.
+roadnet::Weight Positive(roadnet::Weight x) { return x > 0.0 ? x : 0.0; }
+
+}  // namespace
+
+roadnet::Weight IndexedMatcherBase::PickupLowerBound(
+    const vehicle::Vehicle& v, roadnet::VertexId start) const {
+  // Any candidate reaches the new pick-up directly from the current
+  // location or from some scheduled stop, so dist_pt >= min LB over those
+  // insertion points. All branches share one stop set; scan the best.
+  const roadnet::GridIndex& grid = *ctx_.grid;
+  roadnet::Weight lb = grid.LowerBound(v.location(), start);
+  if (!v.tree().empty()) {
+    for (const vehicle::Stop& s : v.tree().BestBranch().stops) {
+      lb = std::min(lb, grid.LowerBound(s.location, start));
+    }
+  }
+  return lb;
+}
+
+roadnet::Weight IndexedMatcherBase::DetourLowerBound(
+    const vehicle::Vehicle& v, const vehicle::Request& request,
+    roadnet::Weight direct) const {
+  // Shortcutting s (resp. d) out of any insertion candidate leaves a
+  // schedule no shorter than the current best, so Delta is at least the
+  // cost of splicing s (resp. d) into its slot. A slot is either an
+  // original branch slot (x -> y with exact cached leg) or — when s and d
+  // end up adjacent — the joint splice x -> s -> d -> y. Taking the min
+  // over branches and slots of each splice cost, then the max over the
+  // s-view and d-view, never exceeds the true minimal Delta.
+  const roadnet::GridIndex& grid = *ctx_.grid;
+  const roadnet::VertexId s = request.start;
+  const roadnet::VertexId d = request.destination;
+  if (v.tree().empty()) {
+    // Empty vehicle: Delta = dist(l,s) + direct exactly.
+    return grid.LowerBound(v.location(), s) + direct;
+  }
+  roadnet::Weight lb_s = roadnet::kInfWeight;  // min splice cost for s
+  roadnet::Weight lb_d = roadnet::kInfWeight;  // min splice cost for d
+  for (const vehicle::Branch& b : v.tree().branches()) {
+    roadnet::VertexId prev = v.location();
+    for (size_t i = 0; i < b.stops.size(); ++i) {
+      const roadnet::VertexId next = b.stops[i].location;
+      const roadnet::Weight leg = b.legs[i];
+      const roadnet::Weight term_s =
+          Positive(grid.LowerBound(prev, s) + grid.LowerBound(s, next) -
+                   leg);
+      const roadnet::Weight term_d =
+          Positive(grid.LowerBound(prev, d) + grid.LowerBound(d, next) -
+                   leg);
+      const roadnet::Weight term_sd =
+          Positive(grid.LowerBound(prev, s) + direct +
+                   grid.LowerBound(d, next) - leg);
+      lb_s = std::min(lb_s, std::min(term_s, term_sd));
+      lb_d = std::min(lb_d, std::min(term_d, term_sd));
+      prev = next;
+    }
+    // Append-at-end slots.
+    const roadnet::Weight tail_s = Positive(grid.LowerBound(prev, s));
+    const roadnet::Weight tail_d = Positive(grid.LowerBound(prev, d));
+    const roadnet::Weight tail_sd =
+        Positive(grid.LowerBound(prev, s) + direct);
+    lb_s = std::min(lb_s, std::min(tail_s, tail_sd));
+    lb_d = std::min(lb_d, std::min(tail_d, tail_sd));
+    if (lb_s == 0.0 && lb_d == 0.0) break;
+  }
+  return std::max(lb_s, lb_d);
+}
+
+MatchResult IndexedMatcherBase::Match(const vehicle::Request& request,
+                                      const vehicle::ScheduleContext& ctx) {
+  util::WallTimer timer;
+  MatchResult result;
+  const uint64_t computed_before = ctx_.oracle->computed();
+
+  IndexedDistanceProvider dist(*ctx_.oracle, *ctx_.grid);
+  const PriceModel price(*ctx_.config);
+  const roadnet::Weight direct =
+      dist.Exact(request.start, request.destination);
+  if (direct == roadnet::kInfWeight) {
+    result.match_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  const roadnet::Weight radius = ctx_.config->MaxPickupRadiusM();
+  const double price_floor = price.MinPrice(request.num_riders, direct);
+  const roadnet::GridIndex& grid = *ctx_.grid;
+  const vehicle::VehicleIndex& vindex = *ctx_.vehicle_index;
+
+  Skyline skyline;
+  std::vector<char> seen(ctx_.fleet->size(), 0);
+
+  // Visits one cell; returns false once the search may stop entirely.
+  auto process_cell = [&](roadnet::CellId cell,
+                          roadnet::Weight enter_lb) -> bool {
+    if (enter_lb > radius) return false;
+    if (skyline.CoveredBy(enter_lb, price_floor)) return false;
+    ++result.cells_visited;
+
+    for (const vehicle::VehicleId id : vindex.EmptyVehicles(cell)) {
+      if (seen[static_cast<size_t>(id)]) continue;
+      seen[static_cast<size_t>(id)] = 1;
+      const vehicle::Vehicle& v = ctx_.fleet->at(id);
+      // Empty-vehicle option is fully determined by the pick-up distance,
+      // and both coordinates grow with it: prune on the joint bound.
+      const roadnet::Weight t_lb = grid.LowerBound(v.location(),
+                                                   request.start);
+      if (t_lb > radius ||
+          skyline.CoveredBy(t_lb, price.EmptyVehiclePrice(
+                                      request.num_riders, t_lb, direct))) {
+        ++result.vehicles_pruned;
+        continue;
+      }
+      EvaluateVehicle(v, request, ctx, dist, price, direct, radius, skyline,
+                      result);
+    }
+
+    for (const vehicle::VehicleId id : vindex.NonEmptyVehicles(cell)) {
+      if (seen[static_cast<size_t>(id)]) continue;
+      seen[static_cast<size_t>(id)] = 1;
+      const vehicle::Vehicle& v = ctx_.fleet->at(id);
+      const roadnet::Weight t_lb = PickupLowerBound(v, request.start);
+      if (t_lb > radius) {
+        ++result.vehicles_pruned;
+        continue;
+      }
+      double p_lb = price_floor;
+      if (dual_side_) {
+        const roadnet::Weight delta_lb =
+            DetourLowerBound(v, request, direct);
+        p_lb = price.PriceWithDetourLb(request.num_riders, delta_lb,
+                                       direct);
+      }
+      if (skyline.CoveredBy(t_lb, p_lb)) {
+        ++result.vehicles_pruned;
+        continue;
+      }
+      EvaluateVehicle(v, request, ctx, dist, price, direct, radius, skyline,
+                      result);
+    }
+    return true;
+  };
+
+  const roadnet::CellId start_cell = grid.CellOfVertex(request.start);
+  const roadnet::Weight s_min = grid.VertexMinToBorder(request.start);
+  if (process_cell(start_cell, 0.0)) {
+    for (const roadnet::CellNeighbor& cn : grid.SortedCellList(start_cell)) {
+      // dist(l, s) >= LB(cell(l), cell(s)) + s.min for l outside s's cell.
+      const roadnet::Weight enter_lb =
+          s_min == roadnet::kInfWeight ? roadnet::kInfWeight
+                                       : cn.lower_bound + s_min;
+      if (!process_cell(cn.cell, enter_lb)) break;
+    }
+  }
+
+  result.options = skyline.TakeSorted();
+  result.distance_computations = ctx_.oracle->computed() - computed_before;
+  result.match_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ptrider::core

@@ -1,0 +1,75 @@
+#ifndef PTRIDER_CORE_INDEXED_MATCHER_H_
+#define PTRIDER_CORE_INDEXED_MATCHER_H_
+
+#include <vector>
+
+#include "core/matcher.h"
+
+namespace ptrider::core {
+
+/// Common machinery of the single-side and dual-side search algorithms
+/// (Section 3.3). Both expand grid cells outward from the request start in
+/// ascending lower-bound order, prune vehicles whose cheapest conceivable
+/// option is already covered by the skyline, and terminate once no
+/// unexamined vehicle can contribute:
+///
+///   * Time lemma. Any vehicle first encountered in cell g has every
+///     insertion point in cells no closer than g, so its pick-up distance
+///     is at least LB(g(s), g) + s.min.
+///   * Price lemma. Delta = dist_trj - dist_tri >= 0 always, so price >=
+///     f_n * dist(s,d); the dual-side variant tightens Delta with
+///     destination-side detour lower bounds before touching the kinetic
+///     tree (a vehicle near s but far from d prices itself out — the
+///     paper's motivating case for dual-side search).
+///   * Termination. Cells arrive in ascending lower-bound order; stop when
+///     the skyline covers (cell time LB, global price floor), or the lower
+///     bound exceeds the pick-up radius.
+class IndexedMatcherBase : public Matcher {
+ public:
+  IndexedMatcherBase(const MatchContext& context, bool dual_side)
+      : ctx_(context), dual_side_(dual_side) {}
+
+  MatchResult Match(const vehicle::Request& request,
+                    const vehicle::ScheduleContext& ctx) override;
+
+ protected:
+  /// Lower bound on the added detour Delta = dist_trj - dist_tri for
+  /// serving `request` with vehicle `v`, derived from grid lower bounds
+  /// and the exact slot legs already cached in the branches. Sound: never
+  /// exceeds the true Delta of any insertion candidate (DESIGN.md 4.3).
+  /// `direct` is dist(s, d).
+  roadnet::Weight DetourLowerBound(const vehicle::Vehicle& v,
+                                   const vehicle::Request& request,
+                                   roadnet::Weight direct) const;
+
+  /// Lower bound on the pick-up distance for vehicle `v` (minimum grid LB
+  /// from any insertion point — current location or any scheduled stop —
+  /// to the request start).
+  roadnet::Weight PickupLowerBound(const vehicle::Vehicle& v,
+                                   roadnet::VertexId start) const;
+
+  MatchContext ctx_;
+  bool dual_side_;
+};
+
+/// Single-side search: expands from the start location only; prunes with
+/// the time lemma and the global price floor.
+class SingleSideMatcher : public IndexedMatcherBase {
+ public:
+  explicit SingleSideMatcher(const MatchContext& context)
+      : IndexedMatcherBase(context, /*dual_side=*/false) {}
+  const char* name() const override { return "single-side"; }
+};
+
+/// Dual-side search: additionally folds destination-side detour lower
+/// bounds into each vehicle's price floor before exact verification.
+class DualSideMatcher : public IndexedMatcherBase {
+ public:
+  explicit DualSideMatcher(const MatchContext& context)
+      : IndexedMatcherBase(context, /*dual_side=*/true) {}
+  const char* name() const override { return "dual-side"; }
+};
+
+}  // namespace ptrider::core
+
+#endif  // PTRIDER_CORE_INDEXED_MATCHER_H_

@@ -1,0 +1,34 @@
+#include "core/matcher.h"
+
+#include "core/dominance.h"
+
+namespace ptrider::core {
+
+size_t EvaluateVehicle(const vehicle::Vehicle& v,
+                       const vehicle::Request& request,
+                       const vehicle::ScheduleContext& ctx,
+                       vehicle::DistanceProvider& dist,
+                       const PriceModel& price, roadnet::Weight direct,
+                       roadnet::Weight radius_m, Skyline& skyline,
+                       MatchResult& result) {
+  ++result.vehicles_examined;
+  const roadnet::Weight current_total = v.tree().BestTotalDistance();
+  std::vector<vehicle::InsertionCandidate> candidates =
+      v.tree().TrialInsert(request, ctx, dist, &result.insertion);
+  size_t accepted = 0;
+  for (vehicle::InsertionCandidate& c : candidates) {
+    if (c.pickup_distance > radius_m) continue;
+    Option option;
+    option.vehicle = v.id();
+    option.pickup_distance = c.pickup_distance;
+    option.pickup_time_s = ctx.now_s + c.pickup_distance / ctx.speed_mps;
+    option.price = price.Price(request.num_riders, c.total_distance,
+                               current_total, direct);
+    option.new_total_distance = c.total_distance;
+    option.schedule = std::move(c.stops);
+    if (skyline.Add(std::move(option))) ++accepted;
+  }
+  return accepted;
+}
+
+}  // namespace ptrider::core

@@ -1,0 +1,77 @@
+#ifndef PTRIDER_CORE_MATCHER_H_
+#define PTRIDER_CORE_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/option.h"
+#include "core/price.h"
+#include "roadnet/distance_oracle.h"
+#include "roadnet/grid_index.h"
+#include "vehicle/fleet.h"
+#include "vehicle/kinetic_tree.h"
+#include "vehicle/vehicle_index.h"
+
+namespace ptrider::core {
+
+/// Result of matching one ridesharing request: all qualified,
+/// non-dominated options plus the effort diagnostics the benches report.
+struct MatchResult {
+  std::vector<Option> options;
+
+  // --- Diagnostics ---------------------------------------------------------
+  /// Vehicles whose kinetic tree was actually searched.
+  size_t vehicles_examined = 0;
+  /// Vehicles skipped by index-based pruning before any exact work.
+  size_t vehicles_pruned = 0;
+  /// Grid cells the search visited (0 for the naive matcher).
+  size_t cells_visited = 0;
+  /// Exact shortest-path computations performed during this match.
+  uint64_t distance_computations = 0;
+  /// Wall-clock matching latency — the demo's "average response time"
+  /// aggregates this.
+  double match_seconds = 0.0;
+  vehicle::InsertionStats insertion;
+};
+
+/// Shared wiring for matchers. All pointers outlive the matcher; the
+/// matcher mutates nothing but the oracle's cache/stats.
+struct MatchContext {
+  const roadnet::RoadNetwork* graph = nullptr;
+  const roadnet::GridIndex* grid = nullptr;     // null for naive matching
+  vehicle::Fleet* fleet = nullptr;
+  vehicle::VehicleIndex* vehicle_index = nullptr;  // null for naive
+  roadnet::DistanceOracle* oracle = nullptr;
+  const Config* config = nullptr;
+};
+
+/// Matching-method interface (the demo's matching algorithm module).
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Finds all qualified non-dominated options for `request` given the
+  /// current vehicle states at time `ctx.now_s`.
+  virtual MatchResult Match(const vehicle::Request& request,
+                            const vehicle::ScheduleContext& ctx) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Evaluates a single vehicle exhaustively: trial-inserts the request into
+/// its kinetic tree and feeds every candidate within the pick-up radius
+/// into the skyline. Shared by all matchers. Returns the number of
+/// accepted candidates.
+size_t EvaluateVehicle(const vehicle::Vehicle& v,
+                       const vehicle::Request& request,
+                       const vehicle::ScheduleContext& ctx,
+                       vehicle::DistanceProvider& dist,
+                       const PriceModel& price, roadnet::Weight direct,
+                       roadnet::Weight radius_m, class Skyline& skyline,
+                       MatchResult& result);
+
+}  // namespace ptrider::core
+
+#endif  // PTRIDER_CORE_MATCHER_H_

@@ -1,0 +1,36 @@
+#include "core/naive_matcher.h"
+
+#include "core/distance_providers.h"
+#include "core/dominance.h"
+#include "util/timer.h"
+
+namespace ptrider::core {
+
+MatchResult NaiveMatcher::Match(const vehicle::Request& request,
+                                const vehicle::ScheduleContext& ctx) {
+  util::WallTimer timer;
+  MatchResult result;
+  const uint64_t computed_before = ctx_.oracle->computed();
+
+  ExactDistanceProvider dist(*ctx_.oracle);
+  const PriceModel price(*ctx_.config);
+  const roadnet::Weight direct =
+      dist.Exact(request.start, request.destination);
+  if (direct == roadnet::kInfWeight) {
+    result.match_seconds = timer.ElapsedSeconds();
+    return result;  // destination unreachable: no qualified options
+  }
+  const roadnet::Weight radius = ctx_.config->MaxPickupRadiusM();
+
+  Skyline skyline;
+  for (const vehicle::Vehicle& v : ctx_.fleet->vehicles()) {
+    EvaluateVehicle(v, request, ctx, dist, price, direct, radius, skyline,
+                    result);
+  }
+  result.options = skyline.TakeSorted();
+  result.distance_computations = ctx_.oracle->computed() - computed_before;
+  result.match_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ptrider::core

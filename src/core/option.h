@@ -1,0 +1,34 @@
+#ifndef PTRIDER_CORE_OPTION_H_
+#define PTRIDER_CORE_OPTION_H_
+
+#include <string>
+#include <vector>
+
+#include "roadnet/types.h"
+#include "vehicle/stop.h"
+#include "vehicle/vehicle.h"
+
+namespace ptrider::core {
+
+/// One qualified result <c, time, price> (Definition 4). Time is carried
+/// as the trip distance from the vehicle's current location to the
+/// request's start (the paper's dist_pt; constant speed makes the two
+/// interchangeable), with the derived absolute pick-up time alongside.
+struct Option {
+  vehicle::VehicleId vehicle = vehicle::kInvalidVehicle;
+  /// dist_pt in meters.
+  roadnet::Weight pickup_distance = 0.0;
+  /// Planned pick-up time, absolute seconds (submit time + dist_pt/speed).
+  double pickup_time_s = 0.0;
+  double price = 0.0;
+  /// Total distance of the schedule realizing this option (dist_trj).
+  roadnet::Weight new_total_distance = 0.0;
+  /// The stop sequence realizing the option (used on commit).
+  std::vector<vehicle::Stop> schedule;
+
+  std::string DebugString() const;
+};
+
+}  // namespace ptrider::core
+
+#endif  // PTRIDER_CORE_OPTION_H_

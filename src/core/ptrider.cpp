@@ -1,0 +1,219 @@
+#include "core/ptrider.h"
+
+#include <utility>
+
+#include "core/distance_providers.h"
+#include "core/indexed_matcher.h"
+#include "core/naive_matcher.h"
+#include "util/string_util.h"
+
+namespace ptrider::core {
+
+PTRider::PTRider(const roadnet::RoadNetwork& graph, Config config,
+                 roadnet::GridIndex grid)
+    : graph_(&graph),
+      config_(config),
+      grid_(std::move(grid)),
+      oracle_(graph),
+      vehicle_index_(grid_) {
+  match_context_.graph = graph_;
+  match_context_.grid = &grid_;
+  match_context_.fleet = &fleet_;
+  match_context_.vehicle_index = &vehicle_index_;
+  match_context_.oracle = &oracle_;
+  match_context_.config = &config_;
+  naive_ = std::make_unique<NaiveMatcher>(match_context_);
+  single_side_ = std::make_unique<SingleSideMatcher>(match_context_);
+  dual_side_ = std::make_unique<DualSideMatcher>(match_context_);
+}
+
+util::Result<std::unique_ptr<PTRider>> PTRider::Create(
+    const roadnet::RoadNetwork& graph, Config config,
+    roadnet::GridIndexOptions grid_options) {
+  PTRIDER_RETURN_IF_ERROR(config.Validate());
+  PTRIDER_ASSIGN_OR_RETURN(roadnet::GridIndex grid,
+                           roadnet::GridIndex::Build(graph, grid_options));
+  // make_unique cannot reach the private constructor.
+  return std::unique_ptr<PTRider>(
+      new PTRider(graph, config, std::move(grid)));
+}
+
+Matcher& PTRider::matcher() {
+  switch (config_.matcher) {
+    case MatcherAlgorithm::kNaive:
+      return *naive_;
+    case MatcherAlgorithm::kSingleSide:
+      return *single_side_;
+    case MatcherAlgorithm::kDualSide:
+      return *dual_side_;
+  }
+  return *dual_side_;
+}
+
+util::Status PTRider::InitFleetUniform(size_t count, uint64_t seed) {
+  util::Rng rng(seed);
+  PTRIDER_ASSIGN_OR_RETURN(
+      fleet_, vehicle::Fleet::UniformRandom(
+                  *graph_, count, config_.vehicle_capacity, rng,
+                  config_.max_schedules_per_vehicle));
+  for (const vehicle::Vehicle& v : fleet_.vehicles()) {
+    vehicle_index_.Update(v);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<vehicle::VehicleId> PTRider::AddVehicle(
+    roadnet::VertexId location) {
+  if (!graph_->IsValidVertex(location)) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("invalid vehicle location v%d", location));
+  }
+  const vehicle::VehicleId id =
+      fleet_.Add(location, config_.vehicle_capacity,
+                 config_.max_schedules_per_vehicle);
+  vehicle_index_.Update(fleet_.at(id));
+  return id;
+}
+
+util::Result<MatchResult> PTRider::SubmitRequest(
+    const vehicle::Request& request, double now_s) {
+  if (!graph_->IsValidVertex(request.start) ||
+      !graph_->IsValidVertex(request.destination)) {
+    return util::Status::InvalidArgument("request endpoints not in network");
+  }
+  if (request.start == request.destination) {
+    return util::Status::InvalidArgument(
+        "request start equals destination");
+  }
+  if (request.num_riders < 1) {
+    return util::Status::InvalidArgument("request needs >= 1 rider");
+  }
+  if (request.max_wait_s < 0.0 || request.service_sigma < 0.0) {
+    return util::Status::InvalidArgument(
+        "negative waiting time or service constraint");
+  }
+  if (assignments_.count(request.id) > 0) {
+    return util::Status::AlreadyExists(util::StrFormat(
+        "request %lld already assigned",
+        static_cast<long long>(request.id)));
+  }
+  return matcher().Match(request, MakeScheduleContext(now_s));
+}
+
+util::Status PTRider::ChooseOption(const vehicle::Request& request,
+                                   const Option& option, double now_s) {
+  if (!fleet_.IsValid(option.vehicle)) {
+    return util::Status::InvalidArgument("option names an unknown vehicle");
+  }
+  vehicle::Vehicle& v = fleet_.at(option.vehicle);
+  IndexedDistanceProvider dist(oracle_, grid_);
+  PTRIDER_RETURN_IF_ERROR(v.mutable_tree().CommitInsert(
+      request, option.pickup_distance, option.price,
+      MakeScheduleContext(now_s), dist));
+  assignments_[request.id] = {option.vehicle, false};
+  vehicle_index_.Update(v);
+  return util::Status::Ok();
+}
+
+util::Status PTRider::CancelRequest(vehicle::RequestId id) {
+  const auto it = assignments_.find(id);
+  if (it == assignments_.end()) {
+    return util::Status::NotFound(util::StrFormat(
+        "request %lld is not assigned", static_cast<long long>(id)));
+  }
+  vehicle::Vehicle& v = fleet_.at(it->second.vehicle);
+  IndexedDistanceProvider dist(oracle_, grid_);
+  PTRIDER_RETURN_IF_ERROR(v.mutable_tree().RemoveRequest(id, dist));
+  assignments_.erase(it);
+  vehicle_index_.Update(v);
+  return util::Status::Ok();
+}
+
+util::Status PTRider::UpdateVehicleLocation(
+    vehicle::VehicleId id, roadnet::VertexId new_location,
+    double meters_moved, double now_s,
+    const std::vector<vehicle::Stop>& executing) {
+  if (!fleet_.IsValid(id)) {
+    return util::Status::InvalidArgument("unknown vehicle");
+  }
+  if (!graph_->IsValidVertex(new_location)) {
+    return util::Status::InvalidArgument("invalid vehicle location");
+  }
+  vehicle::Vehicle& v = fleet_.at(id);
+  int onboard_requests = 0;
+  for (const auto& [rid, p] : v.tree().pending()) {
+    if (p.onboard) ++onboard_requests;
+  }
+  v.AccrueMovement(meters_moved, onboard_requests);
+  IndexedDistanceProvider dist(oracle_, grid_);
+  PTRIDER_RETURN_IF_ERROR(v.mutable_tree().AdvanceTo(
+      new_location, meters_moved, MakeScheduleContext(now_s), dist,
+      executing));
+  vehicle_index_.Update(v);
+  return util::Status::Ok();
+}
+
+util::Result<StopEvent> PTRider::VehicleArrivedAtStop(vehicle::VehicleId id,
+                                                      double now_s) {
+  if (!fleet_.IsValid(id)) {
+    return util::Status::InvalidArgument("unknown vehicle");
+  }
+  vehicle::Vehicle& v = fleet_.at(id);
+  if (v.tree().empty()) {
+    return util::Status::FailedPrecondition("vehicle has no scheduled stop");
+  }
+  const vehicle::Stop next = v.tree().BestBranch().stops.front();
+  const auto pending_it = v.tree().pending().find(next.request);
+  if (pending_it == v.tree().pending().end()) {
+    return util::Status::Internal("scheduled stop for unknown request");
+  }
+  const vehicle::PendingRequest pending = pending_it->second;
+
+  PTRIDER_ASSIGN_OR_RETURN(
+      const vehicle::Stop popped,
+      v.mutable_tree().PopFirstStop(MakeScheduleContext(now_s)));
+
+  StopEvent event;
+  event.stop = popped;
+  event.price = pending.price;
+  event.num_riders = pending.request.num_riders;
+
+  if (popped.type == vehicle::StopType::kPickup) {
+    event.waiting_s = std::max(0.0, now_s - pending.planned_pickup_s);
+    // Sharing statistic: every request onboard while >= 2 are onboard
+    // counts as shared. Sharing state only changes at pick-ups.
+    int onboard_requests = 0;
+    for (const auto& [rid, p] : v.tree().pending()) {
+      if (p.onboard) ++onboard_requests;
+    }
+    if (onboard_requests >= 2) {
+      for (const auto& [rid, p] : v.tree().pending()) {
+        if (!p.onboard) continue;
+        const auto it = assignments_.find(rid);
+        if (it != assignments_.end()) it->second.shared = true;
+      }
+    }
+  } else {
+    const auto it = assignments_.find(popped.request);
+    if (it != assignments_.end()) {
+      event.shared = it->second.shared;
+      assignments_.erase(it);
+    }
+    event.trip_distance_m = pending.consumed_trip_distance_m;
+    event.allowed_trip_distance_m = pending.max_trip_distance_m;
+    event.direct_distance_m =
+        pending.max_trip_distance_m /
+        (1.0 + pending.request.service_sigma);
+    v.RecordCompletedRequest();
+  }
+  vehicle_index_.Update(v);
+  return event;
+}
+
+vehicle::VehicleId PTRider::AssignedVehicle(vehicle::RequestId id) const {
+  const auto it = assignments_.find(id);
+  return it == assignments_.end() ? vehicle::kInvalidVehicle
+                                  : it->second.vehicle;
+}
+
+}  // namespace ptrider::core

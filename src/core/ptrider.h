@@ -1,0 +1,142 @@
+#ifndef PTRIDER_CORE_PTRIDER_H_
+#define PTRIDER_CORE_PTRIDER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/matcher.h"
+#include "core/option.h"
+#include "roadnet/distance_oracle.h"
+#include "roadnet/graph.h"
+#include "roadnet/grid_index.h"
+#include "vehicle/fleet.h"
+#include "vehicle/vehicle_index.h"
+
+namespace ptrider::core {
+
+/// Outcome of a vehicle reaching a scheduled stop.
+struct StopEvent {
+  vehicle::Stop stop;
+  /// Pick-up: actual minus planned pick-up time (>= 0); 0 for drop-offs.
+  double waiting_s = 0.0;
+  /// Quoted price of the request (reported on both stop kinds).
+  double price = 0.0;
+  int num_riders = 0;
+  /// Drop-offs only: true when the trip shared the vehicle with another
+  /// request at some point (the demo's sharing-rate numerator).
+  bool shared = false;
+  /// Drop-offs only: meters actually driven between pick-up and drop-off.
+  double trip_distance_m = 0.0;
+  /// Drop-offs only: shortest-path distance dist(s, d) in meters.
+  double direct_distance_m = 0.0;
+  /// Drop-offs only: the service allowance (1 + sigma) * dist(s, d).
+  double allowed_trip_distance_m = 0.0;
+};
+
+/// The PTRider system facade (Fig. 2): road-network index module, vehicles
+/// index module and matching-algorithm module behind one API.
+///
+/// Lifecycle per request (Section 3.1): (i) SubmitRequest returns all
+/// qualified non-dominated options; (ii) the rider picks one; (iii)
+/// ChooseOption commits it and updates the indexes. Vehicles report
+/// movement via UpdateVehicleLocation and consume scheduled stops via
+/// VehicleArrivedAtStop; both keep the index modules current.
+class PTRider {
+ public:
+  /// Builds the system over `graph` (kept by reference; must outlive the
+  /// returned object).
+  static util::Result<std::unique_ptr<PTRider>> Create(
+      const roadnet::RoadNetwork& graph, Config config,
+      roadnet::GridIndexOptions grid_options = {});
+
+  PTRider(const PTRider&) = delete;
+  PTRider& operator=(const PTRider&) = delete;
+
+  // --- Fleet ----------------------------------------------------------------
+  /// Places `count` vehicles uniformly at random (Section 4).
+  util::Status InitFleetUniform(size_t count, uint64_t seed);
+  /// Adds one vehicle at `location` with the configured capacity.
+  util::Result<vehicle::VehicleId> AddVehicle(roadnet::VertexId location);
+
+  // --- Request lifecycle ------------------------------------------------------
+  /// Step (ii): finds all qualified non-dominated options at time `now_s`
+  /// using the configured matching algorithm.
+  util::Result<MatchResult> SubmitRequest(const vehicle::Request& request,
+                                          double now_s);
+
+  /// Step (iii): the rider chose `option`; commits the request to the
+  /// option's vehicle and updates the vehicle index.
+  util::Status ChooseOption(const vehicle::Request& request,
+                            const Option& option, double now_s);
+
+  /// Rider cancellation: removes an assigned, not-yet-picked-up request
+  /// from its vehicle's schedules and updates the index. Fails for
+  /// unknown requests or riders already in the vehicle.
+  util::Status CancelRequest(vehicle::RequestId id);
+
+  // --- Vehicle updates ---------------------------------------------------------
+  /// Location update: the vehicle moved `meters_moved` and now stands at
+  /// `new_location`. `executing` is the stop sequence it is driving
+  /// (empty for idle cruising).
+  util::Status UpdateVehicleLocation(vehicle::VehicleId id,
+                                     roadnet::VertexId new_location,
+                                     double meters_moved, double now_s,
+                                     const std::vector<vehicle::Stop>&
+                                         executing);
+
+  /// Pick-up / drop-off update: the vehicle is at its next scheduled stop.
+  util::Result<StopEvent> VehicleArrivedAtStop(vehicle::VehicleId id,
+                                               double now_s);
+
+  // --- Accessors ---------------------------------------------------------------
+  const Config& config() const { return config_; }
+  const roadnet::RoadNetwork& graph() const { return *graph_; }
+  const roadnet::GridIndex& grid() const { return grid_; }
+  roadnet::DistanceOracle& oracle() { return oracle_; }
+  vehicle::Fleet& fleet() { return fleet_; }
+  const vehicle::Fleet& fleet() const { return fleet_; }
+  vehicle::VehicleIndex& vehicle_index() { return vehicle_index_; }
+
+  void set_matcher(MatcherAlgorithm algorithm) {
+    config_.matcher = algorithm;
+  }
+  /// The matcher currently selected by `config().matcher`.
+  Matcher& matcher();
+
+  vehicle::ScheduleContext MakeScheduleContext(double now_s) const {
+    return {now_s, config_.speed_mps};
+  }
+
+  /// Vehicle currently serving `id`, or kInvalidVehicle.
+  vehicle::VehicleId AssignedVehicle(vehicle::RequestId id) const;
+
+ private:
+  PTRider(const roadnet::RoadNetwork& graph, Config config,
+          roadnet::GridIndex grid);
+
+  const roadnet::RoadNetwork* graph_;
+  Config config_;
+  roadnet::GridIndex grid_;
+  roadnet::DistanceOracle oracle_;
+  vehicle::Fleet fleet_;
+  vehicle::VehicleIndex vehicle_index_;
+
+  MatchContext match_context_;
+  std::unique_ptr<Matcher> naive_;
+  std::unique_ptr<Matcher> single_side_;
+  std::unique_ptr<Matcher> dual_side_;
+
+  /// Requests currently assigned: id -> vehicle. Also tracks whether the
+  /// trip ever shared the vehicle (for the sharing-rate statistic).
+  struct Assignment {
+    vehicle::VehicleId vehicle;
+    bool shared = false;
+  };
+  std::unordered_map<vehicle::RequestId, Assignment> assignments_;
+};
+
+}  // namespace ptrider::core
+
+#endif  // PTRIDER_CORE_PTRIDER_H_

@@ -1,0 +1,102 @@
+#include "roadnet/astar.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ptrider::roadnet {
+
+namespace {
+struct HeapEntry {
+  Weight f;
+  Weight g;
+  VertexId vertex;
+  bool operator>(const HeapEntry& other) const { return f > other.f; }
+};
+}  // namespace
+
+AStarEngine::AStarEngine(const RoadNetwork& graph) : graph_(&graph) {
+  const size_t n = graph.NumVertices();
+  g_.assign(n, kInfWeight);
+  parent_.assign(n, kInvalidVertex);
+  version_.assign(n, 0);
+  settled_.assign(n, 0);
+}
+
+Weight AStarEngine::Distance(VertexId source, VertexId target) {
+  last_found_ = false;
+  last_source_ = source;
+  last_target_ = target;
+  if (!graph_->IsValidVertex(source) || !graph_->IsValidVertex(target)) {
+    return kInfWeight;
+  }
+  if (source == target) {
+    last_found_ = true;
+    return 0.0;
+  }
+
+  ++generation_;
+  if (generation_ == 0) {
+    std::fill(version_.begin(), version_.end(), 0);
+    generation_ = 1;
+  }
+  auto touch = [&](VertexId v) {
+    if (version_[v] != generation_) {
+      version_[v] = generation_;
+      g_[v] = kInfWeight;
+      parent_[v] = kInvalidVertex;
+      settled_[v] = 0;
+    }
+  };
+  auto heuristic = [&](VertexId v) {
+    return graph_->GeoLowerBound(v, target);
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  touch(source);
+  g_[source] = 0.0;
+  heap.push({heuristic(source), 0.0, source});
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    ++total_pops_;
+    const VertexId u = top.vertex;
+    if (version_[u] != generation_ || settled_[u] || top.g > g_[u]) {
+      continue;
+    }
+    settled_[u] = 1;
+    if (u == target) {
+      last_found_ = true;
+      return g_[u];
+    }
+    for (const Edge& e : graph_->OutEdges(u)) {
+      const VertexId v = e.to;
+      touch(v);
+      if (settled_[v]) continue;
+      const Weight ng = top.g + e.weight;
+      if (ng < g_[v]) {
+        g_[v] = ng;
+        parent_[v] = u;
+        heap.push({ng + heuristic(v), ng, v});
+      }
+    }
+  }
+  return kInfWeight;
+}
+
+std::vector<VertexId> AStarEngine::LastPath() const {
+  std::vector<VertexId> path;
+  if (!last_found_) return path;
+  if (last_source_ == last_target_) return {last_source_};
+  for (VertexId cur = last_target_; cur != kInvalidVertex;
+       cur = parent_[cur]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.empty() || path.front() != last_source_) return {};
+  return path;
+}
+
+}  // namespace ptrider::roadnet

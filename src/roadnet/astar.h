@@ -1,0 +1,44 @@
+#ifndef PTRIDER_ROADNET_ASTAR_H_
+#define PTRIDER_ROADNET_ASTAR_H_
+
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "roadnet/types.h"
+
+namespace ptrider::roadnet {
+
+/// A* point-to-point search with the Euclidean heuristic. Admissible (and
+/// therefore exact) whenever `RoadNetwork::GeometricLowerBoundValid()`;
+/// otherwise the heuristic degrades to zero and this is plain Dijkstra.
+/// Not thread-safe; one engine per thread.
+class AStarEngine {
+ public:
+  explicit AStarEngine(const RoadNetwork& graph);
+
+  /// Shortest-path distance; kInfWeight when unreachable.
+  Weight Distance(VertexId source, VertexId target);
+
+  /// Vertex sequence of the last successful Distance() query's path,
+  /// source..target inclusive. Empty when the last query failed.
+  std::vector<VertexId> LastPath() const;
+
+  uint64_t total_pops() const { return total_pops_; }
+  void ResetStats() { total_pops_ = 0; }
+
+ private:
+  const RoadNetwork* graph_;
+  std::vector<Weight> g_;
+  std::vector<VertexId> parent_;
+  std::vector<uint32_t> version_;
+  std::vector<char> settled_;
+  uint32_t generation_ = 0;
+  uint64_t total_pops_ = 0;
+  VertexId last_source_ = kInvalidVertex;
+  VertexId last_target_ = kInvalidVertex;
+  bool last_found_ = false;
+};
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_ASTAR_H_

@@ -1,0 +1,122 @@
+#include "roadnet/bidirectional_dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <span>
+
+namespace ptrider::roadnet {
+
+namespace {
+struct HeapEntry {
+  Weight dist;
+  VertexId vertex;
+  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
+};
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>;
+}  // namespace
+
+BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork& graph)
+    : graph_(&graph) {
+  const size_t n = graph.NumVertices();
+  rev_offsets_.assign(n + 1, 0);
+  for (VertexId u = 0; u < static_cast<VertexId>(n); ++u) {
+    for (const Edge& e : graph.OutEdges(u)) {
+      ++rev_offsets_[static_cast<size_t>(e.to) + 1];
+    }
+  }
+  for (size_t i = 1; i <= n; ++i) rev_offsets_[i] += rev_offsets_[i - 1];
+  rev_edges_.resize(graph.NumEdges());
+  std::vector<size_t> cursor(rev_offsets_.begin(), rev_offsets_.end() - 1);
+  for (VertexId u = 0; u < static_cast<VertexId>(n); ++u) {
+    for (const Edge& e : graph.OutEdges(u)) {
+      rev_edges_[cursor[static_cast<size_t>(e.to)]++] = {u, e.weight};
+    }
+  }
+  for (Side* side : {&fwd_, &bwd_}) {
+    side->dist.assign(n, kInfWeight);
+    side->version.assign(n, 0);
+    side->settled.assign(n, 0);
+  }
+}
+
+void BidirectionalDijkstra::Touch(Side& side, VertexId v) {
+  if (side.version[v] != generation_) {
+    side.version[v] = generation_;
+    side.dist[v] = kInfWeight;
+    side.settled[v] = 0;
+  }
+}
+
+Weight BidirectionalDijkstra::Distance(VertexId source, VertexId target) {
+  if (!graph_->IsValidVertex(source) || !graph_->IsValidVertex(target)) {
+    return kInfWeight;
+  }
+  if (source == target) return 0.0;
+
+  ++generation_;
+  if (generation_ == 0) {
+    std::fill(fwd_.version.begin(), fwd_.version.end(), 0);
+    std::fill(bwd_.version.begin(), bwd_.version.end(), 0);
+    generation_ = 1;
+  }
+
+  MinHeap fq;
+  MinHeap bq;
+  Touch(fwd_, source);
+  fwd_.dist[source] = 0.0;
+  fq.push({0.0, source});
+  Touch(bwd_, target);
+  bwd_.dist[target] = 0.0;
+  bq.push({0.0, target});
+
+  Weight best = kInfWeight;
+
+  auto relax_side = [&](Side& side, Side& other, MinHeap& heap,
+                        bool forward) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    ++total_pops_;
+    const VertexId u = top.vertex;
+    if (side.version[u] != generation_ || side.settled[u] ||
+        top.dist > side.dist[u]) {
+      return;
+    }
+    side.settled[u] = 1;
+    const std::span<const Edge> edges =
+        forward ? graph_->OutEdges(u)
+                : std::span<const Edge>(
+                      rev_edges_.data() + rev_offsets_[u],
+                      rev_edges_.data() + rev_offsets_[u + 1]);
+    for (const Edge& e : edges) {
+      const VertexId v = e.to;
+      Touch(side, v);
+      if (side.settled[v]) continue;
+      const Weight nd = top.dist + e.weight;
+      if (nd < side.dist[v]) {
+        side.dist[v] = nd;
+        heap.push({nd, v});
+        // Candidate meeting point.
+        if (other.version[v] == generation_ &&
+            other.dist[v] != kInfWeight) {
+          best = std::min(best, nd + other.dist[v]);
+        }
+      }
+    }
+  };
+
+  while (!fq.empty() && !bq.empty()) {
+    // Standard stopping rule: done when the sum of the two frontiers'
+    // minima cannot improve the best meeting distance.
+    if (fq.top().dist + bq.top().dist >= best) break;
+    if (fq.top().dist <= bq.top().dist) {
+      relax_side(fwd_, bwd_, fq, /*forward=*/true);
+    } else {
+      relax_side(bwd_, fwd_, bq, /*forward=*/false);
+    }
+  }
+  return best;
+}
+
+}  // namespace ptrider::roadnet

@@ -1,0 +1,47 @@
+#ifndef PTRIDER_ROADNET_BIDIRECTIONAL_DIJKSTRA_H_
+#define PTRIDER_ROADNET_BIDIRECTIONAL_DIJKSTRA_H_
+
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "roadnet/types.h"
+
+namespace ptrider::roadnet {
+
+/// Bidirectional Dijkstra for point-to-point queries. Builds a reversed
+/// adjacency at construction so directed networks are handled correctly.
+/// Not thread-safe; one engine per thread.
+class BidirectionalDijkstra {
+ public:
+  explicit BidirectionalDijkstra(const RoadNetwork& graph);
+
+  /// Shortest-path distance; kInfWeight when unreachable.
+  Weight Distance(VertexId source, VertexId target);
+
+  /// Cumulative heap pops across all queries.
+  uint64_t total_pops() const { return total_pops_; }
+  void ResetStats() { total_pops_ = 0; }
+
+ private:
+  struct Side {
+    std::vector<Weight> dist;
+    std::vector<uint32_t> version;
+    std::vector<char> settled;
+  };
+
+  void Touch(Side& side, VertexId v);
+
+  const RoadNetwork* graph_;
+  // Reverse CSR.
+  std::vector<size_t> rev_offsets_;
+  std::vector<Edge> rev_edges_;
+
+  Side fwd_;
+  Side bwd_;
+  uint32_t generation_ = 0;
+  uint64_t total_pops_ = 0;
+};
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_BIDIRECTIONAL_DIJKSTRA_H_

@@ -1,0 +1,117 @@
+#include "roadnet/distance_oracle.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ptrider::roadnet {
+
+const char* SpAlgorithmName(SpAlgorithm algo) {
+  switch (algo) {
+    case SpAlgorithm::kDijkstra:
+      return "dijkstra";
+    case SpAlgorithm::kBidirectional:
+      return "bidirectional";
+    case SpAlgorithm::kAStar:
+      return "astar";
+  }
+  return "unknown";
+}
+
+DistanceOracle::DistanceOracle(const RoadNetwork& graph,
+                               DistanceOracleOptions options)
+    : graph_(&graph), options_(options) {
+  switch (options_.algorithm) {
+    case SpAlgorithm::kDijkstra:
+      dijkstra_ = std::make_unique<DijkstraEngine>(graph);
+      break;
+    case SpAlgorithm::kBidirectional:
+      bidirectional_ = std::make_unique<BidirectionalDijkstra>(graph);
+      break;
+    case SpAlgorithm::kAStar:
+      astar_ = std::make_unique<AStarEngine>(graph);
+      break;
+  }
+}
+
+Weight DistanceOracle::ComputeDistance(VertexId u, VertexId v) {
+  ++computed_;
+  switch (options_.algorithm) {
+    case SpAlgorithm::kDijkstra:
+      return dijkstra_->Distance(u, v);
+    case SpAlgorithm::kBidirectional:
+      return bidirectional_->Distance(u, v);
+    case SpAlgorithm::kAStar:
+      return astar_->Distance(u, v);
+  }
+  return kInfWeight;
+}
+
+void DistanceOracle::CacheInsert(uint64_t key, Weight value) {
+  if (options_.cache_capacity == 0) return;
+  if (lru_.size() >= options_.cache_capacity) {
+    cache_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front({key, value});
+  cache_[key] = lru_.begin();
+}
+
+Weight DistanceOracle::Distance(VertexId u, VertexId v) {
+  ++queries_;
+  if (!graph_->IsValidVertex(u) || !graph_->IsValidVertex(v)) {
+    return kInfWeight;
+  }
+  if (u == v) return 0.0;
+  VertexId a = u;
+  VertexId b = v;
+  if (options_.symmetric && a > b) std::swap(a, b);
+  const uint64_t key = Key(a, b);
+  if (options_.cache_capacity > 0) {
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+      return it->second->value;
+    }
+  }
+  const Weight d = ComputeDistance(a, b);
+  CacheInsert(key, d);
+  return d;
+}
+
+util::Result<std::vector<VertexId>> DistanceOracle::ShortestPath(
+    VertexId u, VertexId v) {
+  if (!graph_->IsValidVertex(u) || !graph_->IsValidVertex(v)) {
+    return util::Status::InvalidArgument("invalid path endpoints");
+  }
+  if (u == v) return std::vector<VertexId>{u};
+  // Path extraction always uses A* (exact given geometric lower bounds;
+  // plain Dijkstra otherwise) regardless of the distance algorithm.
+  if (!astar_) astar_ = std::make_unique<AStarEngine>(*graph_);
+  const Weight d = astar_->Distance(u, v);
+  if (d == kInfWeight) {
+    return util::Status::NotFound(util::StrFormat(
+        "no path from vertex %d to vertex %d", u, v));
+  }
+  return astar_->LastPath();
+}
+
+uint64_t DistanceOracle::heap_pops() const {
+  uint64_t pops = 0;
+  if (dijkstra_) pops += dijkstra_->total_pops();
+  if (bidirectional_) pops += bidirectional_->total_pops();
+  if (astar_) pops += astar_->total_pops();
+  return pops;
+}
+
+void DistanceOracle::ResetStats() {
+  queries_ = 0;
+  cache_hits_ = 0;
+  computed_ = 0;
+  if (dijkstra_) dijkstra_->ResetStats();
+  if (bidirectional_) bidirectional_->ResetStats();
+  if (astar_) astar_->ResetStats();
+}
+
+}  // namespace ptrider::roadnet

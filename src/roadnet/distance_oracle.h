@@ -1,0 +1,95 @@
+#ifndef PTRIDER_ROADNET_DISTANCE_ORACLE_H_
+#define PTRIDER_ROADNET_DISTANCE_ORACLE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/astar.h"
+#include "roadnet/bidirectional_dijkstra.h"
+#include "roadnet/dijkstra.h"
+#include "roadnet/graph.h"
+#include "roadnet/types.h"
+#include "util/status.h"
+
+namespace ptrider::roadnet {
+
+/// Point-to-point algorithm selection for the oracle.
+enum class SpAlgorithm {
+  kDijkstra,
+  kBidirectional,
+  kAStar,
+};
+
+const char* SpAlgorithmName(SpAlgorithm algo);
+
+struct DistanceOracleOptions {
+  SpAlgorithm algorithm = SpAlgorithm::kAStar;
+  /// Max number of cached pair distances; 0 disables caching.
+  size_t cache_capacity = 1 << 20;
+  /// Treat dist(u,v) == dist(v,u): one cache entry serves both directions.
+  /// Must only be set for symmetric networks (all generators produce them).
+  bool symmetric = true;
+};
+
+/// The exact-distance service used by matching, pricing and simulation.
+/// Wraps one point-to-point engine with an LRU pair cache and counts every
+/// query — the "number of shortest path distance computations" that the
+/// paper's matching algorithms minimize is read from these counters.
+/// Not thread-safe; one oracle per thread.
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const RoadNetwork& graph,
+                          DistanceOracleOptions options = {});
+
+  /// Exact shortest-path distance (kInfWeight when unreachable).
+  Weight Distance(VertexId u, VertexId v);
+
+  /// Exact shortest path as a vertex sequence (u..v inclusive); error when
+  /// unreachable. Paths are not cached.
+  util::Result<std::vector<VertexId>> ShortestPath(VertexId u, VertexId v);
+
+  const RoadNetwork& graph() const { return *graph_; }
+
+  // --- Statistics ---------------------------------------------------------
+  uint64_t queries() const { return queries_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+  /// Exact searches actually executed (queries - cache_hits - trivial).
+  uint64_t computed() const { return computed_; }
+  uint64_t heap_pops() const;
+  void ResetStats();
+
+ private:
+  static uint64_t Key(VertexId u, VertexId v) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+           static_cast<uint32_t>(v);
+  }
+
+  Weight ComputeDistance(VertexId u, VertexId v);
+  void CacheInsert(uint64_t key, Weight value);
+
+  const RoadNetwork* graph_;
+  DistanceOracleOptions options_;
+
+  std::unique_ptr<DijkstraEngine> dijkstra_;
+  std::unique_ptr<BidirectionalDijkstra> bidirectional_;
+  std::unique_ptr<AStarEngine> astar_;
+
+  // LRU cache: map key -> list iterator; list front = most recent.
+  struct CacheEntry {
+    uint64_t key;
+    Weight value;
+  };
+  std::list<CacheEntry> lru_;
+  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_;
+
+  uint64_t queries_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t computed_ = 0;
+};
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_DISTANCE_ORACLE_H_

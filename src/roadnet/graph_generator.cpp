@@ -1,0 +1,176 @@
+#include "roadnet/graph_generator.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ptrider::roadnet {
+
+namespace {
+
+/// Adds an undirected edge with weight = euclidean length scaled up by a
+/// random factor in [1, 1 + jitter].
+util::Status AddRoad(GraphBuilder& builder,
+                     const std::vector<util::Point>& coords, VertexId a,
+                     VertexId b, double jitter, util::Rng& rng) {
+  const double length = util::EuclideanDistance(coords[a], coords[b]);
+  const double weight =
+      std::max(length, 1e-6) * (1.0 + rng.UniformDouble(0.0, jitter));
+  return builder.AddUndirectedEdge(a, b, weight);
+}
+
+}  // namespace
+
+util::Result<RoadNetwork> LargestComponent(const RoadNetwork& graph) {
+  const size_t n = graph.NumVertices();
+  std::vector<int32_t> component(n, -1);
+  int32_t num_components = 0;
+  std::vector<VertexId> stack;
+  std::vector<size_t> component_size;
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+    if (component[v] != -1) continue;
+    const int32_t id = num_components++;
+    component_size.push_back(0);
+    stack.push_back(v);
+    component[v] = id;
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      ++component_size[id];
+      for (const Edge& e : graph.OutEdges(u)) {
+        if (component[e.to] == -1) {
+          component[e.to] = id;
+          stack.push_back(e.to);
+        }
+      }
+    }
+  }
+  int32_t best = 0;
+  for (int32_t c = 1; c < num_components; ++c) {
+    if (component_size[c] > component_size[best]) best = c;
+  }
+
+  GraphBuilder builder;
+  std::vector<VertexId> remap(n, kInvalidVertex);
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+    if (component[v] == best) remap[v] = builder.AddVertex(graph.Coord(v));
+  }
+  for (VertexId u = 0; u < static_cast<VertexId>(n); ++u) {
+    if (remap[u] == kInvalidVertex) continue;
+    for (const Edge& e : graph.OutEdges(u)) {
+      if (remap[e.to] == kInvalidVertex) continue;
+      PTRIDER_RETURN_IF_ERROR(
+          builder.AddEdge(remap[u], remap[e.to], e.weight));
+    }
+  }
+  return builder.Build();
+}
+
+util::Result<RoadNetwork> MakeCityGrid(const CityGridOptions& options) {
+  if (options.rows < 2 || options.cols < 2) {
+    return util::Status::InvalidArgument("city grid needs >= 2x2 vertices");
+  }
+  if (options.spacing_m <= 0.0) {
+    return util::Status::InvalidArgument("spacing must be positive");
+  }
+  util::Rng rng(options.seed);
+  GraphBuilder builder;
+  std::vector<util::Point> coords;
+  coords.reserve(static_cast<size_t>(options.rows) * options.cols);
+
+  auto vid = [&](int r, int c) {
+    return static_cast<VertexId>(r * options.cols + c);
+  };
+
+  for (int r = 0; r < options.rows; ++r) {
+    for (int c = 0; c < options.cols; ++c) {
+      const double jx = rng.UniformDouble(-options.position_jitter,
+                                          options.position_jitter) *
+                        options.spacing_m;
+      const double jy = rng.UniformDouble(-options.position_jitter,
+                                          options.position_jitter) *
+                        options.spacing_m;
+      const util::Point p{c * options.spacing_m + jx,
+                          r * options.spacing_m + jy};
+      coords.push_back(p);
+      builder.AddVertex(p);
+    }
+  }
+
+  for (int r = 0; r < options.rows; ++r) {
+    for (int c = 0; c < options.cols; ++c) {
+      if (c + 1 < options.cols &&
+          !rng.Bernoulli(options.removal_probability)) {
+        PTRIDER_RETURN_IF_ERROR(AddRoad(builder, coords, vid(r, c),
+                                        vid(r, c + 1),
+                                        options.weight_jitter, rng));
+      }
+      if (r + 1 < options.rows &&
+          !rng.Bernoulli(options.removal_probability)) {
+        PTRIDER_RETURN_IF_ERROR(AddRoad(builder, coords, vid(r, c),
+                                        vid(r + 1, c),
+                                        options.weight_jitter, rng));
+      }
+      if (r + 1 < options.rows && c + 1 < options.cols &&
+          rng.Bernoulli(options.diagonal_probability)) {
+        const bool main_diag = rng.Bernoulli(0.5);
+        const VertexId a = main_diag ? vid(r, c) : vid(r, c + 1);
+        const VertexId b = main_diag ? vid(r + 1, c + 1) : vid(r + 1, c);
+        PTRIDER_RETURN_IF_ERROR(
+            AddRoad(builder, coords, a, b, options.weight_jitter, rng));
+      }
+    }
+  }
+
+  PTRIDER_ASSIGN_OR_RETURN(RoadNetwork full, builder.Build());
+  return LargestComponent(full);
+}
+
+util::Result<RoadNetwork> MakeRingCity(const RingCityOptions& options) {
+  if (options.rings < 1 || options.spokes < 3) {
+    return util::Status::InvalidArgument(
+        "ring city needs >= 1 ring and >= 3 spokes");
+  }
+  util::Rng rng(options.seed);
+  GraphBuilder builder;
+  std::vector<util::Point> coords;
+
+  // Center vertex plus rings x spokes lattice in polar coordinates.
+  coords.push_back({0.0, 0.0});
+  builder.AddVertex(coords.back());
+  auto vid = [&](int ring, int spoke) {
+    // ring in [1, rings]; spoke wraps around.
+    const int s = ((spoke % options.spokes) + options.spokes) %
+                  options.spokes;
+    return static_cast<VertexId>(1 + (ring - 1) * options.spokes + s);
+  };
+
+  for (int ring = 1; ring <= options.rings; ++ring) {
+    const double radius = ring * options.ring_spacing_m;
+    for (int s = 0; s < options.spokes; ++s) {
+      const double angle =
+          2.0 * std::numbers::pi * s / options.spokes;
+      coords.push_back({radius * std::cos(angle),
+                        radius * std::sin(angle)});
+      builder.AddVertex(coords.back());
+    }
+  }
+
+  for (int ring = 1; ring <= options.rings; ++ring) {
+    for (int s = 0; s < options.spokes; ++s) {
+      // Along the ring.
+      PTRIDER_RETURN_IF_ERROR(AddRoad(builder, coords, vid(ring, s),
+                                      vid(ring, s + 1),
+                                      options.weight_jitter, rng));
+      // Along the spoke (toward center).
+      const VertexId inner = ring == 1 ? 0 : vid(ring - 1, s);
+      PTRIDER_RETURN_IF_ERROR(AddRoad(builder, coords, vid(ring, s), inner,
+                                      options.weight_jitter, rng));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace ptrider::roadnet

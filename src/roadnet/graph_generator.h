@@ -1,0 +1,56 @@
+#ifndef PTRIDER_ROADNET_GRAPH_GENERATOR_H_
+#define PTRIDER_ROADNET_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "roadnet/graph.h"
+#include "util/status.h"
+
+namespace ptrider::roadnet {
+
+/// Manhattan-style synthetic city. Substitutes for the paper's Shanghai
+/// road network (not redistributable offline): a rows x cols lattice of
+/// intersections with jittered positions, randomly removed street segments
+/// and occasional diagonal shortcuts. Edge weights are always >= the
+/// Euclidean edge length, so geometric lower bounds remain admissible.
+/// The largest connected component is returned (ids re-densified).
+struct CityGridOptions {
+  int rows = 64;
+  int cols = 64;
+  /// Base distance between adjacent intersections, meters.
+  double spacing_m = 200.0;
+  /// Vertex positions are perturbed by U[-jitter, jitter] * spacing.
+  double position_jitter = 0.15;
+  /// Edge weight = euclidean length * (1 + U[0, weight_jitter]).
+  double weight_jitter = 0.25;
+  /// Probability that a lattice edge is removed (dead ends, rivers, ...).
+  double removal_probability = 0.08;
+  /// Probability that a lattice cell gains one diagonal shortcut.
+  double diagonal_probability = 0.05;
+  uint64_t seed = 42;
+};
+
+util::Result<RoadNetwork> MakeCityGrid(const CityGridOptions& options);
+
+/// Ring-and-radial city (historic European layout): `rings` concentric
+/// circles crossed by `spokes` radial avenues. Produces strong
+/// destination skew toward the center, which differentiates dual-side
+/// from single-side search (experiment E10).
+struct RingCityOptions {
+  int rings = 12;
+  int spokes = 24;
+  /// Distance between consecutive rings, meters.
+  double ring_spacing_m = 400.0;
+  double weight_jitter = 0.2;
+  uint64_t seed = 42;
+};
+
+util::Result<RoadNetwork> MakeRingCity(const RingCityOptions& options);
+
+/// Extracts the largest connected component (treating edges as
+/// undirected), remapping vertex ids densely. Exposed for testing.
+util::Result<RoadNetwork> LargestComponent(const RoadNetwork& graph);
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_GRAPH_GENERATOR_H_

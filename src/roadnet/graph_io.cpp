@@ -1,0 +1,83 @@
+#include "roadnet/graph_io.h"
+
+#include <vector>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace ptrider::roadnet {
+
+util::Status SaveGraphCsv(const RoadNetwork& graph,
+                          const std::string& path) {
+  util::CsvWriter writer(path);
+  PTRIDER_RETURN_IF_ERROR(writer.status());
+  writer.WriteRow({"# PTRider road network",
+                   util::StrFormat("V=%zu", graph.NumVertices()),
+                   util::StrFormat("E=%zu", graph.NumEdges())});
+  for (VertexId v = 0; v < static_cast<VertexId>(graph.NumVertices());
+       ++v) {
+    const util::Point& p = graph.Coord(v);
+    writer.WriteRow({"V", util::StrFormat("%d", v),
+                     util::StrFormat("%.6f", p.x),
+                     util::StrFormat("%.6f", p.y)});
+  }
+  for (VertexId u = 0; u < static_cast<VertexId>(graph.NumVertices());
+       ++u) {
+    for (const Edge& e : graph.OutEdges(u)) {
+      writer.WriteRow({"E", util::StrFormat("%d", u),
+                       util::StrFormat("%d", e.to),
+                       util::StrFormat("%.6f", e.weight)});
+    }
+  }
+  return writer.Flush();
+}
+
+util::Result<RoadNetwork> LoadGraphCsv(const std::string& path) {
+  util::CsvReader reader(path);
+  PTRIDER_RETURN_IF_ERROR(reader.status());
+  GraphBuilder builder;
+  std::vector<std::string> fields;
+  int64_t expected_next_vertex = 0;
+  while (reader.Next(fields)) {
+    if (fields.empty()) continue;
+    const std::string& kind = fields[0];
+    if (kind == "V") {
+      if (fields.size() != 4) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "line %zu: vertex row needs 4 fields", reader.line_number()));
+      }
+      PTRIDER_ASSIGN_OR_RETURN(const int64_t id, util::ParseInt(fields[1]));
+      if (id != expected_next_vertex) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "line %zu: vertex ids must be dense and ascending (expected "
+            "%lld, got %lld)",
+            reader.line_number(),
+            static_cast<long long>(expected_next_vertex),
+            static_cast<long long>(id)));
+      }
+      PTRIDER_ASSIGN_OR_RETURN(const double x, util::ParseDouble(fields[2]));
+      PTRIDER_ASSIGN_OR_RETURN(const double y, util::ParseDouble(fields[3]));
+      builder.AddVertex({x, y});
+      ++expected_next_vertex;
+    } else if (kind == "E") {
+      if (fields.size() != 4) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "line %zu: edge row needs 4 fields", reader.line_number()));
+      }
+      PTRIDER_ASSIGN_OR_RETURN(const int64_t from,
+                               util::ParseInt(fields[1]));
+      PTRIDER_ASSIGN_OR_RETURN(const int64_t to, util::ParseInt(fields[2]));
+      PTRIDER_ASSIGN_OR_RETURN(const double w, util::ParseDouble(fields[3]));
+      PTRIDER_RETURN_IF_ERROR(builder.AddEdge(static_cast<VertexId>(from),
+                                              static_cast<VertexId>(to),
+                                              w));
+    } else {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "line %zu: unknown row kind '%s'", reader.line_number(),
+          kind.c_str()));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace ptrider::roadnet

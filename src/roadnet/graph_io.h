@@ -1,0 +1,23 @@
+#ifndef PTRIDER_ROADNET_GRAPH_IO_H_
+#define PTRIDER_ROADNET_GRAPH_IO_H_
+
+#include <string>
+
+#include "roadnet/graph.h"
+#include "util/status.h"
+
+namespace ptrider::roadnet {
+
+/// Saves a network as CSV. Format:
+///   V,<id>,<x>,<y>           one row per vertex
+///   E,<from>,<to>,<weight>   one row per directed edge
+/// Lines starting with '#' are comments.
+util::Status SaveGraphCsv(const RoadNetwork& graph, const std::string& path);
+
+/// Loads a network saved by `SaveGraphCsv` (or hand-written / converted
+/// from public OSM extracts in the same schema).
+util::Result<RoadNetwork> LoadGraphCsv(const std::string& path);
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_GRAPH_IO_H_

@@ -1,0 +1,308 @@
+#include "roadnet/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "roadnet/dijkstra.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace ptrider::roadnet {
+
+util::Result<GridIndex> GridIndex::Build(const RoadNetwork& graph,
+                                         GridIndexOptions options) {
+  if (options.cells_x < 1 || options.cells_y < 1) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "grid must have positive dimensions, got %dx%d", options.cells_x,
+        options.cells_y));
+  }
+  if (graph.NumVertices() == 0) {
+    return util::Status::FailedPrecondition("empty road network");
+  }
+  if (!IsSymmetric(graph)) {
+    return util::Status::FailedPrecondition(
+        "grid index requires a symmetric road network "
+        "(distance-based costs)");
+  }
+  GridIndex index;
+  index.options_ = options;
+  PTRIDER_RETURN_IF_ERROR(index.BuildImpl(graph));
+  return index;
+}
+
+util::Status GridIndex::BuildImpl(const RoadNetwork& graph) {
+  util::WallTimer timer;
+  graph_ = &graph;
+
+  const util::BoundingBox& box = graph.bounds();
+  cell_width_ =
+      std::max(box.width() / options_.cells_x, 1e-9);
+  cell_height_ =
+      std::max(box.height() / options_.cells_y, 1e-9);
+
+  AssignCells();
+  FindBorderVertices();
+  ComputeVertexBorderDistances();
+  ComputeCellPairLowerBounds();
+  BuildSortedCellLists();
+
+  build_stats_.build_seconds = timer.ElapsedSeconds();
+  size_t borders = 0;
+  size_t non_empty = 0;
+  for (CellId c = 0; c < NumCells(); ++c) {
+    borders += border_vertices_[c].size();
+    if (!cell_vertices_[c].empty()) ++non_empty;
+  }
+  build_stats_.border_vertex_count = borders;
+  build_stats_.non_empty_cells = non_empty;
+  build_stats_.approx_memory_bytes = EstimateMemory();
+  return util::Status::Ok();
+}
+
+CellId GridIndex::CellOfPoint(const util::Point& p) const {
+  const util::BoundingBox& box = graph_->bounds();
+  int cx = static_cast<int>((p.x - box.min_x) / cell_width_);
+  int cy = static_cast<int>((p.y - box.min_y) / cell_height_);
+  cx = std::clamp(cx, 0, options_.cells_x - 1);
+  cy = std::clamp(cy, 0, options_.cells_y - 1);
+  return static_cast<CellId>(cy) * options_.cells_x + cx;
+}
+
+util::Point GridIndex::CellCenter(CellId c) const {
+  const util::BoundingBox& box = graph_->bounds();
+  const int cx = c % options_.cells_x;
+  const int cy = c / options_.cells_x;
+  return {box.min_x + (cx + 0.5) * cell_width_,
+          box.min_y + (cy + 0.5) * cell_height_};
+}
+
+void GridIndex::AssignCells() {
+  const size_t n = graph_->NumVertices();
+  cell_of_vertex_.resize(n);
+  cell_vertices_.assign(NumCells(), {});
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+    const CellId c = CellOfPoint(graph_->Coord(v));
+    cell_of_vertex_[v] = c;
+    cell_vertices_[c].push_back(v);
+  }
+}
+
+void GridIndex::FindBorderVertices() {
+  const size_t n = graph_->NumVertices();
+  is_border_.assign(n, 0);
+  border_vertices_.assign(NumCells(), {});
+  for (VertexId u = 0; u < static_cast<VertexId>(n); ++u) {
+    for (const Edge& e : graph_->OutEdges(u)) {
+      if (cell_of_vertex_[u] != cell_of_vertex_[e.to]) {
+        is_border_[u] = 1;
+        is_border_[e.to] = 1;
+      }
+    }
+  }
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+    if (is_border_[v]) border_vertices_[cell_of_vertex_[v]].push_back(v);
+  }
+  // BV lists stay sorted (vertices visited in id order) — required by the
+  // binary search in VertexBorderDistances/UpperBound.
+}
+
+void GridIndex::ComputeVertexBorderDistances() {
+  const size_t n = graph_->NumVertices();
+  vertex_min_.assign(n, kInfWeight);
+  vbd_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+    vbd_offsets_[static_cast<size_t>(v) + 1] =
+        border_vertices_[cell_of_vertex_[v]].size();
+  }
+  for (size_t i = 1; i <= n; ++i) vbd_offsets_[i] += vbd_offsets_[i - 1];
+  vbd_.assign(vbd_offsets_[n], BorderDistance{});
+
+  DijkstraEngine engine(*graph_);
+  for (CellId c = 0; c < NumCells(); ++c) {
+    const std::vector<VertexId>& bvs = border_vertices_[c];
+    if (bvs.empty()) continue;
+    auto in_cell = [this, c](VertexId v) {
+      return cell_of_vertex_[v] == c;
+    };
+    // v.min for every vertex of the cell: one multi-source in-cell run.
+    // The shortest path from a vertex to its nearest border vertex never
+    // leaves the cell (the first cell-crossing edge on any escaping path
+    // starts at a border vertex), so the restriction is exact.
+    {
+      std::vector<std::pair<VertexId, Weight>> sources;
+      sources.reserve(bvs.size());
+      for (VertexId b : bvs) sources.push_back({b, 0.0});
+      DijkstraEngine::RunOptions opts;
+      opts.filter = in_cell;
+      engine.Run(sources, opts);
+      for (VertexId v : cell_vertices_[c]) {
+        vertex_min_[v] = engine.DistanceTo(v);
+      }
+    }
+    // Full per-border in-cell distance lists (upper-bound components).
+    for (size_t bi = 0; bi < bvs.size(); ++bi) {
+      DijkstraEngine::RunOptions opts;
+      opts.filter = in_cell;
+      engine.RunFrom(bvs[bi], opts);
+      for (VertexId v : cell_vertices_[c]) {
+        vbd_[vbd_offsets_[v] + bi] = {bvs[bi], engine.DistanceTo(v)};
+      }
+    }
+  }
+}
+
+void GridIndex::ComputeCellPairLowerBounds() {
+  const CellId m = NumCells();
+  lb_matrix_.assign(static_cast<size_t>(m) * m, kInfWeight);
+  if (options_.store_witnesses) {
+    witnesses_.assign(static_cast<size_t>(m) * m, WitnessPair{});
+  }
+  for (CellId c = 0; c < m; ++c) {
+    lb_matrix_[static_cast<size_t>(c) * m + c] = 0.0;
+  }
+
+  DijkstraEngine engine(*graph_);
+  for (CellId c = 0; c < m; ++c) {
+    const std::vector<VertexId>& bvs = border_vertices_[c];
+    if (bvs.empty()) continue;
+    std::vector<std::pair<VertexId, Weight>> sources;
+    sources.reserve(bvs.size());
+    for (VertexId b : bvs) sources.push_back({b, 0.0});
+    engine.Run(sources);  // full-graph multi-source
+    for (CellId c2 = 0; c2 < m; ++c2) {
+      if (c2 == c) continue;
+      Weight best = kInfWeight;
+      WitnessPair witness;
+      for (VertexId y : border_vertices_[c2]) {
+        const Weight d = engine.DistanceTo(y);
+        if (d < best) {
+          best = d;
+          witness = {engine.SourceOf(y), y};
+        }
+      }
+      if (best < lb_matrix_[static_cast<size_t>(c) * m + c2]) {
+        lb_matrix_[static_cast<size_t>(c) * m + c2] = best;
+        if (options_.store_witnesses) {
+          witnesses_[static_cast<size_t>(c) * m + c2] = witness;
+        }
+      }
+    }
+  }
+}
+
+void GridIndex::BuildSortedCellLists() {
+  const CellId m = NumCells();
+  sorted_cells_.assign(m, {});
+  for (CellId c = 0; c < m; ++c) {
+    std::vector<CellNeighbor>& list = sorted_cells_[c];
+    list.reserve(build_stats_.non_empty_cells);
+    for (CellId c2 = 0; c2 < m; ++c2) {
+      if (c2 == c || cell_vertices_[c2].empty()) continue;
+      const Weight lb = lb_matrix_[static_cast<size_t>(c) * m + c2];
+      if (lb == kInfWeight) continue;  // unreachable cell
+      list.push_back({c2, lb});
+    }
+    std::sort(list.begin(), list.end(),
+              [](const CellNeighbor& a, const CellNeighbor& b) {
+                if (a.lower_bound != b.lower_bound) {
+                  return a.lower_bound < b.lower_bound;
+                }
+                return a.cell < b.cell;
+              });
+  }
+}
+
+std::span<const BorderDistance> GridIndex::VertexBorderDistances(
+    VertexId v) const {
+  return {vbd_.data() + vbd_offsets_[v],
+          vbd_.data() + vbd_offsets_[static_cast<size_t>(v) + 1]};
+}
+
+Weight GridIndex::CellPairLowerBound(CellId a, CellId b) const {
+  return lb_matrix_[static_cast<size_t>(a) * NumCells() + b];
+}
+
+WitnessPair GridIndex::CellPairWitness(CellId a, CellId b) const {
+  if (witnesses_.empty()) return {};
+  return witnesses_[static_cast<size_t>(a) * NumCells() + b];
+}
+
+Weight GridIndex::LowerBound(VertexId u, VertexId v) const {
+  if (u == v) return 0.0;
+  const Weight geo = graph_->GeoLowerBound(u, v);
+  const CellId cu = cell_of_vertex_[u];
+  const CellId cv = cell_of_vertex_[v];
+  if (cu == cv) return geo;
+  const Weight cell_lb = CellPairLowerBound(cu, cv);
+  if (cell_lb == kInfWeight) return kInfWeight;  // provably unreachable
+  const Weight umin = vertex_min_[u];
+  const Weight vmin = vertex_min_[v];
+  if (umin == kInfWeight || vmin == kInfWeight) return kInfWeight;
+  return std::max(geo, umin + cell_lb + vmin);
+}
+
+Weight GridIndex::UpperBound(VertexId u, VertexId v) const {
+  if (u == v) return 0.0;
+  const CellId cu = cell_of_vertex_[u];
+  const CellId cv = cell_of_vertex_[v];
+  if (cu == cv || witnesses_.empty()) return kInfWeight;
+  const WitnessPair w = CellPairWitness(cu, cv);
+  if (w.x == kInvalidVertex || w.y == kInvalidVertex) return kInfWeight;
+  const Weight mid = CellPairLowerBound(cu, cv);
+
+  auto in_cell_distance = [this](VertexId from, VertexId border,
+                                 CellId cell) -> Weight {
+    const std::vector<VertexId>& bvs = border_vertices_[cell];
+    const auto it = std::lower_bound(bvs.begin(), bvs.end(), border);
+    if (it == bvs.end() || *it != border) return kInfWeight;
+    const size_t bi = static_cast<size_t>(it - bvs.begin());
+    return vbd_[vbd_offsets_[from] + bi].distance;
+  };
+
+  const Weight head = in_cell_distance(u, w.x, cu);
+  const Weight tail = in_cell_distance(v, w.y, cv);
+  if (head == kInfWeight || tail == kInfWeight) return kInfWeight;
+  return head + mid + tail;
+}
+
+std::vector<CellId> GridIndex::CellsOfPath(
+    std::span<const VertexId> path) const {
+  std::vector<CellId> cells;
+  for (VertexId v : path) {
+    const CellId c = cell_of_vertex_[v];
+    if (std::find(cells.begin(), cells.end(), c) == cells.end()) {
+      cells.push_back(c);
+    }
+  }
+  return cells;
+}
+
+size_t GridIndex::EstimateMemory() const {
+  size_t bytes = 0;
+  bytes += cell_of_vertex_.size() * sizeof(CellId);
+  for (const auto& v : cell_vertices_) bytes += v.size() * sizeof(VertexId);
+  for (const auto& v : border_vertices_) {
+    bytes += v.size() * sizeof(VertexId);
+  }
+  bytes += vertex_min_.size() * sizeof(Weight);
+  bytes += vbd_.size() * sizeof(BorderDistance);
+  bytes += vbd_offsets_.size() * sizeof(size_t);
+  bytes += lb_matrix_.size() * sizeof(Weight);
+  bytes += witnesses_.size() * sizeof(WitnessPair);
+  for (const auto& v : sorted_cells_) bytes += v.size() * sizeof(CellNeighbor);
+  return bytes;
+}
+
+std::string GridIndex::DebugString() const {
+  std::ostringstream os;
+  os << "GridIndex{" << options_.cells_x << "x" << options_.cells_y
+     << ", non_empty=" << build_stats_.non_empty_cells
+     << ", borders=" << build_stats_.border_vertex_count
+     << ", mem=" << build_stats_.approx_memory_bytes / 1024 << " KiB"
+     << ", build=" << util::FormatDuration(build_stats_.build_seconds)
+     << "}";
+  return os.str();
+}
+
+}  // namespace ptrider::roadnet

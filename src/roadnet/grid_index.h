@@ -1,0 +1,163 @@
+#ifndef PTRIDER_ROADNET_GRID_INDEX_H_
+#define PTRIDER_ROADNET_GRID_INDEX_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "roadnet/types.h"
+#include "util/geo.h"
+#include "util/status.h"
+
+namespace ptrider::roadnet {
+
+struct GridIndexOptions {
+  /// Grid resolution (cells_x * cells_y cells over the network bbox).
+  int cells_x = 32;
+  int cells_y = 32;
+  /// Store the witness border-vertex pair per cell pair (needed by
+  /// `UpperBound`; costs 8 bytes per cell pair).
+  bool store_witnesses = true;
+};
+
+/// Distance from a vertex to one border vertex of its own cell, restricted
+/// to in-cell paths (an upper bound of the true distance; exact when the
+/// true shortest path stays inside the cell).
+struct BorderDistance {
+  VertexId border = kInvalidVertex;
+  Weight distance = kInfWeight;
+};
+
+/// Entry of a cell's sorted grid-cell list (Fig. 1(b), list (iii)).
+struct CellNeighbor {
+  CellId cell = kInvalidCell;
+  Weight lower_bound = kInfWeight;
+};
+
+/// Witness border-vertex pair (x, y) realizing a cell-pair lower bound:
+/// dist(x, y) == CellPairLowerBound and x/y are border vertices of the
+/// respective cells.
+struct WitnessPair {
+  VertexId x = kInvalidVertex;
+  VertexId y = kInvalidVertex;
+};
+
+/// The paper's grid index over the road network (Section 3.2.1, Fig. 1).
+///
+/// Partitions the bounding box into a uniform grid. Per cell it maintains
+/// (i) the border-vertex list, (ii) the vertex list with per-vertex
+/// distances to the cell's border vertices and `v.min`, and (iii) the list
+/// of other cells sorted ascending by the cell-pair lower-bound distance.
+/// Lists (iv) and (v) — the empty / non-empty vehicle lists — live in
+/// `vehicle::VehicleIndex`, which is keyed by this index's cell ids.
+///
+/// Requires a symmetric network (dist(u,v) == dist(v,u)), which holds for
+/// the distance-based costs the paper uses and for all bundled generators.
+class GridIndex {
+ public:
+  /// Builds the index. Cost is dominated by one multi-source Dijkstra per
+  /// non-empty cell for the lower-bound matrix.
+  static util::Result<GridIndex> Build(const RoadNetwork& graph,
+                                       GridIndexOptions options = {});
+
+  // --- Geometry -----------------------------------------------------------
+  int cells_x() const { return options_.cells_x; }
+  int cells_y() const { return options_.cells_y; }
+  CellId NumCells() const {
+    return static_cast<CellId>(options_.cells_x) * options_.cells_y;
+  }
+  CellId CellOfVertex(VertexId v) const { return cell_of_vertex_[v]; }
+  /// Cell containing `p`, clamped into the grid.
+  CellId CellOfPoint(const util::Point& p) const;
+  /// Center point of a cell (for visualization / generators).
+  util::Point CellCenter(CellId c) const;
+
+  // --- Per-cell lists (Fig. 1(b)) ----------------------------------------
+  const std::vector<VertexId>& Vertices(CellId c) const {
+    return cell_vertices_[c];
+  }
+  const std::vector<VertexId>& BorderVertices(CellId c) const {
+    return border_vertices_[c];
+  }
+  /// Ascending-lower-bound list of other non-empty cells.
+  const std::vector<CellNeighbor>& SortedCellList(CellId c) const {
+    return sorted_cells_[c];
+  }
+
+  /// In-cell distances from `v` to the border vertices of its cell,
+  /// aligned with `BorderVertices(CellOfVertex(v))`.
+  std::span<const BorderDistance> VertexBorderDistances(VertexId v) const;
+  /// v.min: exact distance from `v` to the nearest border vertex of its
+  /// cell (kInfWeight when the cell has no border vertices).
+  Weight VertexMinToBorder(VertexId v) const { return vertex_min_[v]; }
+
+  // --- Distance bounds -----------------------------------------------------
+  /// Exact min border-to-border distance between two cells; 0 on the
+  /// diagonal, kInfWeight when disconnected.
+  Weight CellPairLowerBound(CellId a, CellId b) const;
+  /// Witness pair for a finite off-diagonal lower bound; invalid vertices
+  /// when witnesses were not stored or the bound is infinite.
+  WitnessPair CellPairWitness(CellId a, CellId b) const;
+
+  /// Admissible lower bound on dist(u, v):
+  /// max(geo_lb, u.min + LB(cell(u), cell(v)) + v.min) across cells,
+  /// geo_lb within a cell. Never exceeds the true distance.
+  Weight LowerBound(VertexId u, VertexId v) const;
+
+  /// Upper bound on dist(u, v) via the witness border pair:
+  /// in_cell(u, x) + dist(x, y) + in_cell(y, v). kInfWeight when any
+  /// component is unavailable. Never below the true distance.
+  Weight UpperBound(VertexId u, VertexId v) const;
+
+  /// Distinct cells touched by a path's vertex sequence, in first-touch
+  /// order (used to register non-empty vehicles along their schedules).
+  std::vector<CellId> CellsOfPath(std::span<const VertexId> path) const;
+
+  // --- Introspection --------------------------------------------------------
+  struct BuildStats {
+    double build_seconds = 0.0;
+    size_t border_vertex_count = 0;
+    size_t non_empty_cells = 0;
+    size_t approx_memory_bytes = 0;
+  };
+  const BuildStats& build_stats() const { return build_stats_; }
+  const RoadNetwork& graph() const { return *graph_; }
+  std::string DebugString() const;
+
+ private:
+  GridIndex() = default;
+
+  util::Status BuildImpl(const RoadNetwork& graph);
+  void AssignCells();
+  void FindBorderVertices();
+  void ComputeVertexBorderDistances();
+  void ComputeCellPairLowerBounds();
+  void BuildSortedCellLists();
+  size_t EstimateMemory() const;
+
+  const RoadNetwork* graph_ = nullptr;
+  GridIndexOptions options_;
+  double cell_width_ = 1.0;
+  double cell_height_ = 1.0;
+
+  std::vector<CellId> cell_of_vertex_;
+  std::vector<std::vector<VertexId>> cell_vertices_;
+  std::vector<std::vector<VertexId>> border_vertices_;
+  std::vector<char> is_border_;
+
+  std::vector<Weight> vertex_min_;
+  // CSR of per-vertex border distances, aligned with the cell's BV list.
+  std::vector<size_t> vbd_offsets_;
+  std::vector<BorderDistance> vbd_;
+
+  std::vector<Weight> lb_matrix_;        // NumCells()^2, row-major
+  std::vector<WitnessPair> witnesses_;   // same shape when stored
+  std::vector<std::vector<CellNeighbor>> sorted_cells_;
+
+  BuildStats build_stats_;
+};
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_GRID_INDEX_H_

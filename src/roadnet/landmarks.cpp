@@ -1,0 +1,73 @@
+#include "roadnet/landmarks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roadnet/dijkstra.h"
+#include "util/random.h"
+
+namespace ptrider::roadnet {
+
+util::Result<LandmarkIndex> LandmarkIndex::Build(const RoadNetwork& graph,
+                                                 int num_landmarks,
+                                                 uint64_t seed) {
+  if (num_landmarks < 1) {
+    return util::Status::InvalidArgument("need at least one landmark");
+  }
+  if (graph.NumVertices() == 0) {
+    return util::Status::FailedPrecondition("empty road network");
+  }
+  if (!IsSymmetric(graph)) {
+    return util::Status::FailedPrecondition(
+        "landmark bounds require a symmetric road network");
+  }
+  LandmarkIndex index;
+  index.graph_ = &graph;
+  const size_t n = graph.NumVertices();
+  DijkstraEngine engine(graph);
+  util::Rng rng(seed);
+
+  // Farthest-point selection: first landmark random, each further one
+  // maximizes the distance to the nearest already-chosen landmark
+  // (unreachable vertices are skipped so landmarks stay in the main
+  // component of the start).
+  std::vector<Weight> min_dist(n, kInfWeight);
+  VertexId next = static_cast<VertexId>(
+      rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+  for (int l = 0; l < num_landmarks; ++l) {
+    index.landmarks_.push_back(next);
+    engine.RunFrom(next);
+    const size_t base = index.distances_.size();
+    index.distances_.resize(base + n, kInfWeight);
+    for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+      const Weight d = engine.DistanceTo(v);
+      index.distances_[base + v] = d;
+      if (d < min_dist[v]) min_dist[v] = d;
+    }
+    // Pick the farthest reachable vertex as the next landmark.
+    Weight best = -1.0;
+    for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+      if (min_dist[v] != kInfWeight && min_dist[v] > best) {
+        best = min_dist[v];
+        next = v;
+      }
+    }
+    if (best <= 0.0) break;  // graph exhausted (fewer landmarks possible)
+  }
+  return index;
+}
+
+Weight LandmarkIndex::LowerBound(VertexId u, VertexId v) const {
+  if (u == v) return 0.0;
+  const size_t n = graph_->NumVertices();
+  Weight best = 0.0;
+  for (size_t l = 0; l < landmarks_.size(); ++l) {
+    const Weight du = distances_[l * n + static_cast<size_t>(u)];
+    const Weight dv = distances_[l * n + static_cast<size_t>(v)];
+    if (du == kInfWeight || dv == kInfWeight) continue;
+    best = std::max(best, std::abs(du - dv));
+  }
+  return best;
+}
+
+}  // namespace ptrider::roadnet

@@ -1,0 +1,51 @@
+#ifndef PTRIDER_ROADNET_LANDMARKS_H_
+#define PTRIDER_ROADNET_LANDMARKS_H_
+
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "roadnet/types.h"
+#include "util/status.h"
+
+namespace ptrider::roadnet {
+
+/// ALT-style landmark lower bounds (Goldberg & Harrelson): precompute
+/// exact distances from a few well-spread landmark vertices; then
+/// |dist(L,u) - dist(L,v)| lower-bounds dist(u,v) by the triangle
+/// inequality. An alternative (and complement) to the paper's grid-index
+/// lower bounds — the companion research paper's pruning framework
+/// admits any admissible estimator, and `bench_e13_landmark_bounds`
+/// compares the two. Requires a symmetric network.
+class LandmarkIndex {
+ public:
+  /// Builds with `num_landmarks` landmarks chosen by farthest-point
+  /// selection from `seed`'s starting vertex. Cost: one Dijkstra per
+  /// landmark; memory: num_landmarks * |V| weights.
+  static util::Result<LandmarkIndex> Build(const RoadNetwork& graph,
+                                           int num_landmarks,
+                                           uint64_t seed = 1);
+
+  size_t num_landmarks() const { return landmarks_.size(); }
+  const std::vector<VertexId>& landmarks() const { return landmarks_; }
+
+  /// Admissible lower bound on dist(u, v); 0 when no landmark covers the
+  /// pair (e.g. disconnected components).
+  Weight LowerBound(VertexId u, VertexId v) const;
+
+  size_t ApproxMemoryBytes() const {
+    return distances_.size() * sizeof(Weight) +
+           landmarks_.size() * sizeof(VertexId);
+  }
+
+ private:
+  LandmarkIndex() = default;
+
+  const RoadNetwork* graph_ = nullptr;
+  std::vector<VertexId> landmarks_;
+  /// Row-major: distances_[l * NumVertices() + v] = dist(landmark l, v).
+  std::vector<Weight> distances_;
+};
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_LANDMARKS_H_

@@ -1,0 +1,80 @@
+#include "roadnet/paper_example.h"
+
+#include <cassert>
+
+#include "util/geo.h"
+
+namespace ptrider::roadnet {
+
+PaperExampleNetwork MakePaperExampleNetwork() {
+  GraphBuilder builder;
+  // Coordinates in the same (dimensionless) unit as the edge weights; all
+  // weights are >= the straight-line length so geometric lower bounds are
+  // admissible on this network too.
+  const util::Point coords[17] = {
+      {0.0, 6.0},    // v1
+      {4.0, 6.0},    // v2
+      {8.0, 6.0},    // v3
+      {12.0, 6.0},   // v4
+      {0.0, 4.0},    // v5
+      {4.0, 4.0},    // v6
+      {8.0, 4.0},    // v7
+      {12.0, 4.0},   // v8
+      {0.0, 2.0},    // v9
+      {4.0, 2.0},    // v10
+      {8.0, 2.0},    // v11
+      {10.0, 2.0},   // v12
+      {4.0, 0.0},    // v13
+      {8.0, 0.0},    // v14
+      {0.0, 0.0},    // v15
+      {12.0, 0.0},   // v16
+      {15.0, 0.0},   // v17
+  };
+  for (const util::Point& p : coords) builder.AddVertex(p);
+
+  auto edge = [&](int a, int b, Weight w) {
+    const util::Status s = builder.AddUndirectedEdge(
+        static_cast<VertexId>(a - 1), static_cast<VertexId>(b - 1), w);
+    assert(s.ok());
+    (void)s;
+  };
+
+  // Calibrated street segments (see header for the distances they induce).
+  edge(1, 2, 6.0);
+  edge(2, 3, 4.0);
+  edge(3, 4, 4.0);
+  edge(1, 5, 2.0);
+  edge(5, 6, 4.0);
+  edge(6, 2, 2.0);
+  edge(6, 7, 4.5);
+  edge(3, 7, 2.0);
+  edge(7, 8, 4.0);
+  edge(4, 8, 2.0);
+  edge(2, 7, 5.0);
+  edge(7, 12, 3.0);
+  edge(5, 9, 2.0);
+  edge(9, 10, 4.0);
+  edge(10, 6, 2.0);
+  edge(10, 11, 4.0);
+  edge(11, 7, 2.0);
+  edge(11, 12, 2.5);
+  edge(9, 15, 2.0);
+  edge(15, 13, 4.0);
+  edge(10, 13, 2.0);
+  edge(13, 14, 4.0);
+  edge(14, 11, 2.0);
+  edge(14, 12, 4.0);
+  edge(12, 16, 4.0);
+  edge(16, 17, 3.0);
+  edge(14, 16, 5.0);
+  edge(8, 12, 3.5);
+  edge(8, 17, 7.0);
+
+  PaperExampleNetwork example;
+  util::Result<RoadNetwork> built = builder.Build();
+  assert(built.ok());
+  example.graph = std::move(built).value();
+  return example;
+}
+
+}  // namespace ptrider::roadnet

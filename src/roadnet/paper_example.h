@@ -1,0 +1,37 @@
+#ifndef PTRIDER_ROADNET_PAPER_EXAMPLE_H_
+#define PTRIDER_ROADNET_PAPER_EXAMPLE_H_
+
+#include "roadnet/graph.h"
+#include "roadnet/types.h"
+
+namespace ptrider::roadnet {
+
+/// The 17-vertex road network of the paper's Fig. 1(a), calibrated so the
+/// Section-2 worked example reproduces exactly:
+///
+///   dist(v1,v2)=6, dist(v2,v12)=8, dist(v2,v16)=12 (via v12),
+///   dist(v12,v16)=4, dist(v16,v17)=3, dist(v12,v17)=7 (via v16),
+///   dist(v13,v12)=8; c1's dist_pt = dist(v1,v2)+dist(v2,v12) = 14.
+///
+/// With vehicles c1 at v1 carrying R1 = <v2,v16,2,5,0.2> (schedule
+/// <v1,v2,v16>) and empty c2 at v13, request R2 = <v12,v17,2,5,0.2>
+/// yields exactly the paper's options r1 = <c1, 14, 4> and
+/// r2 = <c2, 8, 8.8> under f_2 = 0.4.
+///
+/// The figure's exact edge weights are not recoverable from the PDF; this
+/// network preserves the figure's topology style (a planar street grid)
+/// and every number the running text states.
+struct PaperExampleNetwork {
+  RoadNetwork graph;
+
+  /// Vertex id for the paper's v1..v17 labels (1-based).
+  VertexId v(int label) const { return static_cast<VertexId>(label - 1); }
+};
+
+/// Builds the calibrated example network. Infallible by construction
+/// (edges validated in tests).
+PaperExampleNetwork MakePaperExampleNetwork();
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_PAPER_EXAMPLE_H_

@@ -1,0 +1,31 @@
+#ifndef PTRIDER_ROADNET_TYPES_H_
+#define PTRIDER_ROADNET_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ptrider::roadnet {
+
+/// Vertex identifier: dense non-negative index into the road network.
+using VertexId = int32_t;
+inline constexpr VertexId kInvalidVertex = -1;
+
+/// Travel cost along an edge or path. The paper assumes constant vehicle
+/// speed, so cost, distance and time are interchangeable; PTRider stores
+/// distances in meters and converts to time via `Config::speed_mps`.
+using Weight = double;
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::infinity();
+
+/// Grid-index cell identifier (row-major); -1 when outside the grid.
+using CellId = int32_t;
+inline constexpr CellId kInvalidCell = -1;
+
+/// Outgoing edge as stored in the CSR adjacency.
+struct Edge {
+  VertexId to = kInvalidVertex;
+  Weight weight = 0.0;
+};
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_TYPES_H_

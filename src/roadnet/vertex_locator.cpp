@@ -1,0 +1,74 @@
+#include "roadnet/vertex_locator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ptrider::roadnet {
+
+VertexLocator::VertexLocator(const RoadNetwork& graph, int buckets_per_axis)
+    : graph_(&graph), n_(std::max(1, buckets_per_axis)) {
+  const util::BoundingBox& box = graph.bounds();
+  cell_w_ = std::max(box.width() / n_, 1e-9);
+  cell_h_ = std::max(box.height() / n_, 1e-9);
+  buckets_.assign(static_cast<size_t>(n_) * n_, {});
+  for (VertexId v = 0; v < static_cast<VertexId>(graph.NumVertices());
+       ++v) {
+    buckets_[BucketOf(graph.Coord(v))].push_back(v);
+  }
+}
+
+size_t VertexLocator::BucketOf(const util::Point& p) const {
+  const util::BoundingBox& box = graph_->bounds();
+  int cx = static_cast<int>((p.x - box.min_x) / cell_w_);
+  int cy = static_cast<int>((p.y - box.min_y) / cell_h_);
+  cx = std::clamp(cx, 0, n_ - 1);
+  cy = std::clamp(cy, 0, n_ - 1);
+  return static_cast<size_t>(cy) * n_ + cx;
+}
+
+VertexId VertexLocator::Nearest(const util::Point& p) const {
+  const util::BoundingBox& box = graph_->bounds();
+  int cx = std::clamp(static_cast<int>((p.x - box.min_x) / cell_w_), 0,
+                      n_ - 1);
+  int cy = std::clamp(static_cast<int>((p.y - box.min_y) / cell_h_), 0,
+                      n_ - 1);
+
+  VertexId best = kInvalidVertex;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  // Expand ring by ring until a found vertex provably beats anything in
+  // farther rings.
+  for (int ring = 0; ring < 2 * n_; ++ring) {
+    bool scanned_any = false;
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const int bx = cx + dx;
+        const int by = cy + dy;
+        if (bx < 0 || bx >= n_ || by < 0 || by >= n_) continue;
+        scanned_any = true;
+        for (const VertexId v :
+             buckets_[static_cast<size_t>(by) * n_ + bx]) {
+          const util::Point& q = graph_->Coord(v);
+          const double d2 = (q.x - p.x) * (q.x - p.x) +
+                            (q.y - p.y) * (q.y - p.y);
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = v;
+          }
+        }
+      }
+    }
+    if (best != kInvalidVertex) {
+      // Anything in ring r+1 is at least r * min(cell) away; stop once
+      // that cannot beat the current best.
+      const double min_gap =
+          ring * std::min(cell_w_, cell_h_);
+      if (best_d2 <= min_gap * min_gap) break;
+    }
+    if (!scanned_any && ring > 0 && best != kInvalidVertex) break;
+  }
+  return best;
+}
+
+}  // namespace ptrider::roadnet

@@ -1,0 +1,37 @@
+#ifndef PTRIDER_ROADNET_VERTEX_LOCATOR_H_
+#define PTRIDER_ROADNET_VERTEX_LOCATOR_H_
+
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "roadnet/types.h"
+#include "util/geo.h"
+
+namespace ptrider::roadnet {
+
+/// Nearest-vertex lookup over a road network via a uniform bucket grid.
+/// Used by workload generation (map a sampled geographic point to the
+/// closest intersection) and by any map-matching front end.
+class VertexLocator {
+ public:
+  /// `buckets_per_axis` trades memory for query locality (default ~64).
+  explicit VertexLocator(const RoadNetwork& graph,
+                         int buckets_per_axis = 64);
+
+  /// Vertex closest to `p` by Euclidean distance. The network must be
+  /// non-empty (guaranteed by RoadNetwork construction).
+  VertexId Nearest(const util::Point& p) const;
+
+ private:
+  size_t BucketOf(const util::Point& p) const;
+
+  const RoadNetwork* graph_;
+  int n_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<std::vector<VertexId>> buckets_;
+};
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_VERTEX_LOCATOR_H_

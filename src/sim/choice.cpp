@@ -1,0 +1,61 @@
+#include "sim/choice.h"
+
+#include <cassert>
+
+namespace ptrider::sim {
+
+const char* RiderChoiceModelName(RiderChoiceModel model) {
+  switch (model) {
+    case RiderChoiceModel::kEarliestPickup:
+      return "earliest-pickup";
+    case RiderChoiceModel::kCheapest:
+      return "cheapest";
+    case RiderChoiceModel::kWeightedUtility:
+      return "weighted-utility";
+    case RiderChoiceModel::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+size_t ChooseOptionIndex(const std::vector<core::Option>& options,
+                         const ChoiceContext& ctx, util::Rng& rng) {
+  assert(!options.empty());
+  switch (ctx.model) {
+    case RiderChoiceModel::kEarliestPickup: {
+      size_t best = 0;
+      for (size_t i = 1; i < options.size(); ++i) {
+        if (options[i].pickup_time_s < options[best].pickup_time_s) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case RiderChoiceModel::kCheapest: {
+      size_t best = 0;
+      for (size_t i = 1; i < options.size(); ++i) {
+        if (options[i].price < options[best].price) best = i;
+      }
+      return best;
+    }
+    case RiderChoiceModel::kWeightedUtility: {
+      size_t best = 0;
+      double best_cost = 0.0;
+      for (size_t i = 0; i < options.size(); ++i) {
+        const double wait = options[i].pickup_time_s - ctx.now_s;
+        const double cost = options[i].price + ctx.value_of_time * wait;
+        if (i == 0 || cost < best_cost) {
+          best = i;
+          best_cost = cost;
+        }
+      }
+      return best;
+    }
+    case RiderChoiceModel::kRandom:
+      return static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(options.size()) - 1));
+  }
+  return 0;
+}
+
+}  // namespace ptrider::sim

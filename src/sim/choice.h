@@ -1,0 +1,43 @@
+#ifndef PTRIDER_SIM_CHOICE_H_
+#define PTRIDER_SIM_CHOICE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/option.h"
+#include "util/random.h"
+
+namespace ptrider::sim {
+
+/// How a simulated rider picks among the non-dominated options PTRider
+/// returns (step (iii) of the demo's workflow). Real riders tap a row on
+/// the phone; the simulator substitutes a decision rule.
+enum class RiderChoiceModel {
+  /// Always the earliest pick-up (time-sensitive rider).
+  kEarliestPickup,
+  /// Always the lowest price (price-sensitive rider — the couple at the
+  /// seaside willing to wait).
+  kCheapest,
+  /// Minimizes price + value_of_time * pickup_wait; the mixed rider.
+  kWeightedUtility,
+  /// Uniformly random (models a heterogeneous population).
+  kRandom,
+};
+
+const char* RiderChoiceModelName(RiderChoiceModel model);
+
+struct ChoiceContext {
+  RiderChoiceModel model = RiderChoiceModel::kWeightedUtility;
+  /// Price units per second of waiting for kWeightedUtility.
+  double value_of_time = 0.004;
+  /// Request submission time (to turn pickup_time_s into a wait).
+  double now_s = 0.0;
+};
+
+/// Index of the chosen option; `options` must be non-empty.
+size_t ChooseOptionIndex(const std::vector<core::Option>& options,
+                         const ChoiceContext& ctx, util::Rng& rng);
+
+}  // namespace ptrider::sim
+
+#endif  // PTRIDER_SIM_CHOICE_H_

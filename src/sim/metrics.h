@@ -1,0 +1,79 @@
+#ifndef PTRIDER_SIM_METRICS_H_
+#define PTRIDER_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.h"
+
+namespace ptrider::sim {
+
+/// Aggregated outcome of a simulation run: everything the demo's website
+/// statistics panel shows (current time, average response time, average
+/// sharing rate) plus the supporting detail the paper's evaluation
+/// discusses.
+struct SimulationReport {
+  // --- Demand ---------------------------------------------------------------
+  int64_t requests_submitted = 0;
+  /// Requests for which at least one option was returned and chosen.
+  int64_t requests_assigned = 0;
+  /// Requests with an empty option set (no qualified vehicle).
+  int64_t requests_unserved = 0;
+  /// Riders dropped at their destination by simulation end.
+  int64_t requests_completed = 0;
+  /// Of the completed, how many shared the vehicle at some point.
+  int64_t requests_shared = 0;
+
+  // --- Matching -------------------------------------------------------------
+  util::RunningStats response_time_s;   // matcher wall-clock per request
+  util::Percentiles response_percentiles_s;
+  util::RunningStats options_per_request;
+  util::RunningStats vehicles_examined;
+  util::RunningStats distance_computations;
+
+  // --- Service quality --------------------------------------------------------
+  util::RunningStats pickup_wait_s;   // actual minus planned at pick-up
+  util::RunningStats detour_ratio;    // actual trip / direct distance
+  util::RunningStats quoted_price;
+  /// Meters a completed trip ran over its (1+sigma)*direct allowance.
+  /// Bounded by the movement granularity (redirects happen at vertices,
+  /// while schedules are validated from the root vertex): at most a
+  /// couple of edge lengths, never unbounded.
+  util::RunningStats trip_overrun_m;
+
+  // --- Fleet ------------------------------------------------------------------
+  double fleet_total_distance_m = 0.0;
+  double fleet_occupied_distance_m = 0.0;
+  double fleet_shared_distance_m = 0.0;
+
+  double simulated_seconds = 0.0;
+  double wall_clock_seconds = 0.0;
+
+  /// Demo statistic: completed-and-shared / completed.
+  double SharingRate() const {
+    return requests_completed > 0
+               ? static_cast<double>(requests_shared) /
+                     static_cast<double>(requests_completed)
+               : 0.0;
+  }
+  /// Demo statistic: mean matcher latency, seconds.
+  double AvgResponseTimeS() const { return response_time_s.mean(); }
+  double ServiceRate() const {
+    return requests_submitted > 0
+               ? static_cast<double>(requests_assigned) /
+                     static_cast<double>(requests_submitted)
+               : 0.0;
+  }
+  double OccupancyRate() const {
+    return fleet_total_distance_m > 0.0
+               ? fleet_occupied_distance_m / fleet_total_distance_m
+               : 0.0;
+  }
+
+  /// Multi-line human-readable rendering (the statistics panel).
+  std::string ToString() const;
+};
+
+}  // namespace ptrider::sim
+
+#endif  // PTRIDER_SIM_METRICS_H_

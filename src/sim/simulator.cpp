@@ -1,0 +1,249 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace ptrider::sim {
+
+Simulator::Simulator(core::PTRider& system, SimulatorOptions options)
+    : system_(&system), options_(options), rng_(options.seed) {}
+
+util::Status Simulator::SubmitDueRequests(const std::vector<Trip>& trips,
+                                          size_t& next_trip, double now,
+                                          SimulationReport& report) {
+  const core::Config& cfg = system_->config();
+  while (next_trip < trips.size() && trips[next_trip].time_s <= now) {
+    const Trip& t = trips[next_trip++];
+    vehicle::Request r;
+    r.id = next_request_id_++;
+    r.start = t.origin;
+    r.destination = t.destination;
+    r.num_riders = t.num_riders;
+    r.max_wait_s = cfg.default_max_wait_s;
+    r.service_sigma = cfg.default_service_sigma;
+    r.submit_time_s = now;
+
+    auto match = system_->SubmitRequest(r, now);
+    PTRIDER_RETURN_IF_ERROR(match.status());
+    ++report.requests_submitted;
+    report.response_time_s.Add(match->match_seconds);
+    report.response_percentiles_s.Add(match->match_seconds);
+    report.options_per_request.Add(
+        static_cast<double>(match->options.size()));
+    report.vehicles_examined.Add(
+        static_cast<double>(match->vehicles_examined));
+    report.distance_computations.Add(
+        static_cast<double>(match->distance_computations));
+
+    if (match->options.empty()) {
+      ++report.requests_unserved;
+      continue;
+    }
+    ChoiceContext choice = options_.choice;
+    choice.now_s = now;
+    const size_t pick = ChooseOptionIndex(match->options, choice, rng_);
+    PTRIDER_RETURN_IF_ERROR(
+        system_->ChooseOption(r, match->options[pick], now));
+    ++report.requests_assigned;
+    // Newly-assigned vehicle may need to re-target.
+    PTRIDER_RETURN_IF_ERROR(Replan(match->options[pick].vehicle));
+  }
+  return util::Status::Ok();
+}
+
+util::Status Simulator::Replan(vehicle::VehicleId id) {
+  Motion& m = motions_[static_cast<size_t>(id)];
+  const vehicle::Vehicle& v = system_->fleet().at(id);
+  if (v.tree().empty()) {
+    m.has_target = false;
+    m.path.clear();
+    return util::Status::Ok();
+  }
+  const vehicle::Stop target = v.tree().BestBranch().stops.front();
+  if (m.has_target && target == m.target && !m.path.empty()) {
+    return util::Status::Ok();  // already heading there
+  }
+  // Re-route from the current vertex. Mid-edge progress is abandoned;
+  // with per-vertex updates the error is below one edge length.
+  auto path = system_->oracle().ShortestPath(v.location(), target.location);
+  PTRIDER_RETURN_IF_ERROR(path.status());
+  m.path = std::move(path).value();
+  m.next = m.path.size() > 1 ? 1 : 0;
+  m.edge_progress_m = 0.0;
+  m.target = target;
+  m.has_target = true;
+  return util::Status::Ok();
+}
+
+util::Status Simulator::HandleArrivals(vehicle::VehicleId id, double now,
+                                       SimulationReport& report) {
+  // Consume every stop scheduled at the vehicle's current vertex (a
+  // pick-up and drop-off can share an intersection).
+  while (true) {
+    const vehicle::Vehicle& v = system_->fleet().at(id);
+    if (v.tree().empty()) break;
+    if (v.tree().BestBranch().stops.front().location != v.location()) {
+      break;
+    }
+    auto event = system_->VehicleArrivedAtStop(id, now);
+    PTRIDER_RETURN_IF_ERROR(event.status());
+    if (event->stop.type == vehicle::StopType::kPickup) {
+      report.pickup_wait_s.Add(event->waiting_s);
+    } else {
+      ++report.requests_completed;
+      if (event->shared) ++report.requests_shared;
+      report.quoted_price.Add(event->price);
+      if (event->direct_distance_m > 0.0) {
+        report.detour_ratio.Add(event->trip_distance_m /
+                                event->direct_distance_m);
+      }
+      report.trip_overrun_m.Add(std::max(
+          0.0, event->trip_distance_m - event->allowed_trip_distance_m));
+    }
+  }
+  return Replan(id);
+}
+
+util::Status Simulator::MoveVehicle(vehicle::VehicleId id, double now,
+                                    double budget,
+                                    SimulationReport& report) {
+  Motion& m = motions_[static_cast<size_t>(id)];
+  const roadnet::RoadNetwork& graph = system_->graph();
+
+  // Guard against pathological zero-length cycles.
+  for (int hops = 0; budget > 1e-9 && hops < 10000; ++hops) {
+    const vehicle::Vehicle& v = system_->fleet().at(id);
+    const bool serving = !v.tree().empty();
+
+    // Redirection only happens at vertices: a vehicle mid-edge finishes
+    // the segment first (it cannot teleport back to the tail vertex).
+    // Schedule commitments are validated from the root vertex, so actual
+    // driven distances can overrun the validated ones by at most two edge
+    // lengths per redirect; SimulationReport::trip_overrun_m tracks it.
+    if (m.edge_progress_m == 0.0) {
+      if (serving) {
+        PTRIDER_RETURN_IF_ERROR(Replan(id));
+        if (m.path.size() <= 1 || m.next == 0) {
+          // Already at the stop's vertex.
+          PTRIDER_RETURN_IF_ERROR(HandleArrivals(id, now, report));
+          if (system_->fleet().at(id).tree().empty()) continue;  // idle
+          if (m.path.size() <= 1) break;  // replanned to the same vertex
+        }
+      } else {
+        if (!options_.idle_cruising) break;
+        if (m.path.size() <= 1 || m.next == 0 ||
+            m.next >= m.path.size()) {
+          // Pick a random outgoing segment (Section 4's cruising rule).
+          const auto edges = graph.OutEdges(v.location());
+          if (edges.empty()) break;  // dead end without exit
+          const size_t e = static_cast<size_t>(rng_.UniformInt(
+              0, static_cast<int64_t>(edges.size()) - 1));
+          m.path = {v.location(), edges[e].to};
+          m.next = 1;
+          m.edge_progress_m = 0.0;
+          m.has_target = false;
+        }
+      }
+    }
+    if (m.path.size() <= 1 || m.next == 0 || m.next >= m.path.size()) {
+      break;  // nowhere to go this tick
+    }
+
+    const roadnet::VertexId from = m.path[m.next - 1];
+    const roadnet::VertexId to = m.path[m.next];
+    const roadnet::Weight edge_len = graph.EdgeWeight(from, to);
+    if (edge_len == roadnet::kInfWeight) {
+      return util::Status::Internal(util::StrFormat(
+          "vehicle %d routed over missing edge v%d->v%d", id, from, to));
+    }
+    const double remaining = edge_len - m.edge_progress_m;
+    if (budget < remaining) {
+      m.edge_progress_m += budget;
+      m.meters_since_update += budget;
+      budget = 0.0;
+      break;
+    }
+    // Reach the next vertex.
+    budget -= remaining;
+    m.meters_since_update += remaining;
+    m.edge_progress_m = 0.0;
+    ++m.next;
+    const std::vector<vehicle::Stop> executing =
+        serving ? system_->fleet().at(id).tree().BestBranch().stops
+                : std::vector<vehicle::Stop>{};
+    PTRIDER_RETURN_IF_ERROR(system_->UpdateVehicleLocation(
+        id, to, m.meters_since_update, now, executing));
+    m.meters_since_update = 0.0;
+    if (m.next >= m.path.size()) {
+      m.path.clear();
+      m.next = 0;
+      if (serving) {
+        PTRIDER_RETURN_IF_ERROR(HandleArrivals(id, now, report));
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Result<SimulationReport> Simulator::Run(
+    const std::vector<Trip>& trips) {
+  if (options_.tick_s <= 0.0) {
+    return util::Status::InvalidArgument("tick must be positive");
+  }
+  for (size_t i = 1; i < trips.size(); ++i) {
+    if (trips[i].time_s < trips[i - 1].time_s) {
+      return util::Status::InvalidArgument("trips must be time-sorted");
+    }
+  }
+  if (system_->fleet().size() == 0) {
+    return util::Status::FailedPrecondition("fleet is empty");
+  }
+
+  util::WallTimer timer;
+  SimulationReport report;
+  motions_.assign(system_->fleet().size(), Motion{});
+
+  const double last_trip =
+      trips.empty() ? 0.0 : trips.back().time_s;
+  const double end_time = options_.end_time_s > 0.0
+                              ? options_.end_time_s
+                              : last_trip + options_.drain_s;
+  const double speed = system_->config().speed_mps;
+
+  size_t next_trip = 0;
+  double now = 0.0;
+  double next_progress_log = 3600.0;
+  while (now < end_time) {
+    now += options_.tick_s;
+    PTRIDER_RETURN_IF_ERROR(
+        SubmitDueRequests(trips, next_trip, now, report));
+    const double budget = speed * options_.tick_s;
+    for (const vehicle::Vehicle& v : system_->fleet().vehicles()) {
+      PTRIDER_RETURN_IF_ERROR(MoveVehicle(v.id(), now, budget, report));
+    }
+    if (options_.verbose && now >= next_progress_log) {
+      PTRIDER_LOG(kInfo) << util::StrFormat(
+          "t=%.0fh submitted=%lld assigned=%lld completed=%lld "
+          "avg_rt=%.2fms",
+          now / 3600.0, static_cast<long long>(report.requests_submitted),
+          static_cast<long long>(report.requests_assigned),
+          static_cast<long long>(report.requests_completed),
+          1e3 * report.response_time_s.mean());
+      next_progress_log += 3600.0;
+    }
+  }
+
+  for (const vehicle::Vehicle& v : system_->fleet().vehicles()) {
+    report.fleet_total_distance_m += v.total_distance_m();
+    report.fleet_occupied_distance_m += v.occupied_distance_m();
+    report.fleet_shared_distance_m += v.shared_distance_m();
+  }
+  report.simulated_seconds = now;
+  report.wall_clock_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace ptrider::sim

@@ -1,0 +1,75 @@
+#ifndef PTRIDER_SIM_SIMULATOR_H_
+#define PTRIDER_SIM_SIMULATOR_H_
+
+#include <vector>
+
+#include "core/ptrider.h"
+#include "sim/choice.h"
+#include "sim/metrics.h"
+#include "sim/trip.h"
+#include "util/random.h"
+
+namespace ptrider::sim {
+
+struct SimulatorOptions {
+  /// Movement/update granularity, simulated seconds per tick.
+  double tick_s = 1.0;
+  /// Hard end time; 0 derives it from the last trip plus `drain_s`.
+  double end_time_s = 0.0;
+  /// Extra time after the last request for onboard trips to finish.
+  double drain_s = 1800.0;
+  ChoiceContext choice;
+  /// Drives idle cruising and the random choice model.
+  uint64_t seed = 7;
+  /// Idle vehicles cruise randomly (Section 4: "follow the current road
+  /// segment, choosing a random segment at intersections") instead of
+  /// parking.
+  bool idle_cruising = true;
+  /// Emit progress lines every simulated hour (kInfo log level).
+  bool verbose = false;
+};
+
+/// Event-driven city simulation (Section 4's demonstration): feeds a trip
+/// trace through a PTRider instance while vehicles move at the constant
+/// configured speed, serving their kinetic-tree schedules or cruising.
+class Simulator {
+ public:
+  Simulator(core::PTRider& system, SimulatorOptions options);
+
+  /// Runs `trips` (must be sorted by time) to completion and returns the
+  /// aggregated statistics.
+  util::Result<SimulationReport> Run(const std::vector<Trip>& trips);
+
+ private:
+  /// Per-vehicle motion state between vertices.
+  struct Motion {
+    /// Remaining path; path[next] is the vertex being approached.
+    std::vector<roadnet::VertexId> path;
+    size_t next = 0;
+    double edge_progress_m = 0.0;
+    double meters_since_update = 0.0;
+    /// Stop the current path leads to; re-planned when the tree's best
+    /// branch changes.
+    vehicle::Stop target;
+    bool has_target = false;
+  };
+
+  util::Status SubmitDueRequests(const std::vector<Trip>& trips,
+                                 size_t& next_trip, double now,
+                                 SimulationReport& report);
+  util::Status MoveVehicle(vehicle::VehicleId id, double now, double budget,
+                           SimulationReport& report);
+  util::Status HandleArrivals(vehicle::VehicleId id, double now,
+                              SimulationReport& report);
+  util::Status Replan(vehicle::VehicleId id);
+
+  core::PTRider* system_;
+  SimulatorOptions options_;
+  util::Rng rng_;
+  std::vector<Motion> motions_;
+  vehicle::RequestId next_request_id_ = 1;
+};
+
+}  // namespace ptrider::sim
+
+#endif  // PTRIDER_SIM_SIMULATOR_H_

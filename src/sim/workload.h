@@ -1,0 +1,55 @@
+#ifndef PTRIDER_SIM_WORKLOAD_H_
+#define PTRIDER_SIM_WORKLOAD_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "sim/trip.h"
+#include "util/status.h"
+
+namespace ptrider::sim {
+
+/// Synthetic stand-in for the paper's Shanghai taxi trace (432,327 trips
+/// from 17,000 taxis on May 29, 2009 — not redistributable offline).
+/// Reproduces the two workload properties the index actually feels:
+/// spatial skew (a Gaussian mixture of hotspots over the network — CBD,
+/// stations, the "seaside" of the paper's intro) and temporal burstiness
+/// (an empirical double-peak hour-of-day profile). A CSV loader keeps the
+/// real trace pluggable (schema: time_s,origin,destination,riders).
+struct HotspotWorkloadOptions {
+  size_t num_trips = 10000;
+  /// Length of the covered period (default one day, like the demo).
+  double duration_s = 86400.0;
+  int num_hotspots = 6;
+  /// Spatial spread of each hotspot, meters.
+  double hotspot_stddev_m = 1200.0;
+  /// Probability that an endpoint is drawn from a hotspot (rest uniform).
+  double origin_hotspot_bias = 0.65;
+  double destination_hotspot_bias = 0.65;
+  /// P(group size = k) proportional to group_weights[k-1].
+  std::array<double, 4> group_weights = {0.62, 0.25, 0.09, 0.04};
+  uint64_t seed = 2009;
+
+  /// Relative request intensity per hour of day (double peak). Stretched
+  /// proportionally when duration_s != 86400.
+  std::array<double, 24> hourly_profile = {
+      0.4, 0.25, 0.2, 0.15, 0.2, 0.4, 0.9, 1.6, 1.9, 1.3, 1.0, 1.1,
+      1.2, 1.1,  1.0, 1.1,  1.3, 1.8, 2.0, 1.6, 1.2, 1.0, 0.8, 0.6};
+};
+
+/// Generates a trip trace over `graph`, sorted by submission time.
+/// Origins always differ from destinations.
+util::Result<std::vector<Trip>> GenerateHotspotTrips(
+    const roadnet::RoadNetwork& graph, const HotspotWorkloadOptions& options);
+
+/// Saves / loads traces as CSV (`time_s,origin,destination,riders`).
+util::Status SaveTrips(const std::vector<Trip>& trips,
+                       const std::string& path);
+util::Result<std::vector<Trip>> LoadTrips(const roadnet::RoadNetwork& graph,
+                                          const std::string& path);
+
+}  // namespace ptrider::sim
+
+#endif  // PTRIDER_SIM_WORKLOAD_H_

@@ -1,0 +1,91 @@
+#include "util/csv.h"
+
+#include "util/string_util.h"
+
+namespace ptrider::util {
+
+CsvReader::CsvReader(const std::string& path) : in_(path) {
+  if (!in_.is_open()) {
+    status_ = Status::IoError("cannot open for reading: " + path);
+  }
+}
+
+bool CsvReader::Next(std::vector<std::string>& fields) {
+  if (!status_.ok()) return false;
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_number_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    fields = ParseLine(line);
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> CsvReader::ParseLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_.is_open()) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok()) return;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    const std::string& f = fields[i];
+    const bool needs_quotes =
+        f.find_first_of(",\"\n") != std::string::npos;
+    if (needs_quotes) {
+      out_ << '"';
+      for (char c : f) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << f;
+    }
+  }
+  out_ << '\n';
+}
+
+Status CsvWriter::Flush() {
+  if (!status_.ok()) return status_;
+  out_.flush();
+  if (!out_.good()) status_ = Status::IoError("csv flush failed");
+  return status_;
+}
+
+}  // namespace ptrider::util

@@ -1,0 +1,56 @@
+#ifndef PTRIDER_UTIL_CSV_H_
+#define PTRIDER_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ptrider::util {
+
+/// Minimal CSV reader: comma-separated, '#'-prefixed comment lines and blank
+/// lines skipped, optional double-quoted fields with "" escaping. Used for
+/// trip traces and graph files.
+class CsvReader {
+ public:
+  /// Opens `path`; check `status()` before reading.
+  explicit CsvReader(const std::string& path);
+
+  const Status& status() const { return status_; }
+
+  /// Reads the next record into `fields`. Returns false at end-of-file or
+  /// on error (check status()).
+  bool Next(std::vector<std::string>& fields);
+
+  /// 1-based line number of the last record returned.
+  size_t line_number() const { return line_number_; }
+
+  /// Parses one CSV line (exposed for testing).
+  static std::vector<std::string> ParseLine(const std::string& line);
+
+ private:
+  std::ifstream in_;
+  Status status_;
+  size_t line_number_ = 0;
+};
+
+/// Minimal CSV writer with automatic quoting of fields containing commas,
+/// quotes, or newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  const Status& status() const { return status_; }
+
+  void WriteRow(const std::vector<std::string>& fields);
+  Status Flush();
+
+ private:
+  std::ofstream out_;
+  Status status_;
+};
+
+}  // namespace ptrider::util
+
+#endif  // PTRIDER_UTIL_CSV_H_

@@ -1,0 +1,57 @@
+#ifndef PTRIDER_UTIL_GEO_H_
+#define PTRIDER_UTIL_GEO_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ptrider::util {
+
+/// Planar coordinate in meters. PTRider works in a locally-projected plane
+/// (roads near a city are effectively planar), which keeps geometric
+/// lower bounds exact rather than spherical-approximate.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y;
+  }
+};
+
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline double ManhattanDistance(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  void Extend(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  bool empty() const { return max_x < min_x || max_y < min_y; }
+};
+
+}  // namespace ptrider::util
+
+#endif  // PTRIDER_UTIL_GEO_H_

@@ -1,0 +1,56 @@
+#ifndef PTRIDER_UTIL_LOGGING_H_
+#define PTRIDER_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ptrider::util {
+
+/// Severity levels for the library logger, ordered by increasing severity.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  /// Sentinel that silences all logging.
+  kOff = 4,
+};
+
+/// Sets the global minimum severity that is emitted. Defaults to kWarning so
+/// library consumers are not spammed; examples and benches raise it.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Returns true when messages at `level` would currently be emitted.
+bool LogLevelEnabled(LogLevel level);
+
+/// Stream-style log sink. Accumulates a message and writes a single line to
+/// stderr on destruction. Use through the PTRIDER_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ptrider::util
+
+/// Usage: PTRIDER_LOG(kInfo) << "built index with " << n << " cells";
+#define PTRIDER_LOG(severity)                                       \
+  ::ptrider::util::LogMessage(::ptrider::util::LogLevel::severity, \
+                              __FILE__, __LINE__)
+
+#endif  // PTRIDER_UTIL_LOGGING_H_

@@ -1,0 +1,126 @@
+#ifndef PTRIDER_UTIL_RANDOM_H_
+#define PTRIDER_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ptrider::util {
+
+/// SplitMix64: used to expand a user seed into stream state. Reference:
+/// Steele, Lea, Flood, "Fast splittable pseudorandom number generators".
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic, fast PRNG (xoshiro256**). All experiment randomness in
+/// PTRider flows through this type so runs are reproducible from a seed.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5EED5EED5EED5EEDULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    // Debiased modulo via rejection sampling.
+    const uint64_t limit = max() - max() % range;
+    uint64_t draw = Next();
+    while (draw >= limit) draw = Next();
+    return lo + static_cast<int64_t>(draw % range);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformDouble(double lo = 0.0, double hi = 1.0) {
+    const double unit =
+        static_cast<double>(Next() >> 11) * 0x1.0p-53;  // [0,1)
+    return lo + unit * (hi - lo);
+  }
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller (no state caching; fine for our usage).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = UniformDouble();
+    while (u1 <= 1e-300) u1 = UniformDouble();
+    const double u2 = UniformDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Exponential with rate `lambda` (> 0): mean 1/lambda.
+  double Exponential(double lambda) {
+    assert(lambda > 0.0);
+    double u = UniformDouble();
+    while (u <= 1e-300) u = UniformDouble();
+    return -std::log(u) / lambda;
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    assert(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) total += w;
+    assert(total > 0.0);
+    double draw = UniformDouble(0.0, total);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      draw -= weights[i];
+      if (draw < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j =
+          static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace ptrider::util
+
+#endif  // PTRIDER_UTIL_RANDOM_H_

@@ -1,0 +1,130 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace ptrider::util {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = new_mean;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+Percentiles::Percentiles(size_t capacity, uint64_t seed)
+    : capacity_(capacity == 0 ? 1 : capacity), rng_state_(seed) {
+  samples_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void Percentiles::Add(double x) {
+  ++total_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Reservoir sampling: keep each of the `total_` values with equal
+  // probability capacity_/total_.
+  const uint64_t draw = SplitMix64(rng_state_) % total_;
+  if (draw < capacity_) {
+    samples_[static_cast<size_t>(draw)] = x;
+    sorted_ = false;
+  }
+}
+
+double Percentiles::Value(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {
+  assert(hi > lo);
+  width_ = (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  double pos = (x - lo_) / width_;
+  size_t idx;
+  if (pos < 0.0) {
+    idx = 0;
+  } else if (pos >= static_cast<double>(counts_.size())) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<size_t>(pos);
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bucket_low(size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string Histogram::ToString(size_t max_width) const {
+  size_t peak = 0;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_width / peak;
+    os << "[" << bucket_low(i) << ", " << bucket_low(i) + width_ << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ptrider::util

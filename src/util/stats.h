@@ -1,0 +1,83 @@
+#ifndef PTRIDER_UTIL_STATS_H_
+#define PTRIDER_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ptrider::util {
+
+/// Streaming moments accumulator (Welford). O(1) memory; numerically stable.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample reservoir with exact percentiles while under `capacity` samples and
+/// uniform reservoir sampling beyond it. Percentile queries sort lazily.
+class Percentiles {
+ public:
+  explicit Percentiles(size_t capacity = 1 << 16, uint64_t seed = 7);
+
+  void Add(double x);
+  /// Percentile `p` in [0,100]; returns 0 when empty.
+  double Value(double p) const;
+  double Median() const { return Value(50.0); }
+  size_t count() const { return total_; }
+
+ private:
+  size_t capacity_;
+  size_t total_ = 0;
+  uint64_t rng_state_;
+  mutable bool sorted_ = true;
+  mutable std::vector<double> samples_;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); values outside are clamped
+/// into the first/last bucket. Used for report rendering in benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t bucket_count() const { return counts_.size(); }
+  size_t bucket(size_t i) const { return counts_[i]; }
+  double bucket_low(size_t i) const;
+  size_t total() const { return total_; }
+
+  /// Multi-line ASCII rendering (one row per non-empty bucket).
+  std::string ToString(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  size_t total_ = 0;
+  std::vector<size_t> counts_;
+};
+
+}  // namespace ptrider::util
+
+#endif  // PTRIDER_UTIL_STATS_H_

@@ -1,0 +1,152 @@
+#ifndef PTRIDER_UTIL_STATUS_H_
+#define PTRIDER_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ptrider::util {
+
+/// Canonical error space for the library. PTRider follows the Google C++
+/// style guide and does not use exceptions; fallible operations return a
+/// `Status` (or a `Result<T>` when they also produce a value).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAlreadyExists,
+  kResourceExhausted,
+  kUnimplemented,
+  kIoError,
+  kInternal,
+};
+
+/// Returns the canonical spelling of `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic success-or-error type. A default-constructed `Status` is
+/// OK. Error statuses carry a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Accessing the value of
+/// an errored result is a programming error (checked by assert in debug).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value, mirroring absl::StatusOr.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. `status` must not be OK.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; `Status::Ok()` when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "Result::value() called on error");
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() called on error");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() called on error");
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace ptrider::util
+
+/// Propagates a non-OK status to the caller.
+#define PTRIDER_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::ptrider::util::Status ptrider_status__ = (expr);  \
+    if (!ptrider_status__.ok()) return ptrider_status__; \
+  } while (false)
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or propagates the
+/// error to the caller.
+#define PTRIDER_ASSIGN_OR_RETURN(lhs, expr)          \
+  PTRIDER_ASSIGN_OR_RETURN_IMPL_(                    \
+      PTRIDER_STATUS_CONCAT_(result__, __LINE__), lhs, expr)
+#define PTRIDER_STATUS_CONCAT_INNER_(a, b) a##b
+#define PTRIDER_STATUS_CONCAT_(a, b) PTRIDER_STATUS_CONCAT_INNER_(a, b)
+#define PTRIDER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // PTRIDER_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef PTRIDER_UTIL_STRING_UTIL_H_
+#define PTRIDER_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ptrider::util {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Strict numeric parsing (whole string must be consumed).
+Result<int64_t> ParseInt(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+/// Human-readable quantities for reports: "1.23 ms", "4.5 km", "12.3k".
+std::string FormatDuration(double seconds);
+std::string FormatCount(double count);
+
+}  // namespace ptrider::util
+
+#endif  // PTRIDER_UTIL_STRING_UTIL_H_

@@ -1,0 +1,28 @@
+#ifndef PTRIDER_UTIL_TIMER_H_
+#define PTRIDER_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ptrider::util {
+
+/// Monotonic wall-clock stopwatch used for response-time measurement.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ptrider::util
+
+#endif  // PTRIDER_UTIL_TIMER_H_

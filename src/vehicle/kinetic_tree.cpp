@@ -1,0 +1,490 @@
+#include "vehicle/kinetic_tree.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ptrider::vehicle {
+
+namespace {
+
+/// Absolute slack for floating-point constraint comparisons (meters /
+/// seconds are O(1e0..1e5), double gives ~1e-11 relative error).
+constexpr double kEps = 1e-6;
+
+bool LeqWithSlack(double a, double b) { return a <= b + kEps; }
+
+bool StopLess(const Stop& a, const Stop& b) {
+  if (a.request != b.request) return a.request < b.request;
+  if (a.type != b.type) return static_cast<int>(a.type) < static_cast<int>(b.type);
+  return a.location < b.location;
+}
+
+bool SequenceLess(const std::vector<Stop>& a, const std::vector<Stop>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end(),
+                                      StopLess);
+}
+
+}  // namespace
+
+roadnet::Weight Branch::DistanceToStop(size_t k) const {
+  roadnet::Weight d = 0.0;
+  for (size_t i = 0; i <= k && i < legs.size(); ++i) d += legs[i];
+  return d;
+}
+
+KineticTree::KineticTree(roadnet::VertexId root_location, int capacity,
+                         size_t max_branches)
+    : root_(root_location),
+      capacity_(capacity),
+      max_branches_(max_branches) {}
+
+size_t KineticTree::NumTreeNodes() const {
+  // Count distinct branch prefixes (the trie nodes below the root).
+  std::set<std::vector<Stop>, bool (*)(const std::vector<Stop>&,
+                                       const std::vector<Stop>&)>
+      prefixes(SequenceLess);
+  for (const Branch& b : branches_) {
+    std::vector<Stop> prefix;
+    prefix.reserve(b.stops.size());
+    for (const Stop& s : b.stops) {
+      prefix.push_back(s);
+      prefixes.insert(prefix);
+    }
+  }
+  return prefixes.size();
+}
+
+int KineticTree::RidersOnboard() const {
+  int riders = 0;
+  for (const auto& [id, p] : pending_) {
+    if (p.onboard) riders += p.request.num_riders;
+  }
+  return riders;
+}
+
+bool KineticTree::WalkSequence(const std::vector<Stop>& stops,
+                               const ScheduleContext& ctx,
+                               DistanceProvider& dist, bool exact,
+                               const Request* new_request,
+                               double new_request_max_trip,
+                               roadnet::Weight* total_out,
+                               roadnet::Weight* new_pickup_out) const {
+  auto distance = [&](roadnet::VertexId u, roadnet::VertexId v) {
+    return exact ? dist.Exact(u, v) : dist.Lower(u, v);
+  };
+
+  roadnet::VertexId cur = root_;
+  roadnet::Weight cum = 0.0;
+  int riders = RidersOnboard();
+  if (new_request != nullptr && new_pickup_out != nullptr) {
+    *new_pickup_out = roadnet::kInfWeight;
+  }
+
+  // cum distance at each request's pickup within this sequence.
+  std::map<RequestId, roadnet::Weight> pickup_cum;
+
+  for (const Stop& stop : stops) {
+    const roadnet::Weight leg = distance(cur, stop.location);
+    if (leg == roadnet::kInfWeight) return false;
+    cum += leg;
+    cur = stop.location;
+
+    const bool is_new =
+        new_request != nullptr && stop.request == new_request->id;
+    const PendingRequest* pending = nullptr;
+    if (!is_new) {
+      const auto it = pending_.find(stop.request);
+      if (it == pending_.end()) return false;  // unknown stop
+      pending = &it->second;
+    }
+
+    if (stop.type == StopType::kPickup) {
+      // Waiting-time constraint (condition 3): arrival by the deadline.
+      if (!is_new) {
+        const double arrival = ctx.now_s + cum / ctx.speed_mps;
+        if (!LeqWithSlack(arrival, pending->pickup_deadline_s)) return false;
+      }
+      // Capacity constraint (condition 1).
+      const int n =
+          is_new ? new_request->num_riders : pending->request.num_riders;
+      riders += n;
+      if (riders > capacity_) return false;
+      pickup_cum[stop.request] = cum;
+      if (is_new && new_pickup_out != nullptr) *new_pickup_out = cum;
+    } else {
+      // Service constraint (condition 4).
+      const auto pk = pickup_cum.find(stop.request);
+      double trip;
+      double allowance;
+      if (is_new) {
+        if (pk == pickup_cum.end()) return false;  // order violated
+        trip = cum - pk->second;
+        allowance = new_request_max_trip;
+      } else if (pending->onboard) {
+        trip = pending->consumed_trip_distance_m + cum;
+        allowance = pending->max_trip_distance_m;
+      } else {
+        if (pk == pickup_cum.end()) return false;  // order violated
+        trip = cum - pk->second;
+        allowance = pending->max_trip_distance_m;
+      }
+      if (!LeqWithSlack(trip, allowance)) return false;
+      const int n =
+          is_new ? new_request->num_riders : pending->request.num_riders;
+      riders -= n;
+    }
+  }
+  if (total_out != nullptr) *total_out = cum;
+  return true;
+}
+
+bool KineticTree::ValidateSequence(const std::vector<Stop>& stops,
+                                   const ScheduleContext& ctx,
+                                   DistanceProvider& dist,
+                                   const Request* new_request,
+                                   double new_request_max_trip,
+                                   roadnet::Weight* total_out,
+                                   roadnet::Weight* new_pickup_out) const {
+  // Structural check (condition 2 plus completeness): the sequence must
+  // contain, exactly once each, a drop-off for every onboard request, a
+  // pick-up followed by a drop-off for every waiting request, and the new
+  // request's pick-up before its drop-off.
+  std::map<RequestId, int> seen_pickup;
+  std::map<RequestId, int> seen_dropoff;
+  for (const Stop& s : stops) {
+    if (s.type == StopType::kPickup) {
+      if (++seen_pickup[s.request] > 1) return false;
+      if (seen_dropoff.count(s.request) > 0) return false;  // order
+    } else {
+      if (++seen_dropoff[s.request] > 1) return false;
+    }
+  }
+  size_t expected = 0;
+  for (const auto& [id, p] : pending_) {
+    if (p.onboard) {
+      if (seen_pickup.count(id) > 0 || seen_dropoff.count(id) == 0) {
+        return false;
+      }
+      expected += 1;
+    } else {
+      if (seen_pickup.count(id) == 0 || seen_dropoff.count(id) == 0) {
+        return false;
+      }
+      expected += 2;
+    }
+  }
+  if (new_request != nullptr) {
+    if (seen_pickup.count(new_request->id) == 0 ||
+        seen_dropoff.count(new_request->id) == 0) {
+      return false;
+    }
+    expected += 2;
+  }
+  if (stops.size() != expected) return false;
+
+  return WalkSequence(stops, ctx, dist, /*exact=*/true, new_request,
+                      new_request_max_trip, total_out, new_pickup_out);
+}
+
+bool KineticTree::ValidateWithBounds(const std::vector<Stop>& stops,
+                                     const ScheduleContext& ctx,
+                                     DistanceProvider& dist,
+                                     const Request* new_request,
+                                     double new_request_max_trip,
+                                     roadnet::Weight* total_out,
+                                     roadnet::Weight* new_pickup_out,
+                                     bool* pruned_by_bounds) const {
+  *pruned_by_bounds = false;
+  // Lower-bound screen: if the walk fails with admissible lower bounds it
+  // must fail with exact distances (constraints are monotone in distance).
+  if (!WalkSequence(stops, ctx, dist, /*exact=*/false, new_request,
+                    new_request_max_trip, nullptr, nullptr)) {
+    *pruned_by_bounds = true;
+    return false;
+  }
+  return ValidateSequence(stops, ctx, dist, new_request,
+                          new_request_max_trip, total_out, new_pickup_out);
+}
+
+std::vector<InsertionCandidate> KineticTree::TrialInsert(
+    const Request& request, const ScheduleContext& ctx,
+    DistanceProvider& dist, InsertionStats* stats) const {
+  std::vector<InsertionCandidate> out;
+  InsertionStats local;
+
+  const roadnet::Weight direct =
+      dist.Exact(request.start, request.destination);
+  if (direct == roadnet::kInfWeight) return out;
+  const double max_trip = (1.0 + request.service_sigma) * direct;
+
+  const Stop pickup{request.id, StopType::kPickup, request.start};
+  const Stop dropoff{request.id, StopType::kDropoff, request.destination};
+
+  std::set<std::vector<Stop>, bool (*)(const std::vector<Stop>&,
+                                       const std::vector<Stop>&)>
+      tried(SequenceLess);
+
+  auto consider = [&](std::vector<Stop> seq) {
+    if (!tried.insert(seq).second) return;
+    ++local.sequences_generated;
+    roadnet::Weight total = 0.0;
+    roadnet::Weight pickup_dist = 0.0;
+    bool by_bounds = false;
+    if (ValidateWithBounds(seq, ctx, dist, &request, max_trip, &total,
+                           &pickup_dist, &by_bounds)) {
+      ++local.exact_validated;
+      ++local.accepted;
+      out.push_back({pickup_dist, total, std::move(seq)});
+    } else if (by_bounds) {
+      ++local.bound_pruned;
+    } else {
+      ++local.exact_validated;
+    }
+  };
+
+  if (branches_.empty()) {
+    consider({pickup, dropoff});
+  } else {
+    for (const Branch& branch : branches_) {
+      const size_t n = branch.stops.size();
+      for (size_t i = 0; i <= n; ++i) {
+        for (size_t j = i; j <= n; ++j) {
+          std::vector<Stop> seq;
+          seq.reserve(n + 2);
+          seq.insert(seq.end(), branch.stops.begin(),
+                     branch.stops.begin() + static_cast<long>(i));
+          seq.push_back(pickup);
+          seq.insert(seq.end(), branch.stops.begin() + static_cast<long>(i),
+                     branch.stops.begin() + static_cast<long>(j));
+          seq.push_back(dropoff);
+          seq.insert(seq.end(), branch.stops.begin() + static_cast<long>(j),
+                     branch.stops.end());
+          consider(std::move(seq));
+        }
+      }
+    }
+  }
+  if (stats != nullptr) stats->Merge(local);
+  return out;
+}
+
+void KineticTree::AppendBranch(std::vector<Stop> stops,
+                               DistanceProvider& dist) {
+  Branch b;
+  b.legs.reserve(stops.size());
+  roadnet::VertexId cur = root_;
+  for (const Stop& s : stops) {
+    const roadnet::Weight leg = dist.Exact(cur, s.location);
+    b.legs.push_back(leg);
+    b.total += leg;
+    cur = s.location;
+  }
+  b.stops = std::move(stops);
+  branches_.push_back(std::move(b));
+}
+
+void KineticTree::NormalizeBranches() {
+  std::sort(branches_.begin(), branches_.end(),
+            [](const Branch& a, const Branch& b) {
+              if (a.total != b.total) return a.total < b.total;
+              return SequenceLess(a.stops, b.stops);
+            });
+  branches_.erase(
+      std::unique(branches_.begin(), branches_.end(),
+                  [](const Branch& a, const Branch& b) {
+                    return a.stops == b.stops;
+                  }),
+      branches_.end());
+}
+
+util::Status KineticTree::CommitInsert(
+    const Request& request, roadnet::Weight planned_pickup_distance,
+    double price, const ScheduleContext& ctx, DistanceProvider& dist) {
+  if (pending_.count(request.id) > 0) {
+    return util::Status::AlreadyExists(
+        util::StrFormat("request %lld already assigned",
+                        static_cast<long long>(request.id)));
+  }
+  std::vector<InsertionCandidate> candidates =
+      TrialInsert(request, ctx, dist, nullptr);
+  if (candidates.empty()) {
+    return util::Status::FailedPrecondition(
+        "request no longer insertable into this vehicle");
+  }
+
+  const double planned_s =
+      ctx.now_s + planned_pickup_distance / ctx.speed_mps;
+  const double deadline_s = planned_s + request.max_wait_s;
+
+  PendingRequest p;
+  p.request = request;
+  p.onboard = false;
+  p.planned_pickup_s = planned_s;
+  p.pickup_deadline_s = deadline_s;
+  p.max_trip_distance_m =
+      (1.0 + request.service_sigma) *
+      dist.Exact(request.start, request.destination);
+  p.consumed_trip_distance_m = 0.0;
+  p.price = price;
+
+  std::vector<Branch> new_branches;
+  for (InsertionCandidate& c : candidates) {
+    const double arrival = ctx.now_s + c.pickup_distance / ctx.speed_mps;
+    if (!LeqWithSlack(arrival, deadline_s)) continue;
+    Branch b;
+    roadnet::VertexId cur = root_;
+    for (const Stop& s : c.stops) {
+      const roadnet::Weight leg = dist.Exact(cur, s.location);
+      b.legs.push_back(leg);
+      b.total += leg;
+      cur = s.location;
+    }
+    b.stops = std::move(c.stops);
+    new_branches.push_back(std::move(b));
+  }
+  if (new_branches.empty()) {
+    return util::Status::Internal(
+        "no candidate meets the committed pick-up deadline");
+  }
+  pending_.emplace(request.id, std::move(p));
+  branches_ = std::move(new_branches);
+  NormalizeBranches();
+  if (max_branches_ > 0 && branches_.size() > max_branches_) {
+    branches_.resize(max_branches_);  // keep the shortest schedules
+  }
+  return util::Status::Ok();
+}
+
+util::Status KineticTree::AdvanceTo(roadnet::VertexId new_root,
+                                    double distance_m,
+                                    const ScheduleContext& ctx,
+                                    DistanceProvider& dist,
+                                    const std::vector<Stop>& executing) {
+  for (auto& [id, p] : pending_) {
+    if (p.onboard) p.consumed_trip_distance_m += distance_m;
+  }
+  root_ = new_root;
+  if (branches_.empty()) return util::Status::Ok();
+
+  std::vector<Branch> kept;
+  for (Branch& b : branches_) {
+    // Only the first leg depends on the root.
+    const roadnet::Weight first =
+        b.stops.empty() ? 0.0 : dist.Exact(root_, b.stops.front().location);
+    b.total = b.total - b.legs.front() + first;
+    b.legs.front() = first;
+    const bool is_executing = !executing.empty() && b.stops == executing;
+    if (is_executing ||
+        ValidateSequence(b.stops, ctx, dist, nullptr, 0.0, nullptr,
+                         nullptr)) {
+      kept.push_back(std::move(b));
+    }
+  }
+  if (kept.empty()) {
+    return util::Status::Internal(
+        "all kinetic tree branches became invalid during advance");
+  }
+  branches_ = std::move(kept);
+  NormalizeBranches();
+  return util::Status::Ok();
+}
+
+util::Result<Stop> KineticTree::PopFirstStop(const ScheduleContext& ctx) {
+  if (branches_.empty()) {
+    return util::Status::FailedPrecondition("kinetic tree has no stops");
+  }
+  const Branch& best = branches_.front();
+  const Stop first = best.stops.front();
+  if (first.location != root_) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "vehicle at vertex %d has not reached next stop at vertex %d",
+        root_, first.location));
+  }
+
+  auto it = pending_.find(first.request);
+  if (it == pending_.end()) {
+    return util::Status::Internal("stop for unknown request");
+  }
+  if (first.type == StopType::kPickup) {
+    it->second.onboard = true;
+    it->second.consumed_trip_distance_m = 0.0;
+    (void)ctx;
+  } else {
+    pending_.erase(it);
+  }
+
+  std::vector<Branch> kept;
+  for (Branch& b : branches_) {
+    if (b.stops.front() == first) {
+      b.total -= b.legs.front();
+      b.stops.erase(b.stops.begin());
+      b.legs.erase(b.legs.begin());
+      if (!b.stops.empty()) kept.push_back(std::move(b));
+    }
+  }
+  branches_ = std::move(kept);
+  NormalizeBranches();
+  return first;
+}
+
+util::Status KineticTree::RemoveRequest(RequestId id,
+                                        DistanceProvider& dist) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return util::Status::NotFound(util::StrFormat(
+        "request %lld is not assigned to this vehicle",
+        static_cast<long long>(id)));
+  }
+  if (it->second.onboard) {
+    return util::Status::FailedPrecondition(
+        "cannot cancel: riders already picked up");
+  }
+  pending_.erase(it);
+  std::vector<Branch> rebuilt;
+  rebuilt.reserve(branches_.size());
+  for (const Branch& b : branches_) {
+    std::vector<Stop> stops;
+    stops.reserve(b.stops.size());
+    for (const Stop& s : b.stops) {
+      if (s.request != id) stops.push_back(s);
+    }
+    if (stops.empty()) continue;
+    Branch nb;
+    roadnet::VertexId cur = root_;
+    for (const Stop& s : stops) {
+      const roadnet::Weight leg = dist.Exact(cur, s.location);
+      nb.legs.push_back(leg);
+      nb.total += leg;
+      cur = s.location;
+    }
+    nb.stops = std::move(stops);
+    rebuilt.push_back(std::move(nb));
+  }
+  branches_ = std::move(rebuilt);
+  NormalizeBranches();  // orderings may have collapsed into duplicates
+  return util::Status::Ok();
+}
+
+std::string KineticTree::DebugString() const {
+  std::ostringstream os;
+  os << "KineticTree{root=v" << root_ << ", pending=" << pending_.size()
+     << ", onboard_riders=" << RidersOnboard()
+     << ", branches=" << branches_.size() << ", nodes=" << NumTreeNodes();
+  if (!branches_.empty()) {
+    os << ", best=" << branches_.front().total << " [";
+    for (size_t i = 0; i < branches_.front().stops.size(); ++i) {
+      if (i > 0) os << " ";
+      const Stop& s = branches_.front().stops[i];
+      os << (s.type == StopType::kPickup ? "+" : "-") << s.request << "@v"
+         << s.location;
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ptrider::vehicle

@@ -1,0 +1,14 @@
+#include "vehicle/request.h"
+
+#include "util/string_util.h"
+
+namespace ptrider::vehicle {
+
+std::string Request::DebugString() const {
+  return util::StrFormat(
+      "R%lld<v%d->v%d, n=%d, w=%.0fs, sigma=%.2f, t=%.1fs>",
+      static_cast<long long>(id), start, destination, num_riders, max_wait_s,
+      service_sigma, submit_time_s);
+}
+
+}  // namespace ptrider::vehicle

@@ -1,0 +1,36 @@
+#ifndef PTRIDER_VEHICLE_REQUEST_H_
+#define PTRIDER_VEHICLE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "roadnet/types.h"
+
+namespace ptrider::vehicle {
+
+using RequestId = int64_t;
+inline constexpr RequestId kInvalidRequest = -1;
+
+/// A ridesharing request R = <s, d, n, w, sigma> (Definition 1) plus its
+/// submission timestamp.
+struct Request {
+  RequestId id = kInvalidRequest;
+  roadnet::VertexId start = roadnet::kInvalidVertex;
+  roadnet::VertexId destination = roadnet::kInvalidVertex;
+  /// Number of riders travelling together (n >= 1).
+  int num_riders = 1;
+  /// Maximal waiting time w in seconds: the actual pick-up may lag the
+  /// planned pick-up by at most this much.
+  double max_wait_s = 300.0;
+  /// Service constraint sigma: the in-vehicle travel distance from s to d
+  /// is bounded by (1 + sigma) * dist(s, d).
+  double service_sigma = 0.2;
+  /// Simulation time at which the request was submitted, seconds.
+  double submit_time_s = 0.0;
+
+  std::string DebugString() const;
+};
+
+}  // namespace ptrider::vehicle
+
+#endif  // PTRIDER_VEHICLE_REQUEST_H_

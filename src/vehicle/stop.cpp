@@ -1,0 +1,13 @@
+#include "vehicle/stop.h"
+
+#include "util/string_util.h"
+
+namespace ptrider::vehicle {
+
+std::string Stop::DebugString() const {
+  return util::StrFormat("%s%lld@v%d",
+                         type == StopType::kPickup ? "+" : "-",
+                         static_cast<long long>(request), location);
+}
+
+}  // namespace ptrider::vehicle

@@ -1,0 +1,30 @@
+#ifndef PTRIDER_VEHICLE_STOP_H_
+#define PTRIDER_VEHICLE_STOP_H_
+
+#include <string>
+
+#include "roadnet/types.h"
+#include "vehicle/request.h"
+
+namespace ptrider::vehicle {
+
+enum class StopType { kPickup, kDropoff };
+
+/// One scheduled stop of a vehicle trip schedule: the start location or
+/// destination of an unfinished ridesharing request (Definition 2).
+struct Stop {
+  RequestId request = kInvalidRequest;
+  StopType type = StopType::kPickup;
+  roadnet::VertexId location = roadnet::kInvalidVertex;
+
+  bool operator==(const Stop& other) const {
+    return request == other.request && type == other.type &&
+           location == other.location;
+  }
+
+  std::string DebugString() const;
+};
+
+}  // namespace ptrider::vehicle
+
+#endif  // PTRIDER_VEHICLE_STOP_H_

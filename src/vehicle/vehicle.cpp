@@ -1,0 +1,14 @@
+#include "vehicle/vehicle.h"
+
+#include "util/string_util.h"
+
+namespace ptrider::vehicle {
+
+std::string Vehicle::DebugString() const {
+  return util::StrFormat("c%d@v%d cap=%d pending=%zu %s", id_,
+                         tree_.root_location(), tree_.capacity(),
+                         tree_.NumPendingRequests(),
+                         IsEmpty() ? "(empty)" : "(non-empty)");
+}
+
+}  // namespace ptrider::vehicle

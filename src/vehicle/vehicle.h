@@ -1,0 +1,62 @@
+#ifndef PTRIDER_VEHICLE_VEHICLE_H_
+#define PTRIDER_VEHICLE_VEHICLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "roadnet/types.h"
+#include "vehicle/kinetic_tree.h"
+
+namespace ptrider::vehicle {
+
+using VehicleId = int32_t;
+inline constexpr VehicleId kInvalidVehicle = -1;
+
+/// One vehicle (Section 3.2.2): identifier, current location, the set of
+/// unfinished requests and the kinetic tree of valid trip schedules. A
+/// vehicle is *empty* when it has no unfinished requests — the grid
+/// index's empty/non-empty vehicle lists are keyed on this.
+class Vehicle {
+ public:
+  Vehicle(VehicleId id, roadnet::VertexId location, int capacity,
+          size_t max_branches = 0)
+      : id_(id), tree_(location, capacity, max_branches) {}
+
+  VehicleId id() const { return id_; }
+  roadnet::VertexId location() const { return tree_.root_location(); }
+  int capacity() const { return tree_.capacity(); }
+  bool IsEmpty() const { return tree_.NumPendingRequests() == 0; }
+  int RidersOnboard() const { return tree_.RidersOnboard(); }
+
+  const KineticTree& tree() const { return tree_; }
+  KineticTree& mutable_tree() { return tree_; }
+
+  // --- Lifetime statistics (metrics module reads these) --------------------
+  double total_distance_m() const { return total_distance_m_; }
+  double occupied_distance_m() const { return occupied_distance_m_; }
+  double shared_distance_m() const { return shared_distance_m_; }
+  int64_t completed_requests() const { return completed_requests_; }
+
+  /// Records `meters` of movement for the distance accounting, given the
+  /// number of distinct onboard requests while moving.
+  void AccrueMovement(double meters, int onboard_requests) {
+    total_distance_m_ += meters;
+    if (onboard_requests >= 1) occupied_distance_m_ += meters;
+    if (onboard_requests >= 2) shared_distance_m_ += meters;
+  }
+  void RecordCompletedRequest() { ++completed_requests_; }
+
+  std::string DebugString() const;
+
+ private:
+  VehicleId id_;
+  KineticTree tree_;
+  double total_distance_m_ = 0.0;
+  double occupied_distance_m_ = 0.0;
+  double shared_distance_m_ = 0.0;
+  int64_t completed_requests_ = 0;
+};
+
+}  // namespace ptrider::vehicle
+
+#endif  // PTRIDER_VEHICLE_VEHICLE_H_

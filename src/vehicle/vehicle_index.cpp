@@ -1,0 +1,75 @@
+#include "vehicle/vehicle_index.h"
+
+#include <algorithm>
+
+namespace ptrider::vehicle {
+
+VehicleIndex::VehicleIndex(const roadnet::GridIndex& grid) : grid_(&grid) {
+  empty_lists_.assign(static_cast<size_t>(grid.NumCells()), {});
+  non_empty_lists_.assign(static_cast<size_t>(grid.NumCells()), {});
+}
+
+void VehicleIndex::Unregister(VehicleId id, const Registration& reg) {
+  auto& lists = reg.is_empty ? empty_lists_ : non_empty_lists_;
+  for (const roadnet::CellId c : reg.cells) {
+    std::vector<VehicleId>& list = lists[static_cast<size_t>(c)];
+    const auto it = std::find(list.begin(), list.end(), id);
+    if (it != list.end()) {
+      *it = list.back();
+      list.pop_back();
+    }
+  }
+}
+
+void VehicleIndex::Update(const Vehicle& v) {
+  ++update_count_;
+  const auto old_it = registration_.find(v.id());
+
+  Registration next;
+  next.is_empty = v.IsEmpty();
+  const roadnet::CellId loc_cell =
+      grid_->CellOfVertex(v.location());
+  next.cells.push_back(loc_cell);
+  if (!next.is_empty) {
+    for (const Branch& b : v.tree().branches()) {
+      for (const Stop& s : b.stops) {
+        const roadnet::CellId c = grid_->CellOfVertex(s.location);
+        if (std::find(next.cells.begin(), next.cells.end(), c) ==
+            next.cells.end()) {
+          next.cells.push_back(c);
+        }
+      }
+    }
+  }
+  std::sort(next.cells.begin(), next.cells.end());
+
+  if (old_it != registration_.end()) {
+    if (old_it->second.is_empty == next.is_empty &&
+        old_it->second.cells == next.cells) {
+      return;  // registration unchanged
+    }
+    Unregister(v.id(), old_it->second);
+  }
+  auto& lists = next.is_empty ? empty_lists_ : non_empty_lists_;
+  for (const roadnet::CellId c : next.cells) {
+    lists[static_cast<size_t>(c)].push_back(v.id());
+  }
+  registration_[v.id()] = std::move(next);
+}
+
+void VehicleIndex::Remove(VehicleId id) {
+  ++update_count_;
+  const auto it = registration_.find(id);
+  if (it == registration_.end()) return;
+  Unregister(id, it->second);
+  registration_.erase(it);
+}
+
+std::vector<roadnet::CellId> VehicleIndex::RegisteredCells(
+    VehicleId id) const {
+  const auto it = registration_.find(id);
+  if (it == registration_.end()) return {};
+  return it->second.cells;
+}
+
+}  // namespace ptrider::vehicle

@@ -1,0 +1,68 @@
+#ifndef PTRIDER_VEHICLE_VEHICLE_INDEX_H_
+#define PTRIDER_VEHICLE_VEHICLE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/grid_index.h"
+#include "vehicle/vehicle.h"
+
+namespace ptrider::vehicle {
+
+/// Grid-cell vehicle lists (Fig. 1(b), lists (iv) and (v)): per cell, the
+/// empty vehicles located in it and the non-empty vehicles whose trip
+/// schedules touch it.
+///
+/// An empty vehicle is registered in the single cell of its current
+/// location. A non-empty vehicle is registered in the cells of its current
+/// location and of every stop in its kinetic tree — exactly the locations
+/// a new pick-up can be inserted after, which is what makes single-side
+/// search's cell-by-cell termination bound sound (DESIGN.md section 4.3).
+/// The paper additionally registers cells crossed by schedule edges; that
+/// superset only affects when a vehicle is first examined, not which
+/// options exist, and is omitted here.
+class VehicleIndex {
+ public:
+  explicit VehicleIndex(const roadnet::GridIndex& grid);
+
+  /// (Re-)registers `v` according to its current state. Idempotent.
+  void Update(const Vehicle& v);
+  /// Removes `v` from all lists (e.g. vehicle goes offline).
+  void Remove(VehicleId id);
+
+  const std::vector<VehicleId>& EmptyVehicles(roadnet::CellId c) const {
+    return empty_lists_[static_cast<size_t>(c)];
+  }
+  const std::vector<VehicleId>& NonEmptyVehicles(roadnet::CellId c) const {
+    return non_empty_lists_[static_cast<size_t>(c)];
+  }
+
+  /// Cells `v` is currently registered in (empty when unregistered).
+  std::vector<roadnet::CellId> RegisteredCells(VehicleId id) const;
+
+  const roadnet::GridIndex& grid() const { return *grid_; }
+
+  /// Total number of Update/Remove operations applied (experiment E11).
+  uint64_t update_count() const { return update_count_; }
+  /// Number of registered vehicles.
+  size_t size() const { return registration_.size(); }
+
+ private:
+  struct Registration {
+    bool is_empty = true;
+    std::vector<roadnet::CellId> cells;
+  };
+
+  void Unregister(VehicleId id, const Registration& reg);
+
+  const roadnet::GridIndex* grid_;
+  std::vector<std::vector<VehicleId>> empty_lists_;
+  std::vector<std::vector<VehicleId>> non_empty_lists_;
+  std::unordered_map<VehicleId, Registration> registration_;
+  uint64_t update_count_ = 0;
+};
+
+}  // namespace ptrider::vehicle
+
+#endif  // PTRIDER_VEHICLE_VEHICLE_INDEX_H_

@@ -1,0 +1,144 @@
+// Rider cancellation: an assigned, not-yet-picked-up request can be
+// withdrawn; the vehicle's schedules shrink (never break), capacity is
+// released, and the vehicle may become empty again in the index.
+
+#include <gtest/gtest.h>
+
+#include "core/distance_providers.h"
+#include "core/ptrider.h"
+#include "roadnet/paper_example.h"
+
+namespace ptrider::core {
+namespace {
+
+using roadnet::MakePaperExampleNetwork;
+using roadnet::PaperExampleNetwork;
+
+class CancelTest : public ::testing::Test {
+ protected:
+  CancelTest() : ex_(MakePaperExampleNetwork()) {
+    Config cfg;
+    cfg.speed_mps = 1.0;
+    cfg.vehicle_capacity = 4;
+    cfg.default_max_wait_s = 5.0;
+    cfg.default_service_sigma = 0.2;
+    cfg.price_distance_unit_m = 1.0;
+    cfg.max_planned_pickup_s = 1e6;
+    roadnet::GridIndexOptions grid;
+    grid.cells_x = 3;
+    grid.cells_y = 3;
+    auto sys = PTRider::Create(ex_.graph, cfg, grid);
+    EXPECT_TRUE(sys.ok());
+    sys_ = std::move(sys).value();
+  }
+
+  vehicle::Request MakeRequest(vehicle::RequestId id, int s, int d) {
+    vehicle::Request r;
+    r.id = id;
+    r.start = ex_.v(s);
+    r.destination = ex_.v(d);
+    r.num_riders = 2;
+    r.max_wait_s = 5.0;
+    r.service_sigma = 0.2;
+    return r;
+  }
+
+  void Assign(const vehicle::Request& r) {
+    auto m = sys_->SubmitRequest(r, 0.0);
+    ASSERT_TRUE(m.ok());
+    ASSERT_FALSE(m->options.empty());
+    ASSERT_TRUE(sys_->ChooseOption(r, m->options.front(), 0.0).ok());
+  }
+
+  PaperExampleNetwork ex_;
+  std::unique_ptr<PTRider> sys_;
+};
+
+TEST_F(CancelTest, UnknownRequestFails) {
+  EXPECT_EQ(sys_->CancelRequest(123).code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(CancelTest, CancelReturnsVehicleToEmpty) {
+  auto c = sys_->AddVehicle(ex_.v(13));
+  ASSERT_TRUE(c.ok());
+  Assign(MakeRequest(1, 12, 17));
+  ASSERT_FALSE(sys_->fleet().at(*c).IsEmpty());
+  ASSERT_TRUE(sys_->CancelRequest(1).ok());
+  EXPECT_TRUE(sys_->fleet().at(*c).IsEmpty());
+  EXPECT_EQ(sys_->AssignedVehicle(1), vehicle::kInvalidVehicle);
+  // Back in the empty-vehicle list for matching.
+  const auto cell = sys_->grid().CellOfVertex(ex_.v(13));
+  const auto& empties = sys_->vehicle_index().EmptyVehicles(cell);
+  EXPECT_NE(std::find(empties.begin(), empties.end(), *c), empties.end());
+  // The request id can be reused after cancellation.
+  Assign(MakeRequest(1, 12, 17));
+}
+
+TEST_F(CancelTest, CancelOneOfTwoKeepsOtherSchedulesValid) {
+  auto c = sys_->AddVehicle(ex_.v(1));
+  ASSERT_TRUE(c.ok());
+  Assign(MakeRequest(1, 2, 16));
+  const double total_before = sys_->fleet().at(*c).tree().BestTotalDistance();
+  Assign(MakeRequest(2, 12, 17));
+  ASSERT_EQ(sys_->fleet().at(*c).tree().NumPendingRequests(), 2u);
+  ASSERT_TRUE(sys_->CancelRequest(2).ok());
+  const vehicle::KineticTree& tree = sys_->fleet().at(*c).tree();
+  EXPECT_EQ(tree.NumPendingRequests(), 1u);
+  // Schedule shrank back to serving R1 alone.
+  EXPECT_DOUBLE_EQ(tree.BestTotalDistance(), total_before);
+  roadnet::DistanceOracle oracle(ex_.graph);
+  ExactDistanceProvider dist(oracle);
+  for (const vehicle::Branch& b : tree.branches()) {
+    EXPECT_TRUE(tree.ValidateSequence(b.stops, {0.0, 1.0}, dist, nullptr,
+                                      0.0, nullptr, nullptr));
+    for (const vehicle::Stop& s : b.stops) EXPECT_EQ(s.request, 1);
+  }
+}
+
+TEST_F(CancelTest, CannotCancelOnboardRider) {
+  auto c = sys_->AddVehicle(ex_.v(13));
+  ASSERT_TRUE(c.ok());
+  Assign(MakeRequest(3, 12, 17));
+  // Drive to the pickup and board.
+  auto path = sys_->oracle().ShortestPath(ex_.v(13), ex_.v(12));
+  ASSERT_TRUE(path.ok());
+  double now = 0.0;
+  for (size_t i = 1; i < path->size(); ++i) {
+    const double leg = ex_.graph.EdgeWeight((*path)[i - 1], (*path)[i]);
+    now += leg;
+    ASSERT_TRUE(sys_->UpdateVehicleLocation(
+                        *c, (*path)[i], leg, now,
+                        sys_->fleet().at(*c).tree().BestBranch().stops)
+                    .ok());
+  }
+  ASSERT_TRUE(sys_->VehicleArrivedAtStop(*c, now).ok());
+  EXPECT_EQ(sys_->CancelRequest(3).code(),
+            util::StatusCode::kFailedPrecondition);
+  // Still assigned; the ride continues.
+  EXPECT_EQ(sys_->AssignedVehicle(3), *c);
+}
+
+TEST_F(CancelTest, CancellationRestoresCapacityForOthers) {
+  // Capacity 4: two 2-rider groups fill the taxi; a third 2-rider group
+  // overlapping both trips is rejected until one cancels.
+  auto c = sys_->AddVehicle(ex_.v(1));
+  ASSERT_TRUE(c.ok());
+  Assign(MakeRequest(1, 2, 16));
+  Assign(MakeRequest(2, 12, 17));
+  // R3 wants the same corridor mid-trip: no capacity while both ride.
+  vehicle::Request r3 = MakeRequest(3, 12, 16);
+  r3.max_wait_s = 100.0;
+  r3.service_sigma = 1.0;
+  auto m3 = sys_->SubmitRequest(r3, 0.0);
+  ASSERT_TRUE(m3.ok());
+  const size_t options_full = m3->options.size();
+  ASSERT_TRUE(sys_->CancelRequest(2).ok());
+  auto m3_after = sys_->SubmitRequest(r3, 0.0);
+  ASSERT_TRUE(m3_after.ok());
+  EXPECT_GE(m3_after->options.size(), options_full);
+  EXPECT_FALSE(m3_after->options.empty())
+      << "freed capacity must admit the waiting group";
+}
+
+}  // namespace
+}  // namespace ptrider::core

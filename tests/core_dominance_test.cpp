@@ -1,0 +1,149 @@
+#include "core/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace ptrider::core {
+namespace {
+
+Option Make(double time, double price, vehicle::VehicleId id = 0) {
+  Option o;
+  o.vehicle = id;
+  o.pickup_distance = time;
+  o.price = price;
+  return o;
+}
+
+TEST(DominanceTest, Definition4Cases) {
+  // r1 dominates r2 iff (t1<=t2 && p1<p2) || (t1<t2 && p1<=p2).
+  EXPECT_TRUE(Dominates(Make(1, 1), Make(2, 2)));
+  EXPECT_TRUE(Dominates(Make(1, 1), Make(1, 2)));   // equal time, cheaper
+  EXPECT_TRUE(Dominates(Make(1, 1), Make(2, 1)));   // earlier, equal price
+  EXPECT_FALSE(Dominates(Make(1, 1), Make(1, 1)));  // full tie
+  EXPECT_FALSE(Dominates(Make(1, 2), Make(2, 1)));  // trade-off
+  EXPECT_FALSE(Dominates(Make(2, 1), Make(1, 2)));  // trade-off
+  EXPECT_FALSE(Dominates(Make(2, 2), Make(1, 1)));  // dominated
+}
+
+TEST(DominanceTest, Irreflexive) {
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Option o = Make(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10));
+    EXPECT_FALSE(Dominates(o, o));
+  }
+}
+
+TEST(DominanceTest, Asymmetric) {
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Option a = Make(rng.UniformDouble(0, 5), rng.UniformDouble(0, 5));
+    const Option b = Make(rng.UniformDouble(0, 5), rng.UniformDouble(0, 5));
+    EXPECT_FALSE(Dominates(a, b) && Dominates(b, a));
+  }
+}
+
+TEST(DominanceTest, Transitive) {
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Option a = Make(rng.UniformDouble(0, 3), rng.UniformDouble(0, 3));
+    const Option b = Make(rng.UniformDouble(0, 3), rng.UniformDouble(0, 3));
+    const Option c = Make(rng.UniformDouble(0, 3), rng.UniformDouble(0, 3));
+    if (Dominates(a, b) && Dominates(b, c)) {
+      EXPECT_TRUE(Dominates(a, c));
+    }
+  }
+}
+
+TEST(SkylineTest, KeepsTradeOffsDropsDominated) {
+  Skyline sky;
+  EXPECT_TRUE(sky.Add(Make(5, 5)));
+  EXPECT_TRUE(sky.Add(Make(3, 8)));    // earlier but pricier: kept
+  EXPECT_TRUE(sky.Add(Make(8, 2)));    // later but cheaper: kept
+  EXPECT_FALSE(sky.Add(Make(6, 6)));   // dominated by (5,5)
+  EXPECT_EQ(sky.size(), 3u);
+  EXPECT_TRUE(sky.Add(Make(2, 2)));    // dominates all three kept options
+  EXPECT_EQ(sky.size(), 1u);
+}
+
+TEST(SkylineTest, KeepsExactTies) {
+  Skyline sky;
+  EXPECT_TRUE(sky.Add(Make(4, 4, 1)));
+  EXPECT_TRUE(sky.Add(Make(4, 4, 2)));  // identical offer, other vehicle
+  EXPECT_EQ(sky.size(), 2u);
+}
+
+TEST(SkylineTest, CoveredBy) {
+  Skyline sky;
+  sky.Add(Make(5, 5));
+  EXPECT_TRUE(sky.CoveredBy(6.0, 5.5));
+  EXPECT_TRUE(sky.CoveredBy(5.0, 5.5));   // tie on time, worse price
+  EXPECT_FALSE(sky.CoveredBy(5.0, 5.0));  // exact tie: not covered
+  EXPECT_FALSE(sky.CoveredBy(4.0, 9.0));  // could still beat on time
+  EXPECT_FALSE(sky.CoveredBy(9.0, 4.0));  // could still beat on price
+  Skyline empty;
+  EXPECT_FALSE(empty.CoveredBy(0.0, 0.0));
+}
+
+TEST(SkylineTest, TakeSortedOrdersByTime) {
+  Skyline sky;
+  sky.Add(Make(8, 2, 3));
+  sky.Add(Make(3, 8, 1));
+  sky.Add(Make(5, 5, 2));
+  const std::vector<Option> out = sky.TakeSorted();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].pickup_distance, 3.0);
+  EXPECT_DOUBLE_EQ(out[1].pickup_distance, 5.0);
+  EXPECT_DOUBLE_EQ(out[2].pickup_distance, 8.0);
+}
+
+// Property: skyline == brute-force non-dominated filter, for random
+// option sets of varying size.
+class SkylinePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkylinePropertyTest, MatchesBruteForce) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<Option> all;
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i) {
+    all.push_back(Make(rng.UniformDouble(0, 100), rng.UniformDouble(0, 100),
+                       static_cast<vehicle::VehicleId>(i)));
+  }
+  Skyline sky;
+  for (const Option& o : all) sky.Add(o);
+  std::vector<Option> got = sky.TakeSorted();
+
+  std::vector<Option> expected;
+  for (const Option& o : all) {
+    bool dominated = false;
+    for (const Option& other : all) {
+      if (Dominates(other, o)) dominated = true;
+    }
+    if (!dominated) expected.push_back(o);
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (const Option& e : expected) {
+    bool found = false;
+    for (const Option& g : got) {
+      if (g.vehicle == e.vehicle &&
+          g.pickup_distance == e.pickup_distance && g.price == e.price) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << e.DebugString();
+  }
+  // Minimality: everything kept is non-dominated within the kept set.
+  for (const Option& a : got) {
+    for (const Option& b : got) {
+      EXPECT_FALSE(Dominates(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SkylinePropertyTest,
+                         ::testing::Values(1, 2, 5, 20, 100, 400));
+
+}  // namespace
+}  // namespace ptrider::core

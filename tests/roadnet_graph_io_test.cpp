@@ -1,0 +1,95 @@
+#include "roadnet/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "roadnet/dijkstra.h"
+#include "roadnet/paper_example.h"
+#include "vehicle/fleet.h"
+
+namespace ptrider::roadnet {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, SaveLoadRoundTrip) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  const std::string path = TempPath("graph_roundtrip.csv");
+  ASSERT_TRUE(SaveGraphCsv(ex.graph, path).ok());
+  auto loaded = LoadGraphCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->NumVertices(), ex.graph.NumVertices());
+  ASSERT_EQ(loaded->NumEdges(), ex.graph.NumEdges());
+  for (VertexId v = 0; v < static_cast<VertexId>(ex.graph.NumVertices());
+       ++v) {
+    EXPECT_NEAR(loaded->Coord(v).x, ex.graph.Coord(v).x, 1e-6);
+    EXPECT_NEAR(loaded->Coord(v).y, ex.graph.Coord(v).y, 1e-6);
+  }
+  // Distances survive the round trip.
+  DijkstraEngine a(ex.graph);
+  DijkstraEngine b(*loaded);
+  EXPECT_NEAR(b.Distance(ex.v(2), ex.v(16)), a.Distance(ex.v(2), ex.v(16)),
+              1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsMalformedFiles) {
+  const std::string path = TempPath("graph_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "V,0,0.0\n";  // too few fields
+  }
+  EXPECT_FALSE(LoadGraphCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "V,1,0.0,0.0\n";  // non-dense vertex ids
+  }
+  EXPECT_FALSE(LoadGraphCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "V,0,0.0,0.0\nV,1,1.0,0.0\nE,0,5,1.0\n";  // bad endpoint
+  }
+  EXPECT_FALSE(LoadGraphCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "X,0,0.0,0.0\n";  // unknown row kind
+  }
+  EXPECT_FALSE(LoadGraphCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "V,0,zero,0.0\n";  // non-numeric coordinate
+  }
+  EXPECT_FALSE(LoadGraphCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadGraphCsv("/nonexistent/road.csv").ok());
+}
+
+TEST(GraphIoTest, FleetHelpers) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  util::Rng rng(4);
+  auto fleet = vehicle::Fleet::UniformRandom(ex.graph, 25, 3, rng);
+  ASSERT_TRUE(fleet.ok());
+  EXPECT_EQ(fleet->size(), 25u);
+  for (const vehicle::Vehicle& v : fleet->vehicles()) {
+    EXPECT_TRUE(ex.graph.IsValidVertex(v.location()));
+    EXPECT_TRUE(v.IsEmpty());
+    EXPECT_EQ(v.capacity(), 3);
+  }
+  EXPECT_TRUE(fleet->IsValid(0));
+  EXPECT_TRUE(fleet->IsValid(24));
+  EXPECT_FALSE(fleet->IsValid(25));
+  EXPECT_FALSE(fleet->IsValid(-1));
+
+  util::Rng rng2(4);
+  EXPECT_FALSE(vehicle::Fleet::UniformRandom(ex.graph, 5, 0, rng2).ok());
+}
+
+}  // namespace
+}  // namespace ptrider::roadnet

@@ -1,0 +1,230 @@
+#include "roadnet/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "roadnet/dijkstra.h"
+#include "roadnet/graph_generator.h"
+#include "roadnet/paper_example.h"
+#include "util/random.h"
+
+namespace ptrider::roadnet {
+namespace {
+
+GridIndex BuildIndex(const RoadNetwork& g, int cells) {
+  GridIndexOptions opts;
+  opts.cells_x = cells;
+  opts.cells_y = cells;
+  auto index = GridIndex::Build(g, opts);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+TEST(GridIndexTest, RejectsBadOptions) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  GridIndexOptions opts;
+  opts.cells_x = 0;
+  EXPECT_FALSE(GridIndex::Build(ex.graph, opts).ok());
+}
+
+TEST(GridIndexTest, RejectsAsymmetricNetwork) {
+  GraphBuilder b;
+  const VertexId a = b.AddVertex({0, 0});
+  const VertexId c = b.AddVertex({1, 0});
+  ASSERT_TRUE(b.AddEdge(a, c, 1.0).ok());  // one-way street
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(GridIndex::Build(*g).ok());
+}
+
+TEST(GridIndexTest, SingleCellDegenerateGrid) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  const GridIndex index = BuildIndex(ex.graph, 1);
+  EXPECT_EQ(index.NumCells(), 1);
+  // No cell crossings: no border vertices, every v.min infinite.
+  for (VertexId v = 0; v < 17; ++v) {
+    EXPECT_EQ(index.CellOfVertex(v), 0);
+    EXPECT_EQ(index.VertexMinToBorder(v), kInfWeight);
+  }
+  // Same-cell lower bound falls back to geometry.
+  EXPECT_GT(index.LowerBound(ex.v(1), ex.v(17)), 0.0);
+}
+
+TEST(GridIndexTest, BorderVerticesHaveCrossingEdges) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  const GridIndex index = BuildIndex(ex.graph, 3);
+  size_t borders = 0;
+  for (CellId c = 0; c < index.NumCells(); ++c) {
+    for (const VertexId b : index.BorderVertices(c)) {
+      ++borders;
+      EXPECT_EQ(index.CellOfVertex(b), c);
+      bool crossing = false;
+      for (const Edge& e : ex.graph.OutEdges(b)) {
+        if (index.CellOfVertex(e.to) != c) crossing = true;
+      }
+      // A border vertex has a crossing edge in one direction; for
+      // undirected networks the reverse holds too.
+      EXPECT_TRUE(crossing) << "v" << b + 1;
+    }
+  }
+  EXPECT_GT(borders, 0u);
+  EXPECT_EQ(borders, index.build_stats().border_vertex_count);
+}
+
+TEST(GridIndexTest, VertexMinIsExactNearestBorderDistance) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  const GridIndex index = BuildIndex(ex.graph, 3);
+  DijkstraEngine dij(ex.graph);
+  for (VertexId v = 0; v < 17; ++v) {
+    const auto& borders = index.BorderVertices(index.CellOfVertex(v));
+    if (borders.empty()) {
+      EXPECT_EQ(index.VertexMinToBorder(v), kInfWeight);
+      continue;
+    }
+    Weight best = kInfWeight;
+    for (const VertexId b : borders) {
+      best = std::min(best, dij.Distance(v, b));
+    }
+    EXPECT_DOUBLE_EQ(index.VertexMinToBorder(v), best) << "v" << v + 1;
+  }
+}
+
+TEST(GridIndexTest, CellPairLowerBoundIsMinBorderDistanceWithWitness) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  const GridIndex index = BuildIndex(ex.graph, 3);
+  DijkstraEngine dij(ex.graph);
+  for (CellId a = 0; a < index.NumCells(); ++a) {
+    EXPECT_DOUBLE_EQ(index.CellPairLowerBound(a, a), 0.0);
+    for (CellId b = 0; b < index.NumCells(); ++b) {
+      if (a == b) continue;
+      Weight best = kInfWeight;
+      for (const VertexId x : index.BorderVertices(a)) {
+        for (const VertexId y : index.BorderVertices(b)) {
+          best = std::min(best, dij.Distance(x, y));
+        }
+      }
+      EXPECT_DOUBLE_EQ(index.CellPairLowerBound(a, b), best);
+      if (best != kInfWeight) {
+        const WitnessPair w = index.CellPairWitness(a, b);
+        ASSERT_NE(w.x, kInvalidVertex);
+        ASSERT_NE(w.y, kInvalidVertex);
+        EXPECT_EQ(index.CellOfVertex(w.x), a);
+        EXPECT_EQ(index.CellOfVertex(w.y), b);
+        EXPECT_DOUBLE_EQ(dij.Distance(w.x, w.y), best);
+      }
+    }
+  }
+}
+
+TEST(GridIndexTest, SortedCellListsAscendingAndComplete) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  const GridIndex index = BuildIndex(ex.graph, 3);
+  for (CellId c = 0; c < index.NumCells(); ++c) {
+    const auto& list = index.SortedCellList(c);
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LE(list[i - 1].lower_bound, list[i].lower_bound);
+    }
+    for (const CellNeighbor& cn : list) {
+      EXPECT_NE(cn.cell, c);
+      EXPECT_FALSE(index.Vertices(cn.cell).empty());
+      EXPECT_DOUBLE_EQ(cn.lower_bound, index.CellPairLowerBound(c, cn.cell));
+    }
+  }
+}
+
+// Property: LowerBound admissible, UpperBound sound, on random pairs of a
+// generated city with several grid resolutions.
+class GridIndexBoundsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridIndexBoundsTest, BoundsBracketTrueDistance) {
+  CityGridOptions copts;
+  copts.rows = 15;
+  copts.cols = 15;
+  copts.seed = 31;
+  auto g = MakeCityGrid(copts);
+  ASSERT_TRUE(g.ok());
+  const GridIndex index = BuildIndex(*g, GetParam());
+  DijkstraEngine dij(*g);
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const auto u = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g->NumVertices()) - 1));
+    const auto v = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g->NumVertices()) - 1));
+    const Weight exact = dij.Distance(u, v);
+    const Weight lb = index.LowerBound(u, v);
+    const Weight ub = index.UpperBound(u, v);
+    EXPECT_LE(lb, exact * (1.0 + 1e-12) + 1e-9)
+        << "LB not admissible for " << u << "->" << v;
+    if (ub != kInfWeight) {
+      EXPECT_GE(ub * (1.0 + 1e-12) + 1e-9, exact)
+          << "UB below true distance for " << u << "->" << v;
+    }
+    if (u == v) {
+      EXPECT_DOUBLE_EQ(lb, 0.0);
+      EXPECT_DOUBLE_EQ(ub, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, GridIndexBoundsTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(GridIndexTest, CellOfPointClampsOutside) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  const GridIndex index = BuildIndex(ex.graph, 3);
+  EXPECT_EQ(index.CellOfPoint({-100.0, -100.0}), 0);
+  EXPECT_EQ(index.CellOfPoint({1e9, 1e9}), index.NumCells() - 1);
+}
+
+TEST(GridIndexTest, CellsOfPathFirstTouchOrder) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  const GridIndex index = BuildIndex(ex.graph, 3);
+  DijkstraEngine dij(ex.graph);
+  const VertexId targets[] = {ex.v(17)};
+  DijkstraEngine::RunOptions opts;
+  opts.targets = targets;
+  dij.RunFrom(ex.v(1), opts);
+  const std::vector<VertexId> path = dij.PathTo(ex.v(17));
+  const std::vector<CellId> cells = index.CellsOfPath(path);
+  EXPECT_FALSE(cells.empty());
+  // First cell is the start's cell; no duplicates.
+  EXPECT_EQ(cells.front(), index.CellOfVertex(ex.v(1)));
+  std::vector<CellId> sorted = cells;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(GridIndexTest, UpperBoundUnavailableWithoutWitnesses) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  GridIndexOptions opts;
+  opts.cells_x = 3;
+  opts.cells_y = 3;
+  opts.store_witnesses = false;
+  auto index = GridIndex::Build(ex.graph, opts);
+  ASSERT_TRUE(index.ok());
+  bool found_cross_cell = false;
+  for (VertexId u = 0; u < 17 && !found_cross_cell; ++u) {
+    for (VertexId v = 0; v < 17; ++v) {
+      if (index->CellOfVertex(u) != index->CellOfVertex(v)) {
+        EXPECT_EQ(index->UpperBound(u, v), kInfWeight);
+        found_cross_cell = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_cross_cell);
+}
+
+TEST(GridIndexTest, BuildStatsPopulated) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  const GridIndex index = BuildIndex(ex.graph, 3);
+  EXPECT_GT(index.build_stats().non_empty_cells, 0u);
+  EXPECT_GT(index.build_stats().approx_memory_bytes, 0u);
+  EXPECT_GE(index.build_stats().build_seconds, 0.0);
+  EXPECT_FALSE(index.DebugString().empty());
+}
+
+}  // namespace
+}  // namespace ptrider::roadnet

@@ -1,0 +1,168 @@
+#include "roadnet/landmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "roadnet/dijkstra.h"
+#include "roadnet/graph_generator.h"
+#include "roadnet/grid_index.h"
+#include "core/distance_providers.h"
+#include "vehicle/kinetic_tree.h"
+#include "roadnet/paper_example.h"
+#include "util/random.h"
+
+namespace ptrider::roadnet {
+namespace {
+
+TEST(LandmarkIndexTest, RejectsBadInputs) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  EXPECT_FALSE(LandmarkIndex::Build(ex.graph, 0).ok());
+  GraphBuilder b;
+  const VertexId a = b.AddVertex({0, 0});
+  const VertexId c = b.AddVertex({1, 0});
+  ASSERT_TRUE(b.AddEdge(a, c, 1.0).ok());  // asymmetric
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(LandmarkIndex::Build(*g, 2).ok());
+}
+
+TEST(LandmarkIndexTest, LandmarksAreDistinctAndSpread) {
+  CityGridOptions opts;
+  opts.rows = 15;
+  opts.cols = 15;
+  opts.seed = 3;
+  auto g = MakeCityGrid(opts);
+  ASSERT_TRUE(g.ok());
+  auto index = LandmarkIndex::Build(*g, 8, /*seed=*/5);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_landmarks(), 8u);
+  std::vector<VertexId> sorted = index->landmarks();
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+            sorted.end());
+  EXPECT_GT(index->ApproxMemoryBytes(), 0u);
+}
+
+// Property: admissibility across graph styles and landmark counts.
+class LandmarkBoundsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LandmarkBoundsTest, AdmissibleOnRandomPairs) {
+  CityGridOptions opts;
+  opts.rows = 14;
+  opts.cols = 14;
+  opts.seed = 9;
+  auto g = MakeCityGrid(opts);
+  ASSERT_TRUE(g.ok());
+  auto index = LandmarkIndex::Build(*g, GetParam(), 7);
+  ASSERT_TRUE(index.ok());
+  DijkstraEngine dij(*g);
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 250; ++i) {
+    const auto u = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g->NumVertices()) - 1));
+    const auto v = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g->NumVertices()) - 1));
+    const Weight exact = dij.Distance(u, v);
+    const Weight lb = index->LowerBound(u, v);
+    EXPECT_LE(lb, exact * (1.0 + 1e-12) + 1e-9)
+        << GetParam() << " landmarks, " << u << "->" << v;
+    if (u == v) {
+      EXPECT_DOUBLE_EQ(lb, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, LandmarkBoundsTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(LandmarkIndexTest, ExactOnLandmarkPairs) {
+  // For u = a landmark, |d(L,u) - d(L,v)| with L = u gives d(u,v):
+  // the bound is exact from landmarks themselves.
+  CityGridOptions opts;
+  opts.rows = 10;
+  opts.cols = 10;
+  auto g = MakeCityGrid(opts);
+  ASSERT_TRUE(g.ok());
+  auto index = LandmarkIndex::Build(*g, 4, 2);
+  ASSERT_TRUE(index.ok());
+  DijkstraEngine dij(*g);
+  for (const VertexId lm : index->landmarks()) {
+    for (VertexId v = 0; v < static_cast<VertexId>(g->NumVertices());
+         v += 17) {
+      EXPECT_NEAR(index->LowerBound(lm, v), dij.Distance(lm, v), 1e-9);
+    }
+  }
+}
+
+TEST(LandmarkIndexTest, ComplementsGridBounds) {
+  // Neither estimator dominates pointwise; max(grid, alt) is admissible
+  // and at least as tight as either. (This is what an integration as a
+  // DistanceProvider would use.)
+  CityGridOptions opts;
+  opts.rows = 14;
+  opts.cols = 14;
+  opts.seed = 21;
+  auto g = MakeCityGrid(opts);
+  ASSERT_TRUE(g.ok());
+  auto alt = LandmarkIndex::Build(*g, 8, 3);
+  ASSERT_TRUE(alt.ok());
+  GridIndexOptions gopts;
+  gopts.cells_x = 8;
+  gopts.cells_y = 8;
+  auto grid = GridIndex::Build(*g, gopts);
+  ASSERT_TRUE(grid.ok());
+  DijkstraEngine dij(*g);
+  util::Rng rng(10);
+  for (int i = 0; i < 150; ++i) {
+    const auto u = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g->NumVertices()) - 1));
+    const auto v = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g->NumVertices()) - 1));
+    const Weight exact = dij.Distance(u, v);
+    const Weight combined =
+        std::max(alt->LowerBound(u, v), grid->LowerBound(u, v));
+    EXPECT_LE(combined, exact * (1.0 + 1e-12) + 1e-9);
+  }
+}
+
+TEST(KineticTreeCapTest, BranchCapBoundsScheduleSet) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  DistanceOracle oracle(ex.graph);
+  core::ExactDistanceProvider dist(oracle);
+  vehicle::ScheduleContext ctx{0.0, 1.0};
+  vehicle::KineticTree capped(ex.v(1), 8, /*max_branches=*/2);
+  vehicle::KineticTree unlimited(ex.v(1), 8);
+  for (int i = 1; i <= 3; ++i) {
+    vehicle::Request r;
+    r.id = i;
+    r.start = ex.v(2 + i);
+    r.destination = ex.v(10 + i);
+    r.num_riders = 1;
+    r.max_wait_s = 1e6;
+    r.service_sigma = 5.0;
+    auto cands = capped.TrialInsert(r, ctx, dist, nullptr);
+    if (!cands.empty()) {
+      ASSERT_TRUE(capped
+                      .CommitInsert(r, cands.front().pickup_distance, 0.0,
+                                    ctx, dist)
+                      .ok());
+    }
+    auto cands2 = unlimited.TrialInsert(r, ctx, dist, nullptr);
+    if (!cands2.empty()) {
+      ASSERT_TRUE(unlimited
+                      .CommitInsert(r, cands2.front().pickup_distance, 0.0,
+                                    ctx, dist)
+                      .ok());
+    }
+    EXPECT_LE(capped.NumBranches(), 2u);
+  }
+  EXPECT_GT(unlimited.NumBranches(), 2u)
+      << "scenario too small to exercise the cap";
+  // The capped tree keeps the best schedule: totals match.
+  EXPECT_DOUBLE_EQ(capped.BestTotalDistance(),
+                   unlimited.BestTotalDistance());
+}
+
+}  // namespace
+}  // namespace ptrider::roadnet

@@ -1,0 +1,69 @@
+#include "roadnet/paper_example.h"
+
+#include <gtest/gtest.h>
+
+#include "roadnet/dijkstra.h"
+
+namespace ptrider::roadnet {
+namespace {
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest() : ex_(MakePaperExampleNetwork()), engine_(ex_.graph) {}
+
+  Weight D(int a, int b) { return engine_.Distance(ex_.v(a), ex_.v(b)); }
+
+  PaperExampleNetwork ex_;
+  DijkstraEngine engine_;
+};
+
+TEST_F(PaperExampleTest, HasSeventeenVertices) {
+  EXPECT_EQ(ex_.graph.NumVertices(), 17u);
+  EXPECT_TRUE(ex_.graph.GeometricLowerBoundValid());
+}
+
+TEST_F(PaperExampleTest, CalibratedDistancesMatchSection2) {
+  // Every number the running text of Section 2 relies on.
+  EXPECT_DOUBLE_EQ(D(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(D(2, 12), 8.0);
+  EXPECT_DOUBLE_EQ(D(2, 16), 12.0);   // via v12: detour-free insertion
+  EXPECT_DOUBLE_EQ(D(12, 16), 4.0);
+  EXPECT_DOUBLE_EQ(D(16, 17), 3.0);
+  EXPECT_DOUBLE_EQ(D(12, 17), 7.0);   // via v16
+  EXPECT_DOUBLE_EQ(D(13, 12), 8.0);
+  // c1's dist_pt of 14 is the distance along the schedule v1->v2->v12
+  // (6 + 8), not the direct shortest path.
+  EXPECT_DOUBLE_EQ(D(1, 2) + D(2, 12), 14.0);
+  EXPECT_DOUBLE_EQ(D(1, 12), 13.5);
+}
+
+TEST_F(PaperExampleTest, V12OnShortestPathV2ToV16) {
+  EXPECT_DOUBLE_EQ(D(2, 12) + D(12, 16), D(2, 16));
+}
+
+TEST_F(PaperExampleTest, V16OnShortestPathV12ToV17) {
+  EXPECT_DOUBLE_EQ(D(12, 16) + D(16, 17), D(12, 17));
+}
+
+TEST_F(PaperExampleTest, WorkedExampleArithmetic) {
+  // tr1 = <v1, v2, v16>, tr2 = <v1, v2, v12, v16, v17>.
+  const Weight tr1 = D(1, 2) + D(2, 16);
+  const Weight tr2 = D(1, 2) + D(2, 12) + D(12, 16) + D(16, 17);
+  EXPECT_DOUBLE_EQ(tr1, 18.0);
+  EXPECT_DOUBLE_EQ(tr2, 21.0);
+  // Definition 3 with f_2 = 0.4: price of R2 on c1 is 4.
+  const double f2 = 0.3 + (2 - 1) * 0.1;
+  EXPECT_DOUBLE_EQ(f2 * (tr2 - tr1 + D(12, 17)), 4.0);
+  // Empty vehicle c2 at v13: price 0.4 * (8 + 7 + 7) = 8.8.
+  EXPECT_DOUBLE_EQ(f2 * (D(13, 12) + 2 * D(12, 17)), 8.8);
+}
+
+TEST_F(PaperExampleTest, ConnectedNetwork) {
+  engine_.RunFrom(ex_.v(1));
+  for (int i = 1; i <= 17; ++i) {
+    EXPECT_TRUE(engine_.Reached(ex_.v(i))) << "v" << i;
+  }
+}
+
+}  // namespace
+}  // namespace ptrider::roadnet

@@ -1,0 +1,87 @@
+#include "sim/choice.h"
+
+#include <gtest/gtest.h>
+
+namespace ptrider::sim {
+namespace {
+
+core::Option Make(double time_s, double price, vehicle::VehicleId id) {
+  core::Option o;
+  o.vehicle = id;
+  o.pickup_time_s = time_s;
+  o.pickup_distance = time_s;  // unit speed
+  o.price = price;
+  return o;
+}
+
+class ChoiceTest : public ::testing::Test {
+ protected:
+  ChoiceTest() : rng_(9) {
+    options_.push_back(Make(60.0, 10.0, 0));   // fast, expensive
+    options_.push_back(Make(300.0, 4.0, 1));   // slow, cheap
+    options_.push_back(Make(120.0, 7.0, 2));   // middle
+  }
+  std::vector<core::Option> options_;
+  util::Rng rng_;
+};
+
+TEST_F(ChoiceTest, EarliestPickup) {
+  ChoiceContext ctx;
+  ctx.model = RiderChoiceModel::kEarliestPickup;
+  EXPECT_EQ(ChooseOptionIndex(options_, ctx, rng_), 0u);
+}
+
+TEST_F(ChoiceTest, Cheapest) {
+  ChoiceContext ctx;
+  ctx.model = RiderChoiceModel::kCheapest;
+  EXPECT_EQ(ChooseOptionIndex(options_, ctx, rng_), 1u);
+}
+
+TEST_F(ChoiceTest, WeightedUtilityTradesOff) {
+  ChoiceContext ctx;
+  ctx.model = RiderChoiceModel::kWeightedUtility;
+  ctx.now_s = 0.0;
+  // Very high value of time: behaves like earliest pickup.
+  ctx.value_of_time = 100.0;
+  EXPECT_EQ(ChooseOptionIndex(options_, ctx, rng_), 0u);
+  // Zero value of time: behaves like cheapest.
+  ctx.value_of_time = 0.0;
+  EXPECT_EQ(ChooseOptionIndex(options_, ctx, rng_), 1u);
+  // Moderate: the middle option wins (7 + 0.02*120 = 9.4 vs 11.2 / 10).
+  ctx.value_of_time = 0.02;
+  EXPECT_EQ(ChooseOptionIndex(options_, ctx, rng_), 2u);
+}
+
+TEST_F(ChoiceTest, RandomCoversAllOptions) {
+  ChoiceContext ctx;
+  ctx.model = RiderChoiceModel::kRandom;
+  bool seen[3] = {false, false, false};
+  for (int i = 0; i < 200; ++i) {
+    const size_t pick = ChooseOptionIndex(options_, ctx, rng_);
+    ASSERT_LT(pick, 3u);
+    seen[pick] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST_F(ChoiceTest, SingleOptionAlwaysChosen) {
+  std::vector<core::Option> one = {Make(10.0, 1.0, 5)};
+  for (const RiderChoiceModel model :
+       {RiderChoiceModel::kEarliestPickup, RiderChoiceModel::kCheapest,
+        RiderChoiceModel::kWeightedUtility, RiderChoiceModel::kRandom}) {
+    ChoiceContext ctx;
+    ctx.model = model;
+    EXPECT_EQ(ChooseOptionIndex(one, ctx, rng_), 0u);
+  }
+}
+
+TEST(ChoiceNameTest, AllNamed) {
+  for (const RiderChoiceModel model :
+       {RiderChoiceModel::kEarliestPickup, RiderChoiceModel::kCheapest,
+        RiderChoiceModel::kWeightedUtility, RiderChoiceModel::kRandom}) {
+    EXPECT_STRNE(RiderChoiceModelName(model), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace ptrider::sim

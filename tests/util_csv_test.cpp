@@ -1,0 +1,97 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ptrider::util {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CsvParseLineTest, PlainFields) {
+  EXPECT_EQ(CsvReader::ParseLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(CsvReader::ParseLine(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(CsvReader::ParseLine("a,,c"),
+            (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(CsvParseLineTest, QuotedFields) {
+  EXPECT_EQ(CsvReader::ParseLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(CsvReader::ParseLine("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(CsvReaderTest, SkipsCommentsAndBlanks) {
+  const std::string path = TempPath("csv_comments.csv");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\n  \nrow,1\n# mid comment\nrow,2\n";
+  }
+  CsvReader reader(path);
+  ASSERT_TRUE(reader.status().ok());
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.Next(fields));
+  EXPECT_EQ(fields[1], "1");
+  ASSERT_TRUE(reader.Next(fields));
+  EXPECT_EQ(fields[1], "2");
+  EXPECT_FALSE(reader.Next(fields));
+  std::remove(path.c_str());
+}
+
+TEST(CsvReaderTest, HandlesCrLf) {
+  const std::string path = TempPath("csv_crlf.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\r\nc,d\r\n";
+  }
+  CsvReader reader(path);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.Next(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(reader.Next(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"c", "d"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvReaderTest, MissingFileIsIoError) {
+  CsvReader reader("/nonexistent/nowhere.csv");
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::vector<std::string> fields;
+  EXPECT_FALSE(reader.Next(fields));
+}
+
+TEST(CsvWriterTest, RoundTripWithQuoting) {
+  const std::string path = TempPath("csv_roundtrip.csv");
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.status().ok());
+    writer.WriteRow({"plain", "with,comma", "with\"quote", "with\nnewline"});
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  // The newline field spans lines; read the raw content and parse the
+  // simple rows (reader is line-based; multi-line fields are written
+  // correctly even if the line reader splits them).
+  CsvReader reader(path);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.Next(fields));
+  EXPECT_EQ(fields[0], "plain");
+  EXPECT_EQ(fields[1], "with,comma");
+  EXPECT_EQ(fields[2], "with\"quote");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, UnwritablePathIsIoError) {
+  CsvWriter writer("/nonexistent/dir/out.csv");
+  EXPECT_EQ(writer.status().code(), StatusCode::kIoError);
+  writer.WriteRow({"x"});  // no crash
+  EXPECT_FALSE(writer.Flush().ok());
+}
+
+}  // namespace
+}  // namespace ptrider::util

@@ -1,0 +1,147 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/geo.h"
+#include "util/logging.h"
+
+namespace ptrider::util {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(43);
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  int counts[6] = {0};
+  for (int i = 0; i < 6000; ++i) {
+    const int64_t v = rng.UniformInt(2, 7);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 7);
+    ++counts[v - 2];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);  // roughly uniform (expected 1000)
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(11);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0};
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.4);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(GeoTest, Distances) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(GeoTest, BoundingBox) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  box.Extend({1.0, 2.0});
+  box.Extend({-3.0, 5.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.height(), 3.0);
+  EXPECT_TRUE(box.Contains({0.0, 3.0}));
+  EXPECT_FALSE(box.Contains({2.0, 3.0}));
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel prior = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kError));
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kDebug));
+  PTRIDER_LOG(kDebug) << "exercised stream path " << 42;
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kError));
+  SetLogLevel(prior);
+}
+
+}  // namespace
+}  // namespace ptrider::util

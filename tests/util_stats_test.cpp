@@ -1,0 +1,128 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace ptrider::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of the classic dataset: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsBulk) {
+  Rng rng(1);
+  RunningStats bulk;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    bulk.Add(x);
+    (i % 3 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), bulk.min());
+  EXPECT_DOUBLE_EQ(a.max(), bulk.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(5.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(PercentilesTest, ExactWhenUnderCapacity) {
+  Percentiles p(1024);
+  for (int i = 100; i >= 1; --i) p.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.Value(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Value(100), 100.0);
+  EXPECT_NEAR(p.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(p.Value(95), 95.05, 1e-9);
+}
+
+TEST(PercentilesTest, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.Value(50), 0.0);
+}
+
+TEST(PercentilesTest, ClampsPercentileArgument) {
+  Percentiles p;
+  p.Add(7.0);
+  EXPECT_DOUBLE_EQ(p.Value(-10), 7.0);
+  EXPECT_DOUBLE_EQ(p.Value(250), 7.0);
+}
+
+TEST(PercentilesTest, ReservoirApproximatesUniform) {
+  Percentiles p(256, /*seed=*/5);
+  Rng rng(8);
+  for (int i = 0; i < 100000; ++i) p.Add(rng.UniformDouble(0.0, 1.0));
+  EXPECT_EQ(p.count(), 100000u);
+  // Reservoir of 256 samples: median within a loose tolerance.
+  EXPECT_NEAR(p.Median(), 0.5, 0.12);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-100.0);  // clamps to first bucket
+  h.Add(0.5);
+  h.Add(3.0);
+  h.Add(9.9);
+  h.Add(42.0);  // clamps to last bucket
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_low(4), 8.0);
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(HistogramTest, ZeroBucketRequestBecomesOne) {
+  Histogram h(0.0, 1.0, 0);
+  h.Add(0.5);
+  EXPECT_EQ(h.bucket_count(), 1u);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+}  // namespace
+}  // namespace ptrider::util

@@ -1,0 +1,73 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ptrider::util {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("xyz", ','), (std::vector<std::string>{"xyz"}));
+}
+
+TEST(TrimTest, RemovesAsciiWhitespace) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nfoo\r "), "foo");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+  // Long output exceeding any small internal buffer.
+  const std::string big = StrFormat("%0512d", 3);
+  EXPECT_EQ(big.size(), 512u);
+}
+
+TEST(ParseIntTest, StrictParsing) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-17").value(), -17);
+  EXPECT_EQ(ParseInt(" 8 ").value(), 8);  // surrounding spaces trimmed
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12x").ok());
+  EXPECT_FALSE(ParseInt("1.5").ok());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").ok());  // overflow
+}
+
+TEST(ParseDoubleTest, StrictParsing) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 2 ").value(), 2.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("3.1.4").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(FormatDurationTest, PicksSensibleUnits) {
+  EXPECT_EQ(FormatDuration(3e-9), "3.0 ns");
+  EXPECT_EQ(FormatDuration(4.2e-6), "4.20 us");
+  EXPECT_EQ(FormatDuration(0.0123), "12.30 ms");
+  EXPECT_EQ(FormatDuration(2.5), "2.50 s");
+  EXPECT_EQ(FormatDuration(150.0), "2.5 min");
+}
+
+TEST(FormatCountTest, PicksSensibleUnits) {
+  EXPECT_EQ(FormatCount(12.0), "12");
+  EXPECT_EQ(FormatCount(4500.0), "4.5k");
+  EXPECT_EQ(FormatCount(2.5e6), "2.50M");
+  EXPECT_EQ(FormatCount(3e9), "3.00G");
+}
+
+}  // namespace
+}  // namespace ptrider::util

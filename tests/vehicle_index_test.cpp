@@ -1,0 +1,138 @@
+#include "vehicle/vehicle_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/distance_providers.h"
+#include "roadnet/distance_oracle.h"
+#include "roadnet/paper_example.h"
+
+namespace ptrider::vehicle {
+namespace {
+
+class VehicleIndexTest : public ::testing::Test {
+ protected:
+  VehicleIndexTest()
+      : ex_(roadnet::MakePaperExampleNetwork()), oracle_(ex_.graph) {
+    roadnet::GridIndexOptions opts;
+    opts.cells_x = 3;
+    opts.cells_y = 3;
+    auto grid = roadnet::GridIndex::Build(ex_.graph, opts);
+    EXPECT_TRUE(grid.ok());
+    grid_ = std::make_unique<roadnet::GridIndex>(std::move(grid).value());
+    index_ = std::make_unique<VehicleIndex>(*grid_);
+  }
+
+  bool InList(const std::vector<VehicleId>& list, VehicleId id) {
+    return std::find(list.begin(), list.end(), id) != list.end();
+  }
+
+  roadnet::PaperExampleNetwork ex_;
+  roadnet::DistanceOracle oracle_;
+  std::unique_ptr<roadnet::GridIndex> grid_;
+  std::unique_ptr<VehicleIndex> index_;
+};
+
+TEST_F(VehicleIndexTest, EmptyVehicleRegisteredInLocationCell) {
+  Vehicle v(0, ex_.v(13), 3);
+  index_->Update(v);
+  const roadnet::CellId cell = grid_->CellOfVertex(ex_.v(13));
+  EXPECT_TRUE(InList(index_->EmptyVehicles(cell), 0));
+  EXPECT_FALSE(InList(index_->NonEmptyVehicles(cell), 0));
+  EXPECT_EQ(index_->RegisteredCells(0),
+            (std::vector<roadnet::CellId>{cell}));
+  EXPECT_EQ(index_->size(), 1u);
+}
+
+TEST_F(VehicleIndexTest, NonEmptyVehicleCoversStopCells) {
+  Vehicle v(1, ex_.v(1), 4);
+  core::ExactDistanceProvider dist(oracle_);
+  Request r;
+  r.id = 1;
+  r.start = ex_.v(2);
+  r.destination = ex_.v(16);
+  r.num_riders = 2;
+  r.max_wait_s = 5.0;
+  r.service_sigma = 0.2;
+  ASSERT_TRUE(v.mutable_tree()
+                  .CommitInsert(r, 6.0, 0.0, {0.0, 1.0}, dist)
+                  .ok());
+  index_->Update(v);
+
+  const roadnet::CellId loc_cell = grid_->CellOfVertex(ex_.v(1));
+  const roadnet::CellId pickup_cell = grid_->CellOfVertex(ex_.v(2));
+  const roadnet::CellId drop_cell = grid_->CellOfVertex(ex_.v(16));
+  EXPECT_TRUE(InList(index_->NonEmptyVehicles(loc_cell), 1));
+  EXPECT_TRUE(InList(index_->NonEmptyVehicles(pickup_cell), 1));
+  EXPECT_TRUE(InList(index_->NonEmptyVehicles(drop_cell), 1));
+  EXPECT_FALSE(InList(index_->EmptyVehicles(loc_cell), 1));
+  // Registered cells are sorted and unique.
+  const auto cells = index_->RegisteredCells(1);
+  EXPECT_TRUE(std::is_sorted(cells.begin(), cells.end()));
+  EXPECT_EQ(std::adjacent_find(cells.begin(), cells.end()), cells.end());
+}
+
+TEST_F(VehicleIndexTest, UpdateMovesBetweenLists) {
+  Vehicle v(2, ex_.v(13), 4);
+  index_->Update(v);
+  const roadnet::CellId old_cell = grid_->CellOfVertex(ex_.v(13));
+  ASSERT_TRUE(InList(index_->EmptyVehicles(old_cell), 2));
+
+  // Vehicle becomes non-empty: moves to the non-empty lists.
+  core::ExactDistanceProvider dist(oracle_);
+  Request r;
+  r.id = 9;
+  r.start = ex_.v(12);
+  r.destination = ex_.v(17);
+  r.num_riders = 1;
+  r.max_wait_s = 100.0;
+  r.service_sigma = 0.5;
+  ASSERT_TRUE(v.mutable_tree()
+                  .CommitInsert(r, 8.0, 0.0, {0.0, 1.0}, dist)
+                  .ok());
+  index_->Update(v);
+  EXPECT_FALSE(InList(index_->EmptyVehicles(old_cell), 2));
+  EXPECT_TRUE(InList(index_->NonEmptyVehicles(old_cell), 2));
+
+  // Remove drops it everywhere.
+  index_->Remove(2);
+  EXPECT_FALSE(InList(index_->NonEmptyVehicles(old_cell), 2));
+  EXPECT_TRUE(index_->RegisteredCells(2).empty());
+  EXPECT_EQ(index_->size(), 0u);
+}
+
+TEST_F(VehicleIndexTest, UpdateIsIdempotent) {
+  Vehicle v(3, ex_.v(5), 3);
+  index_->Update(v);
+  index_->Update(v);
+  index_->Update(v);
+  const roadnet::CellId cell = grid_->CellOfVertex(ex_.v(5));
+  // Registered once despite repeated updates.
+  EXPECT_EQ(std::count(index_->EmptyVehicles(cell).begin(),
+                       index_->EmptyVehicles(cell).end(), 3),
+            1);
+  EXPECT_EQ(index_->update_count(), 3u);
+}
+
+TEST_F(VehicleIndexTest, RemoveUnknownIsNoop) {
+  index_->Remove(77);
+  EXPECT_EQ(index_->size(), 0u);
+}
+
+TEST_F(VehicleIndexTest, ManyVehiclesPartitionByCell) {
+  // One vehicle at every vertex: each appears in exactly its own cell.
+  for (int label = 1; label <= 17; ++label) {
+    Vehicle v(static_cast<VehicleId>(label), ex_.v(label), 3);
+    index_->Update(v);
+  }
+  size_t total = 0;
+  for (roadnet::CellId c = 0; c < grid_->NumCells(); ++c) {
+    total += index_->EmptyVehicles(c).size();
+    EXPECT_TRUE(index_->NonEmptyVehicles(c).empty());
+  }
+  EXPECT_EQ(total, 17u);
+}
+
+}  // namespace
+}  // namespace ptrider::vehicle

@@ -1,0 +1,189 @@
+// Monotonicity properties of the scheduling constraints: relaxing a
+// request's constraints (larger sigma, larger capacity) can only grow
+// the set of valid insertion candidates, and each shared candidate keeps
+// the same (pickup distance, total distance). These are the facts behind
+// the admin-panel trends of E7-E9.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/distance_providers.h"
+#include "roadnet/distance_oracle.h"
+#include "roadnet/graph_generator.h"
+#include "util/random.h"
+#include "vehicle/kinetic_tree.h"
+
+namespace ptrider::vehicle {
+namespace {
+
+struct MonotonicityParam {
+  uint64_t seed;
+  int pending;
+};
+
+class MonotonicityTest
+    : public ::testing::TestWithParam<MonotonicityParam> {
+ protected:
+  void SetUp() override {
+    roadnet::CityGridOptions opts;
+    opts.rows = 10;
+    opts.cols = 10;
+    opts.seed = GetParam().seed;
+    auto g = roadnet::MakeCityGrid(opts);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::move(g).value();
+    oracle_ = std::make_unique<roadnet::DistanceOracle>(graph_);
+    dist_ = std::make_unique<core::ExactDistanceProvider>(*oracle_);
+    rng_ = std::make_unique<util::Rng>(GetParam().seed * 101 + 7);
+  }
+
+  roadnet::VertexId RandomVertex() {
+    return static_cast<roadnet::VertexId>(rng_->UniformInt(
+        0, static_cast<int64_t>(graph_.NumVertices()) - 1));
+  }
+
+  Request RandomRequest(RequestId id, double sigma, double wait) {
+    Request r;
+    r.id = id;
+    do {
+      r.start = RandomVertex();
+      r.destination = RandomVertex();
+    } while (r.start == r.destination);
+    r.num_riders = 1;
+    r.max_wait_s = wait;
+    r.service_sigma = sigma;
+    return r;
+  }
+
+  /// Builds a tree with `pending` committed requests under `sigma`.
+  KineticTree MakeLoadedTree(int capacity, double sigma) {
+    KineticTree tree(RandomVertex(), capacity);
+    const ScheduleContext ctx{0.0, 10.0};
+    for (int i = 0; i < GetParam().pending; ++i) {
+      for (int attempt = 0; attempt < 30; ++attempt) {
+        const Request r = RandomRequest(i + 1, sigma, 600.0);
+        auto cands = tree.TrialInsert(r, ctx, *dist_, nullptr);
+        if (cands.empty()) continue;
+        EXPECT_TRUE(tree.CommitInsert(r, cands.front().pickup_distance,
+                                      0.0, ctx, *dist_)
+                        .ok());
+        break;
+      }
+    }
+    return tree;
+  }
+
+  static bool ContainsSequence(
+      const std::vector<InsertionCandidate>& candidates,
+      const std::vector<Stop>& stops) {
+    return std::any_of(candidates.begin(), candidates.end(),
+                       [&](const InsertionCandidate& c) {
+                         return c.stops == stops;
+                       });
+  }
+
+  roadnet::RoadNetwork graph_;
+  std::unique_ptr<roadnet::DistanceOracle> oracle_;
+  std::unique_ptr<core::ExactDistanceProvider> dist_;
+  std::unique_ptr<util::Rng> rng_;
+};
+
+TEST_P(MonotonicityTest, LargerSigmaAdmitsSupersetOfCandidates) {
+  const ScheduleContext ctx{0.0, 10.0};
+  KineticTree tree = MakeLoadedTree(/*capacity=*/4, /*sigma=*/0.4);
+  for (int probe = 0; probe < 10; ++probe) {
+    Request tight = RandomRequest(100 + probe, /*sigma=*/0.1, 600.0);
+    Request loose = tight;
+    loose.service_sigma = 0.8;
+    const auto tight_c = tree.TrialInsert(tight, ctx, *dist_, nullptr);
+    const auto loose_c = tree.TrialInsert(loose, ctx, *dist_, nullptr);
+    EXPECT_GE(loose_c.size(), tight_c.size());
+    for (const InsertionCandidate& c : tight_c) {
+      EXPECT_TRUE(ContainsSequence(loose_c, c.stops))
+          << "candidate valid under sigma=0.1 vanished under sigma=0.8";
+      // Matching candidate carries identical distances.
+      for (const InsertionCandidate& lc : loose_c) {
+        if (lc.stops == c.stops) {
+          EXPECT_DOUBLE_EQ(lc.pickup_distance, c.pickup_distance);
+          EXPECT_DOUBLE_EQ(lc.total_distance, c.total_distance);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(MonotonicityTest, LargerCapacityAdmitsSupersetOfCandidates) {
+  const ScheduleContext ctx{0.0, 10.0};
+  // Two trees with identical schedules, different capacities: build the
+  // small one, replay its commitments into the big one.
+  KineticTree small = MakeLoadedTree(/*capacity=*/2, /*sigma=*/0.5);
+  KineticTree big(small.root_location(), /*capacity=*/6);
+  for (const auto& [id, p] : small.pending()) {
+    auto cands = big.TrialInsert(p.request, ctx, *dist_, nullptr);
+    ASSERT_FALSE(cands.empty());
+    // Commit with the same planned pickup implied by the small tree.
+    const double planned_dist =
+        (p.planned_pickup_s - p.request.submit_time_s) * ctx.speed_mps;
+    ASSERT_TRUE(big.CommitInsert(p.request,
+                                 std::max(planned_dist, 0.0), p.price,
+                                 ctx, *dist_)
+                    .ok());
+  }
+  for (int probe = 0; probe < 10; ++probe) {
+    const Request r = RandomRequest(200 + probe, 0.4, 600.0);
+    const auto small_c = small.TrialInsert(r, ctx, *dist_, nullptr);
+    const auto big_c = big.TrialInsert(r, ctx, *dist_, nullptr);
+    for (const InsertionCandidate& c : small_c) {
+      EXPECT_TRUE(ContainsSequence(big_c, c.stops))
+          << "candidate valid at capacity 2 vanished at capacity 6";
+    }
+  }
+}
+
+TEST_P(MonotonicityTest, BoundsNeverChangeTheCandidateSet) {
+  // The indexed provider prunes with lower bounds; accepted candidates
+  // must be bit-identical to the exact-only provider's.
+  roadnet::GridIndexOptions gopts;
+  gopts.cells_x = 6;
+  gopts.cells_y = 6;
+  auto grid = roadnet::GridIndex::Build(graph_, gopts);
+  ASSERT_TRUE(grid.ok());
+  core::IndexedDistanceProvider indexed(*oracle_, *grid);
+
+  const ScheduleContext ctx{0.0, 10.0};
+  KineticTree tree = MakeLoadedTree(/*capacity=*/4, /*sigma=*/0.5);
+  for (int probe = 0; probe < 15; ++probe) {
+    const Request r = RandomRequest(300 + probe, 0.3, 300.0);
+    auto exact_c = tree.TrialInsert(r, ctx, *dist_, nullptr);
+    auto indexed_c = tree.TrialInsert(r, ctx, indexed, nullptr);
+    ASSERT_EQ(exact_c.size(), indexed_c.size());
+    auto by_stops = [](const InsertionCandidate& a,
+                       const InsertionCandidate& b) {
+      return std::lexicographical_compare(
+          a.stops.begin(), a.stops.end(), b.stops.begin(), b.stops.end(),
+          [](const Stop& x, const Stop& y) {
+            if (x.request != y.request) return x.request < y.request;
+            return static_cast<int>(x.type) < static_cast<int>(y.type);
+          });
+    };
+    std::sort(exact_c.begin(), exact_c.end(), by_stops);
+    std::sort(indexed_c.begin(), indexed_c.end(), by_stops);
+    for (size_t i = 0; i < exact_c.size(); ++i) {
+      EXPECT_EQ(exact_c[i].stops, indexed_c[i].stops);
+      EXPECT_DOUBLE_EQ(exact_c[i].pickup_distance,
+                       indexed_c[i].pickup_distance);
+      EXPECT_DOUBLE_EQ(exact_c[i].total_distance,
+                       indexed_c[i].total_distance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, MonotonicityTest,
+                         ::testing::Values(MonotonicityParam{11, 1},
+                                           MonotonicityParam{22, 2},
+                                           MonotonicityParam{33, 3},
+                                           MonotonicityParam{44, 4}));
+
+}  // namespace
+}  // namespace ptrider::vehicle
