@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/ptrider.h"
+#include "pricing/factory.h"
 #include "roadnet/paper_example.h"
 
 int main() {
@@ -88,6 +89,53 @@ int main() {
                 o.pickup_distance, o.price);
   }
   std::printf("(paper: r1 = <c1, 14, 4>, r2 = <c2, 8, 8.8>)\n\n");
+
+  // Pricing policies (src/pricing/): the same two options quoted under
+  // each fare policy. Surge is shown mid-burst (12 requests in its
+  // window); the shared discount rewards joining c1, which already
+  // carries R1's two riders.
+  std::printf("The same options under each pricing policy:\n");
+  std::printf("  %-8s %-10s %-10s %-16s\n", "vehicle", "paper", "surge",
+              "shared-discount");
+  double quoted[2][3] = {};
+  for (const auto kind :
+       {core::PricingPolicyKind::kPaper, core::PricingPolicyKind::kSurge,
+        core::PricingPolicyKind::kSharedDiscount}) {
+    core::Config pcfg = cfg;
+    pcfg.pricing_policy = kind;
+    pcfg.surge_window_s = 60.0;
+    pcfg.surge_baseline_rate_per_min = 2.0;
+    pcfg.surge_gain_per_rate = 0.1;
+    auto policy = pricing::CreatePricingPolicy(pcfg);
+    if (!policy.ok()) return 1;
+    if (kind == core::PricingPolicyKind::kSurge) {
+      for (int i = 0; i < 12; ++i) (*policy)->RecordRequest(0.0);
+    }
+    const size_t column =
+        kind == core::PricingPolicyKind::kPaper
+            ? 0
+            : (kind == core::PricingPolicyKind::kSurge ? 1 : 2);
+    for (size_t i = 0; i < m2->options.size() && i < 2; ++i) {
+      const core::Option& o = m2->options[i];
+      const vehicle::KineticTree& tree = pt.fleet().at(o.vehicle).tree();
+      pricing::QuoteInputs quote;
+      quote.num_riders = r2.num_riders;
+      quote.committed_riders = tree.RidersCommitted();
+      quote.new_total = o.new_total_distance;
+      quote.current_total = tree.BestTotalDistance();
+      quote.direct = m2->direct_distance_m;
+      quoted[i][column] = (*policy)->Price(quote);
+    }
+    if (kind == core::PricingPolicyKind::kSharedDiscount) {
+      for (size_t i = 0; i < m2->options.size() && i < 2; ++i) {
+        std::printf("  c%-7d %-10.2f %-10.2f %-16.2f\n",
+                    m2->options[i].vehicle + 1, quoted[i][0], quoted[i][1],
+                    quoted[i][2]);
+      }
+    }
+  }
+  std::printf("(every policy keeps the matchers' pruning admissible, so\n"
+              " the option SET is identical — only the fares move)\n\n");
 
   // The couple is price-sensitive: take the cheapest option and ride it
   // to completion.

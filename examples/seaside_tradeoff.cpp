@@ -123,12 +123,17 @@ int main() {
   sim::ChoiceContext thrifty;
   thrifty.model = sim::RiderChoiceModel::kCheapest;
   thrifty.now_s = now;
-  const core::Option& fast =
-      match->options[sim::ChooseOptionIndex(match->options, hurry,
-                                            choice_rng)];
-  const core::Option& cheap =
-      match->options[sim::ChooseOptionIndex(match->options, thrifty,
-                                            choice_rng)];
+  const size_t fast_pick =
+      sim::ChooseOptionIndex(match->options, hurry, choice_rng);
+  const size_t cheap_pick =
+      sim::ChooseOptionIndex(match->options, thrifty, choice_rng);
+  if (fast_pick == sim::kDeclinedOption ||
+      cheap_pick == sim::kDeclinedOption) {
+    std::printf("the couple walked away from every offer\n");
+    return 0;
+  }
+  const core::Option& fast = match->options[fast_pick];
+  const core::Option& cheap = match->options[cheap_pick];
   std::printf(
       "\nIn a hurry?  c%d picks you up in %.1f min for %.2f.\n"
       "Willing to wait?  c%d arrives in %.1f min but costs only %.2f "

@@ -1,0 +1,113 @@
+// Surge day: one double-peak city day priced twice.
+//
+// The same hotspot workload (sim/workload.h's empirical hourly profile:
+// morning and evening rush) is simulated once under the paper's fixed
+// Definition-3 fares and once under the demand-responsive SurgePolicy,
+// with price-reactive riders who walk away when the quote exceeds their
+// willingness to pay. Shows the surge multiplier tracking the two demand
+// peaks, and what surge does to revenue, acceptance and service quality.
+//
+// Build & run:  ./build/examples/example_surge_day
+
+#include <array>
+#include <cstdio>
+
+#include "core/ptrider.h"
+#include "pricing/surge_policy.h"
+#include "roadnet/graph_generator.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+int main() {
+  using namespace ptrider;
+
+  roadnet::CityGridOptions gopts;
+  gopts.rows = 20;
+  gopts.cols = 20;
+  gopts.spacing_m = 250.0;
+  gopts.seed = 11;
+  auto graph = roadnet::MakeCityGrid(gopts);
+  if (!graph.ok()) return 1;
+
+  sim::HotspotWorkloadOptions wopts;
+  wopts.num_trips = 4000;
+  wopts.duration_s = 86400.0;  // one day, double-peak hourly profile
+  wopts.seed = 2009;
+  auto trips = sim::GenerateHotspotTrips(*graph, wopts);
+  if (!trips.ok()) return 1;
+
+  core::Config base;
+  base.default_service_sigma = 0.4;
+  base.surge_window_s = 900.0;
+  base.surge_baseline_rate_per_min = 2.0;
+  base.surge_gain_per_rate = 0.15;
+  base.surge_max_multiplier = 2.5;
+
+  // The multiplier is a pure function of the submission-time stream, so
+  // the hour-by-hour surge profile can be previewed straight from the
+  // trace before any simulation.
+  {
+    pricing::SurgeOptions sopts;
+    sopts.window_s = base.surge_window_s;
+    sopts.baseline_rate_per_min = base.surge_baseline_rate_per_min;
+    sopts.gain_per_rate = base.surge_gain_per_rate;
+    sopts.max_multiplier = base.surge_max_multiplier;
+    pricing::SurgePolicy probe(core::PriceModel(base), sopts);
+    std::array<double, 24> sum{};
+    std::array<int, 24> n{};
+    for (const sim::Trip& t : *trips) {
+      probe.RecordRequest(t.time_s);
+      const int hour =
+          std::min(23, static_cast<int>(t.time_s / 3600.0));
+      sum[static_cast<size_t>(hour)] += probe.multiplier();
+      ++n[static_cast<size_t>(hour)];
+    }
+    std::printf("Surge multiplier by hour (double-peak day):\n");
+    for (int h = 0; h < 24; ++h) {
+      const double avg =
+          n[static_cast<size_t>(h)] > 0
+              ? sum[static_cast<size_t>(h)] / n[static_cast<size_t>(h)]
+              : 1.0;
+      std::printf("  %02d:00 %5.2fx |", h, avg);
+      const int bars = static_cast<int>((avg - 1.0) * 40.0);
+      for (int b = 0; b < bars; ++b) std::printf("#");
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Simulate the day under each policy with price-sensitive riders.
+  for (const auto kind :
+       {core::PricingPolicyKind::kPaper, core::PricingPolicyKind::kSurge}) {
+    core::Config cfg = base;
+    cfg.pricing_policy = kind;
+    auto system = core::PTRider::Create(*graph, cfg);
+    if (!system.ok()) return 1;
+    if (!(*system)->InitFleetUniform(250, /*seed=*/3).ok()) return 1;
+
+    sim::SimulatorOptions sopts;
+    sopts.tick_s = 2.0;
+    sopts.seed = 12;
+    sopts.choice.model = sim::RiderChoiceModel::kWeightedUtility;
+    // Riders accept up to 3x the floor fare: surge pushes marginal
+    // quotes over the line exactly in the peaks.
+    sopts.choice.accept_price_over_floor = 3.0;
+    sim::Simulator simulator(**system, sopts);
+    auto report = simulator.Run(*trips);
+    if (!report.ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("================ %s pricing ================\n",
+                core::PricingPolicyKindName(kind));
+    std::printf("%s\n", report->ToString().c_str());
+  }
+
+  std::printf(
+      "Reading: surge banks more revenue per completed trip but declines\n"
+      "price-sensitive riders in the rush hours; the paper policy serves\n"
+      "more riders at a flat margin. The matchers and their pruning are\n"
+      "identical in both runs — only the fare policy changed.\n");
+  return 0;
+}

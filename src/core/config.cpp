@@ -16,6 +16,18 @@ const char* MatcherAlgorithmName(MatcherAlgorithm algorithm) {
   return "unknown";
 }
 
+const char* PricingPolicyKindName(PricingPolicyKind kind) {
+  switch (kind) {
+    case PricingPolicyKind::kPaper:
+      return "paper";
+    case PricingPolicyKind::kSurge:
+      return "surge";
+    case PricingPolicyKind::kSharedDiscount:
+      return "shared-discount";
+  }
+  return "unknown";
+}
+
 util::Status Config::Validate() const {
   if (!(speed_mps > 0.0)) {
     return util::Status::InvalidArgument("speed must be positive");
@@ -39,6 +51,24 @@ util::Status Config::Validate() const {
   if (!(max_planned_pickup_s > 0.0)) {
     return util::Status::InvalidArgument(
         "pickup horizon must be positive");
+  }
+  if (!(surge_window_s > 0.0)) {
+    return util::Status::InvalidArgument("surge window must be positive");
+  }
+  if (surge_baseline_rate_per_min < 0.0 || surge_gain_per_rate < 0.0) {
+    return util::Status::InvalidArgument(
+        "surge baseline and gain must be >= 0");
+  }
+  if (!(surge_max_multiplier >= 1.0)) {
+    return util::Status::InvalidArgument("surge cap must be >= 1");
+  }
+  if (shared_discount_per_rider < 0.0 || shared_discount_per_rider > 1.0) {
+    return util::Status::InvalidArgument(
+        "shared discount per rider must be in [0, 1]");
+  }
+  if (shared_discount_max < 0.0 || !(shared_discount_max < 1.0)) {
+    return util::Status::InvalidArgument(
+        "shared discount cap must be in [0, 1)");
   }
   return util::Status::Ok();
 }

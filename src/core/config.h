@@ -19,6 +19,19 @@ enum class MatcherAlgorithm {
 
 const char* MatcherAlgorithmName(MatcherAlgorithm algorithm);
 
+/// Which fare policy the system quotes with (src/pricing/; the demo's
+/// "price calculator function" module made pluggable).
+enum class PricingPolicyKind {
+  /// Definition 3 verbatim (pricing::PaperPolicy).
+  kPaper,
+  /// Demand-responsive surge over the paper fare (pricing::SurgePolicy).
+  kSurge,
+  /// Occupancy-discounted shared fares (pricing::SharedDiscountPolicy).
+  kSharedDiscount,
+};
+
+const char* PricingPolicyKindName(PricingPolicyKind kind);
+
 /// Global system parameters (the demo's admin panel, Fig. 4(c): taxi
 /// capacity, number of taxis, maximal waiting time, service constraint,
 /// price calculator function, matching algorithm).
@@ -39,6 +52,23 @@ struct Config {
   /// Distance unit the price multiplies (meters). 1000 prices per km;
   /// the paper's worked example uses 1 (unit edge weights).
   double price_distance_unit_m = 1000.0;
+
+  // --- Pricing policy (src/pricing/) ---------------------------------------
+  /// Fare policy quoted to riders; every kind honors the bound contract of
+  /// pricing::PricingPolicy, so matcher pruning stays admissible.
+  PricingPolicyKind pricing_policy = PricingPolicyKind::kPaper;
+  /// kSurge: rolling demand window, seconds.
+  double surge_window_s = 600.0;
+  /// kSurge: request rate (requests/minute) where surge starts.
+  double surge_baseline_rate_per_min = 6.0;
+  /// kSurge: extra multiplier per request/minute above the baseline.
+  double surge_gain_per_rate = 0.05;
+  /// kSurge: multiplier ceiling (>= 1).
+  double surge_max_multiplier = 2.5;
+  /// kSharedDiscount: discount fraction per rider already committed.
+  double shared_discount_per_rider = 0.05;
+  /// kSharedDiscount: discount ceiling, in [0, 1).
+  double shared_discount_max = 0.30;
 
   // --- Matching ------------------------------------------------------------
   MatcherAlgorithm matcher = MatcherAlgorithm::kDualSide;

@@ -86,9 +86,10 @@ MatchResult IndexedMatcherBase::Match(const vehicle::Request& request,
   const uint64_t computed_before = ctx_.oracle->computed();
 
   IndexedDistanceProvider dist(*ctx_.oracle, *ctx_.grid);
-  const PriceModel price(*ctx_.config);
+  const pricing::PricingPolicy& price = *ctx_.pricing;
   const roadnet::Weight direct =
       dist.Exact(request.start, request.destination);
+  result.direct_distance_m = direct;
   if (direct == roadnet::kInfWeight) {
     result.match_seconds = timer.ElapsedSeconds();
     return result;

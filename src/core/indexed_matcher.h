@@ -16,11 +16,14 @@ namespace ptrider::core {
 ///   * Time lemma. Any vehicle first encountered in cell g has every
 ///     insertion point in cells no closer than g, so its pick-up distance
 ///     is at least LB(g(s), g) + s.min.
-///   * Price lemma. Delta = dist_trj - dist_tri >= 0 always, so price >=
-///     f_n * dist(s,d); the dual-side variant tightens Delta with
+///   * Price lemma. Delta = dist_trj - dist_tri >= 0 always, so the
+///     pricing policy's MinPrice (f_n * dist(s,d) under Definition 3)
+///     floors every quote; the dual-side variant tightens Delta with
 ///     destination-side detour lower bounds before touching the kinetic
 ///     tree (a vehicle near s but far from d prices itself out — the
-///     paper's motivating case for dual-side search).
+///     paper's motivating case for dual-side search). Any policy honoring
+///     the PricingPolicy bound contract (DESIGN.md 4.4) keeps both prunes
+///     admissible.
 ///   * Termination. Cells arrive in ascending lower-bound order; stop when
 ///     the skyline covers (cell time LB, global price floor), or the lower
 ///     bound exceeds the pick-up radius.

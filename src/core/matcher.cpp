@@ -8,11 +8,12 @@ size_t EvaluateVehicle(const vehicle::Vehicle& v,
                        const vehicle::Request& request,
                        const vehicle::ScheduleContext& ctx,
                        vehicle::DistanceProvider& dist,
-                       const PriceModel& price, roadnet::Weight direct,
-                       roadnet::Weight radius_m, Skyline& skyline,
-                       MatchResult& result) {
+                       const pricing::PricingPolicy& pricing,
+                       roadnet::Weight direct, roadnet::Weight radius_m,
+                       Skyline& skyline, MatchResult& result) {
   ++result.vehicles_examined;
   const roadnet::Weight current_total = v.tree().BestTotalDistance();
+  const int committed_riders = v.tree().RidersCommitted();
   std::vector<vehicle::InsertionCandidate> candidates =
       v.tree().TrialInsert(request, ctx, dist, &result.insertion);
   size_t accepted = 0;
@@ -22,8 +23,13 @@ size_t EvaluateVehicle(const vehicle::Vehicle& v,
     option.vehicle = v.id();
     option.pickup_distance = c.pickup_distance;
     option.pickup_time_s = ctx.now_s + c.pickup_distance / ctx.speed_mps;
-    option.price = price.Price(request.num_riders, c.total_distance,
-                               current_total, direct);
+    pricing::QuoteInputs quote;
+    quote.num_riders = request.num_riders;
+    quote.committed_riders = committed_riders;
+    quote.new_total = c.total_distance;
+    quote.current_total = current_total;
+    quote.direct = direct;
+    option.price = pricing.Price(quote);
     option.new_total_distance = c.total_distance;
     option.schedule = std::move(c.stops);
     if (skyline.Add(std::move(option))) ++accepted;

@@ -8,6 +8,7 @@
 #include "core/config.h"
 #include "core/option.h"
 #include "core/price.h"
+#include "pricing/pricing_policy.h"
 #include "roadnet/distance_oracle.h"
 #include "roadnet/grid_index.h"
 #include "vehicle/fleet.h"
@@ -20,6 +21,9 @@ namespace ptrider::core {
 /// non-dominated options plus the effort diagnostics the benches report.
 struct MatchResult {
   std::vector<Option> options;
+  /// dist(s, d) of the request, meters (kInfWeight when unreachable).
+  /// Consumers derive fare floors from it without re-running Dijkstra.
+  roadnet::Weight direct_distance_m = roadnet::kInfWeight;
 
   // --- Diagnostics ---------------------------------------------------------
   /// Vehicles whose kinetic tree was actually searched.
@@ -45,6 +49,9 @@ struct MatchContext {
   vehicle::VehicleIndex* vehicle_index = nullptr;  // null for naive
   roadnet::DistanceOracle* oracle = nullptr;
   const Config* config = nullptr;
+  /// Fare policy quotes AND pruning bounds (src/pricing/). Owned by
+  /// PTRider; must honor the PricingPolicy bound contract.
+  const pricing::PricingPolicy* pricing = nullptr;
 };
 
 /// Matching-method interface (the demo's matching algorithm module).
@@ -68,9 +75,9 @@ size_t EvaluateVehicle(const vehicle::Vehicle& v,
                        const vehicle::Request& request,
                        const vehicle::ScheduleContext& ctx,
                        vehicle::DistanceProvider& dist,
-                       const PriceModel& price, roadnet::Weight direct,
-                       roadnet::Weight radius_m, class Skyline& skyline,
-                       MatchResult& result);
+                       const pricing::PricingPolicy& pricing,
+                       roadnet::Weight direct, roadnet::Weight radius_m,
+                       class Skyline& skyline, MatchResult& result);
 
 }  // namespace ptrider::core
 

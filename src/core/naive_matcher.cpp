@@ -13,9 +13,10 @@ MatchResult NaiveMatcher::Match(const vehicle::Request& request,
   const uint64_t computed_before = ctx_.oracle->computed();
 
   ExactDistanceProvider dist(*ctx_.oracle);
-  const PriceModel price(*ctx_.config);
+  const pricing::PricingPolicy& price = *ctx_.pricing;
   const roadnet::Weight direct =
       dist.Exact(request.start, request.destination);
+  result.direct_distance_m = direct;
   if (direct == roadnet::kInfWeight) {
     result.match_seconds = timer.ElapsedSeconds();
     return result;  // destination unreachable: no qualified options

@@ -15,6 +15,12 @@ namespace ptrider::core {
 /// For an empty vehicle dist(tr_i) = 0 and dist(tr_j) = dist(l, s) +
 /// dist(s, d), so the same formula yields f_n * (dist(l,s) + 2 dist(s,d)),
 /// matching the paper's worked example (r2 = <c2, 8, 8.8>).
+///
+/// Transition note: the matchers now quote through the pluggable
+/// pricing::PricingPolicy interface (src/pricing/); this class remains as
+/// the shared Definition-3 arithmetic that pricing::PaperPolicy wraps
+/// bit-for-bit and the other policies build on. New call sites should
+/// take a PricingPolicy, not a PriceModel.
 class PriceModel {
  public:
   explicit PriceModel(const Config& config)

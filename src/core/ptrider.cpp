@@ -5,23 +5,27 @@
 #include "core/distance_providers.h"
 #include "core/indexed_matcher.h"
 #include "core/naive_matcher.h"
+#include "pricing/factory.h"
 #include "util/string_util.h"
 
 namespace ptrider::core {
 
 PTRider::PTRider(const roadnet::RoadNetwork& graph, Config config,
-                 roadnet::GridIndex grid)
+                 roadnet::GridIndex grid,
+                 std::unique_ptr<pricing::PricingPolicy> pricing)
     : graph_(&graph),
       config_(config),
       grid_(std::move(grid)),
       oracle_(graph),
-      vehicle_index_(grid_) {
+      vehicle_index_(grid_),
+      pricing_(std::move(pricing)) {
   match_context_.graph = graph_;
   match_context_.grid = &grid_;
   match_context_.fleet = &fleet_;
   match_context_.vehicle_index = &vehicle_index_;
   match_context_.oracle = &oracle_;
   match_context_.config = &config_;
+  match_context_.pricing = pricing_.get();
   naive_ = std::make_unique<NaiveMatcher>(match_context_);
   single_side_ = std::make_unique<SingleSideMatcher>(match_context_);
   dual_side_ = std::make_unique<DualSideMatcher>(match_context_);
@@ -33,9 +37,11 @@ util::Result<std::unique_ptr<PTRider>> PTRider::Create(
   PTRIDER_RETURN_IF_ERROR(config.Validate());
   PTRIDER_ASSIGN_OR_RETURN(roadnet::GridIndex grid,
                            roadnet::GridIndex::Build(graph, grid_options));
+  PTRIDER_ASSIGN_OR_RETURN(std::unique_ptr<pricing::PricingPolicy> pricing,
+                           pricing::CreatePricingPolicy(config));
   // make_unique cannot reach the private constructor.
   return std::unique_ptr<PTRider>(
-      new PTRider(graph, config, std::move(grid)));
+      new PTRider(graph, config, std::move(grid), std::move(pricing)));
 }
 
 Matcher& PTRider::matcher() {
@@ -97,6 +103,10 @@ util::Result<MatchResult> PTRider::SubmitRequest(
         "request %lld already assigned",
         static_cast<long long>(request.id)));
   }
+  // Demand signal first: the surge multiplier quoting this request already
+  // reflects it (a burst surges its own members, not just their
+  // successors).
+  pricing_->RecordRequest(now_s);
   return matcher().Match(request, MakeScheduleContext(now_s));
 }
 

@@ -8,6 +8,7 @@
 #include "core/config.h"
 #include "core/matcher.h"
 #include "core/option.h"
+#include "pricing/pricing_policy.h"
 #include "roadnet/distance_oracle.h"
 #include "roadnet/graph.h"
 #include "roadnet/grid_index.h"
@@ -105,6 +106,11 @@ class PTRider {
   /// The matcher currently selected by `config().matcher`.
   Matcher& matcher();
 
+  /// The fare policy selected by `config().pricing_policy` (quotes and
+  /// pruning bounds; fed the demand signal by SubmitRequest).
+  const pricing::PricingPolicy& pricing_policy() const { return *pricing_; }
+  pricing::PricingPolicy& pricing_policy() { return *pricing_; }
+
   vehicle::ScheduleContext MakeScheduleContext(double now_s) const {
     return {now_s, config_.speed_mps};
   }
@@ -114,7 +120,8 @@ class PTRider {
 
  private:
   PTRider(const roadnet::RoadNetwork& graph, Config config,
-          roadnet::GridIndex grid);
+          roadnet::GridIndex grid,
+          std::unique_ptr<pricing::PricingPolicy> pricing);
 
   const roadnet::RoadNetwork* graph_;
   Config config_;
@@ -122,6 +129,7 @@ class PTRider {
   roadnet::DistanceOracle oracle_;
   vehicle::Fleet fleet_;
   vehicle::VehicleIndex vehicle_index_;
+  std::unique_ptr<pricing::PricingPolicy> pricing_;
 
   MatchContext match_context_;
   std::unique_ptr<Matcher> naive_;

@@ -1,0 +1,36 @@
+#include "pricing/factory.h"
+
+#include "core/price.h"
+#include "pricing/paper_policy.h"
+#include "pricing/shared_discount_policy.h"
+#include "pricing/surge_policy.h"
+
+namespace ptrider::pricing {
+
+util::Result<std::unique_ptr<PricingPolicy>> CreatePricingPolicy(
+    const core::Config& config) {
+  PTRIDER_RETURN_IF_ERROR(config.Validate());
+  const core::PriceModel model(config);
+  switch (config.pricing_policy) {
+    case core::PricingPolicyKind::kPaper:
+      return std::unique_ptr<PricingPolicy>(new PaperPolicy(model));
+    case core::PricingPolicyKind::kSurge: {
+      SurgeOptions opts;
+      opts.window_s = config.surge_window_s;
+      opts.baseline_rate_per_min = config.surge_baseline_rate_per_min;
+      opts.gain_per_rate = config.surge_gain_per_rate;
+      opts.max_multiplier = config.surge_max_multiplier;
+      return std::unique_ptr<PricingPolicy>(new SurgePolicy(model, opts));
+    }
+    case core::PricingPolicyKind::kSharedDiscount: {
+      SharedDiscountOptions opts;
+      opts.per_committed_rider = config.shared_discount_per_rider;
+      opts.max_discount = config.shared_discount_max;
+      return std::unique_ptr<PricingPolicy>(
+          new SharedDiscountPolicy(model, opts));
+    }
+  }
+  return util::Status::InvalidArgument("unknown pricing policy kind");
+}
+
+}  // namespace ptrider::pricing

@@ -1,0 +1,18 @@
+#ifndef PTRIDER_PRICING_FACTORY_H_
+#define PTRIDER_PRICING_FACTORY_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "pricing/pricing_policy.h"
+
+namespace ptrider::pricing {
+
+/// Instantiates the policy selected by `config.pricing_policy`, with the
+/// policy parameters taken from the config. Validates the config first.
+util::Result<std::unique_ptr<PricingPolicy>> CreatePricingPolicy(
+    const core::Config& config);
+
+}  // namespace ptrider::pricing
+
+#endif  // PTRIDER_PRICING_FACTORY_H_

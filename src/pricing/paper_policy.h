@@ -1,0 +1,43 @@
+#ifndef PTRIDER_PRICING_PAPER_POLICY_H_
+#define PTRIDER_PRICING_PAPER_POLICY_H_
+
+#include "core/price.h"
+#include "pricing/pricing_policy.h"
+
+namespace ptrider::pricing {
+
+/// Definition 3 verbatim: the policy wraps the legacy core::PriceModel and
+/// performs the identical arithmetic, so quotes are bit-for-bit equal to
+/// the seed's inlined model (regression-tested against the paper's worked
+/// example r2 = <c2, 8, 8.8>). Ignores occupancy and demand.
+class PaperPolicy : public PricingPolicy {
+ public:
+  explicit PaperPolicy(const core::PriceModel& model) : model_(model) {}
+
+  const char* name() const override { return "paper"; }
+
+  double Price(const QuoteInputs& q) const override {
+    return model_.Price(q.num_riders, q.new_total, q.current_total,
+                        q.direct);
+  }
+  double MinPrice(int num_riders, roadnet::Weight direct) const override {
+    return model_.MinPrice(num_riders, direct);
+  }
+  double EmptyVehiclePrice(int num_riders, roadnet::Weight pickup_lb,
+                           roadnet::Weight direct) const override {
+    return model_.EmptyVehiclePrice(num_riders, pickup_lb, direct);
+  }
+  double PriceWithDetourLb(int num_riders, roadnet::Weight detour_lb,
+                           roadnet::Weight direct) const override {
+    return model_.PriceWithDetourLb(num_riders, detour_lb, direct);
+  }
+
+  const core::PriceModel& model() const { return model_; }
+
+ private:
+  core::PriceModel model_;
+};
+
+}  // namespace ptrider::pricing
+
+#endif  // PTRIDER_PRICING_PAPER_POLICY_H_

@@ -1,0 +1,75 @@
+#ifndef PTRIDER_PRICING_PRICING_POLICY_H_
+#define PTRIDER_PRICING_PRICING_POLICY_H_
+
+#include "roadnet/types.h"
+
+namespace ptrider::pricing {
+
+/// Everything a policy may look at when quoting one option (Definition 3
+/// generalized). Distances are meters; the matcher fills every field.
+struct QuoteInputs {
+  /// Riders in the new request (n of f_n).
+  int num_riders = 1;
+  /// Riders already committed to the candidate vehicle (onboard or
+  /// awaiting pick-up); 0 for an empty vehicle. Occupancy-sensitive
+  /// policies discount against this.
+  int committed_riders = 0;
+  /// dist(tr_j): total distance of the schedule after insertion.
+  roadnet::Weight new_total = 0.0;
+  /// dist(tr_i): total distance of the vehicle's current best schedule.
+  roadnet::Weight current_total = 0.0;
+  /// dist(s, d): shortest-path distance of the request itself.
+  roadnet::Weight direct = 0.0;
+};
+
+/// Fare policy interface (DESIGN.md section 4). A policy quotes fares AND
+/// supplies the lower bounds the indexed matchers prune with, so swapping
+/// the fare function can never make single-side/dual-side search drop an
+/// option the naive matcher would report.
+///
+/// Bound contract (pruning admissibility, DESIGN.md 4.4). Let P(q) be
+/// Price(q) for any quote q the matcher could still produce for the
+/// current request (direct and num_riders fixed; committed_riders,
+/// new_total, current_total free with new_total - current_total >= 0):
+///
+///   * MinPrice(n, direct)                <= P(q) for every q;
+///   * EmptyVehiclePrice(n, pk_lb, direct) <= P(q) for every q of an
+///     EMPTY vehicle (committed_riders = 0, current_total = 0) whose
+///     pick-up distance is >= pk_lb, and is non-decreasing in pk_lb
+///     (the matcher feeds it pick-up lower bounds);
+///   * PriceWithDetourLb(n, d_lb, direct) <= P(q) for every q with
+///     added detour new_total - current_total >= d_lb.
+///
+/// A bound may be loose (it only weakens pruning) but must never exceed
+/// the realizable price, or the matchers disagree with the naive baseline.
+class PricingPolicy {
+ public:
+  virtual ~PricingPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Fare quoted for one insertion candidate.
+  virtual double Price(const QuoteInputs& q) const = 0;
+
+  /// Global floor over all vehicles for a request with `direct` =
+  /// dist(s, d).
+  virtual double MinPrice(int num_riders, roadnet::Weight direct) const = 0;
+
+  /// Floor for empty vehicles whose pick-up distance is at least
+  /// `pickup_lb`.
+  virtual double EmptyVehiclePrice(int num_riders, roadnet::Weight pickup_lb,
+                                   roadnet::Weight direct) const = 0;
+
+  /// Floor for vehicles whose added detour Delta is at least `detour_lb`.
+  virtual double PriceWithDetourLb(int num_riders, roadnet::Weight detour_lb,
+                                   roadnet::Weight direct) const = 0;
+
+  /// Demand-signal hook: PTRider::SubmitRequest reports every incoming
+  /// request before matching it. Policies that ignore demand keep the
+  /// default no-op.
+  virtual void RecordRequest(double now_s) { (void)now_s; }
+};
+
+}  // namespace ptrider::pricing
+
+#endif  // PTRIDER_PRICING_PRICING_POLICY_H_

@@ -1,0 +1,71 @@
+#ifndef PTRIDER_PRICING_SHARED_DISCOUNT_POLICY_H_
+#define PTRIDER_PRICING_SHARED_DISCOUNT_POLICY_H_
+
+#include <algorithm>
+
+#include "core/price.h"
+#include "pricing/pricing_policy.h"
+
+namespace ptrider::pricing {
+
+/// Occupancy-discount parameters (personalized ride-pooling fares: the
+/// fuller the taxi, the cheaper the seat).
+struct SharedDiscountOptions {
+  /// Discount fraction per rider already committed to the vehicle.
+  double per_committed_rider = 0.05;
+  /// Discount ceiling, in [0, 1).
+  double max_discount = 0.30;
+};
+
+/// Discounts the Definition-3 fare by how shared the ride will be:
+///
+///   discount(k) = min(max_discount, per_committed_rider * k)
+///   price = (1 - discount(committed_riders)) * paper_price
+///
+/// An empty vehicle (k = 0) pays the undiscounted paper fare — sharing is
+/// what earns the discount. Bounds assume the WORST CASE (maximal)
+/// discount, except EmptyVehiclePrice, which is exact because empty
+/// vehicles have k = 0 by definition; all three therefore never exceed
+/// any realizable quote (DESIGN.md 4.4).
+class SharedDiscountPolicy : public PricingPolicy {
+ public:
+  SharedDiscountPolicy(const core::PriceModel& model,
+                       const SharedDiscountOptions& options)
+      : model_(model), options_(options) {}
+
+  const char* name() const override { return "shared-discount"; }
+
+  /// Discount fraction for a vehicle with `committed_riders` riders.
+  double DiscountFor(int committed_riders) const {
+    return std::min(options_.max_discount,
+                    options_.per_committed_rider *
+                        std::max(0, committed_riders));
+  }
+
+  double Price(const QuoteInputs& q) const override {
+    return (1.0 - DiscountFor(q.committed_riders)) *
+           model_.Price(q.num_riders, q.new_total, q.current_total,
+                        q.direct);
+  }
+  double MinPrice(int num_riders, roadnet::Weight direct) const override {
+    return (1.0 - options_.max_discount) *
+           model_.MinPrice(num_riders, direct);
+  }
+  double EmptyVehiclePrice(int num_riders, roadnet::Weight pickup_lb,
+                           roadnet::Weight direct) const override {
+    return model_.EmptyVehiclePrice(num_riders, pickup_lb, direct);
+  }
+  double PriceWithDetourLb(int num_riders, roadnet::Weight detour_lb,
+                           roadnet::Weight direct) const override {
+    return (1.0 - options_.max_discount) *
+           model_.PriceWithDetourLb(num_riders, detour_lb, direct);
+  }
+
+ private:
+  core::PriceModel model_;
+  SharedDiscountOptions options_;
+};
+
+}  // namespace ptrider::pricing
+
+#endif  // PTRIDER_PRICING_SHARED_DISCOUNT_POLICY_H_

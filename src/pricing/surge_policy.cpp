@@ -1,0 +1,22 @@
+#include "pricing/surge_policy.h"
+
+#include <algorithm>
+
+namespace ptrider::pricing {
+
+double SurgePolicy::rate_per_min() const {
+  if (options_.window_s <= 0.0) return 0.0;
+  return 60.0 * static_cast<double>(window_.size()) / options_.window_s;
+}
+
+void SurgePolicy::RecordRequest(double now_s) {
+  while (!window_.empty() && window_.front() <= now_s - options_.window_s) {
+    window_.pop_front();
+  }
+  window_.push_back(now_s);
+  const double excess = rate_per_min() - options_.baseline_rate_per_min;
+  multiplier_ = std::clamp(1.0 + options_.gain_per_rate * std::max(0.0, excess),
+                           1.0, options_.max_multiplier);
+}
+
+}  // namespace ptrider::pricing

@@ -1,0 +1,79 @@
+#ifndef PTRIDER_PRICING_SURGE_POLICY_H_
+#define PTRIDER_PRICING_SURGE_POLICY_H_
+
+#include <deque>
+
+#include "core/price.h"
+#include "pricing/pricing_policy.h"
+
+namespace ptrider::pricing {
+
+/// Demand-responsive surge parameters.
+struct SurgeOptions {
+  /// Length of the rolling request-rate window, seconds. The default is
+  /// long enough to smooth single bursts yet short enough to track the
+  /// double-peak hourly profile of a city day (sim/workload.h).
+  double window_s = 600.0;
+  /// Request rate (requests/minute) at or below which no surge applies.
+  double baseline_rate_per_min = 6.0;
+  /// Extra multiplier per request/minute above the baseline.
+  double gain_per_rate = 0.05;
+  /// Multiplier ceiling (riders see at most this factor).
+  double max_multiplier = 2.5;
+};
+
+/// Scales the Definition-3 fare by a demand multiplier m(t) in
+/// [1, max_multiplier] derived from a rolling window of request
+/// submission times (fed from PTRider::SubmitRequest):
+///
+///   rate = requests in last window_s, per minute
+///   m(t) = min(max_multiplier, 1 + gain * max(0, rate - baseline))
+///   price = m(t) * paper_price
+///
+/// Bounds are CONSERVATIVE: they quote the un-surged (m = 1) fare. Since
+/// m(t) >= 1 always, the paper bounds stay admissible no matter how the
+/// demand signal moves between bound evaluation and quoting — pruning
+/// merely loses the multiplier's tightening, never an option (DESIGN.md
+/// 4.4).
+class SurgePolicy : public PricingPolicy {
+ public:
+  SurgePolicy(const core::PriceModel& model, const SurgeOptions& options)
+      : model_(model), options_(options) {}
+
+  const char* name() const override { return "surge"; }
+
+  double Price(const QuoteInputs& q) const override {
+    return multiplier_ *
+           model_.Price(q.num_riders, q.new_total, q.current_total,
+                        q.direct);
+  }
+  double MinPrice(int num_riders, roadnet::Weight direct) const override {
+    return model_.MinPrice(num_riders, direct);
+  }
+  double EmptyVehiclePrice(int num_riders, roadnet::Weight pickup_lb,
+                           roadnet::Weight direct) const override {
+    return model_.EmptyVehiclePrice(num_riders, pickup_lb, direct);
+  }
+  double PriceWithDetourLb(int num_riders, roadnet::Weight detour_lb,
+                           roadnet::Weight direct) const override {
+    return model_.PriceWithDetourLb(num_riders, detour_lb, direct);
+  }
+
+  void RecordRequest(double now_s) override;
+
+  /// Demand multiplier applied to the next quote.
+  double multiplier() const { return multiplier_; }
+  /// Request rate over the current window, requests/minute.
+  double rate_per_min() const;
+
+ private:
+  core::PriceModel model_;
+  SurgeOptions options_;
+  /// Submission times inside the rolling window, oldest first.
+  std::deque<double> window_;
+  double multiplier_ = 1.0;
+};
+
+}  // namespace ptrider::pricing
+
+#endif  // PTRIDER_PRICING_SURGE_POLICY_H_

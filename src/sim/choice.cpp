@@ -21,41 +21,66 @@ const char* RiderChoiceModelName(RiderChoiceModel model) {
 size_t ChooseOptionIndex(const std::vector<core::Option>& options,
                          const ChoiceContext& ctx, util::Rng& rng) {
   assert(!options.empty());
+  // Acceptance screening: options priced beyond the rider's willingness
+  // to pay (a multiple of the request's fare floor) are never picked.
+  // Screened out lazily — the default (screening off) path must stay
+  // allocation-free, it runs once per simulated request.
+  const bool screened = ctx.accept_price_over_floor > 0.0;
+  const double budget = ctx.accept_price_over_floor * ctx.floor_price;
+  const auto affordable = [&](size_t i) {
+    return !screened || options[i].price <= budget;
+  };
+
   switch (ctx.model) {
     case RiderChoiceModel::kEarliestPickup: {
-      size_t best = 0;
-      for (size_t i = 1; i < options.size(); ++i) {
-        if (options[i].pickup_time_s < options[best].pickup_time_s) {
+      size_t best = kDeclinedOption;
+      for (size_t i = 0; i < options.size(); ++i) {
+        if (!affordable(i)) continue;
+        if (best == kDeclinedOption ||
+            options[i].pickup_time_s < options[best].pickup_time_s) {
           best = i;
         }
       }
       return best;
     }
     case RiderChoiceModel::kCheapest: {
-      size_t best = 0;
-      for (size_t i = 1; i < options.size(); ++i) {
-        if (options[i].price < options[best].price) best = i;
+      size_t best = kDeclinedOption;
+      for (size_t i = 0; i < options.size(); ++i) {
+        if (!affordable(i)) continue;
+        if (best == kDeclinedOption || options[i].price < options[best].price) {
+          best = i;
+        }
       }
       return best;
     }
     case RiderChoiceModel::kWeightedUtility: {
-      size_t best = 0;
+      size_t best = kDeclinedOption;
       double best_cost = 0.0;
       for (size_t i = 0; i < options.size(); ++i) {
+        if (!affordable(i)) continue;
         const double wait = options[i].pickup_time_s - ctx.now_s;
         const double cost = options[i].price + ctx.value_of_time * wait;
-        if (i == 0 || cost < best_cost) {
+        if (best == kDeclinedOption || cost < best_cost) {
           best = i;
           best_cost = cost;
         }
       }
       return best;
     }
-    case RiderChoiceModel::kRandom:
-      return static_cast<size_t>(rng.UniformInt(
-          0, static_cast<int64_t>(options.size()) - 1));
+    case RiderChoiceModel::kRandom: {
+      size_t count = 0;
+      for (size_t i = 0; i < options.size(); ++i) {
+        if (affordable(i)) ++count;
+      }
+      if (count == 0) return kDeclinedOption;
+      int64_t pick = rng.UniformInt(0, static_cast<int64_t>(count) - 1);
+      for (size_t i = 0; i < options.size(); ++i) {
+        if (affordable(i) && pick-- == 0) return i;
+      }
+      return kDeclinedOption;  // unreachable
+    }
   }
-  return 0;
+  return kDeclinedOption;
 }
 
 }  // namespace ptrider::sim

@@ -32,9 +32,26 @@ struct ChoiceContext {
   double value_of_time = 0.004;
   /// Request submission time (to turn pickup_time_s into a wait).
   double now_s = 0.0;
+
+  // --- Price-reactive acceptance --------------------------------------------
+  /// Willingness to pay as a multiple of the fare floor: the rider ignores
+  /// options priced above accept_price_over_floor * floor_price and walks
+  /// away (kDeclinedOption) when none remain. 0 disables acceptance
+  /// screening (every option is affordable) — the seed behavior.
+  double accept_price_over_floor = 0.0;
+  /// Fare floor of this request (the policy's MinPrice for its direct
+  /// distance); set per request by the simulator. Policy-relative: a
+  /// discount policy's floor is the fully-discounted fare, surge's the
+  /// un-surged one (see DESIGN.md section 5 before comparing decline
+  /// rates across policies).
+  double floor_price = 0.0;
 };
 
-/// Index of the chosen option; `options` must be non-empty.
+/// ChooseOptionIndex result when the rider rejects every option on price.
+inline constexpr size_t kDeclinedOption = static_cast<size_t>(-1);
+
+/// Index of the chosen option, or kDeclinedOption when acceptance
+/// screening rejects all of them; `options` must be non-empty.
 size_t ChooseOptionIndex(const std::vector<core::Option>& options,
                          const ChoiceContext& ctx, util::Rng& rng);
 

@@ -15,10 +15,11 @@ std::string SimulationReport::ToString() const {
                         util::FormatDuration(wall_clock_seconds).c_str());
   os << util::StrFormat(
       "requests                 %lld submitted, %lld assigned (%.1f%%), "
-      "%lld unserved\n",
+      "%lld unserved, %lld declined\n",
       static_cast<long long>(requests_submitted),
       static_cast<long long>(requests_assigned), 100.0 * ServiceRate(),
-      static_cast<long long>(requests_unserved));
+      static_cast<long long>(requests_unserved),
+      static_cast<long long>(requests_declined));
   os << util::StrFormat(
       "completed                %lld (%lld shared)\n",
       static_cast<long long>(requests_completed),
@@ -41,6 +42,13 @@ std::string SimulationReport::ToString() const {
                         detour_ratio.mean());
   os << util::StrFormat("avg quoted price         %.2f\n",
                         quoted_price.mean());
+  if (price_over_floor.count() > 0) {
+    os << util::StrFormat("avg price over floor     %.2fx\n",
+                          price_over_floor.mean());
+  }
+  os << util::StrFormat(
+      "revenue                  %.2f total (%.2f per completed trip)\n",
+      revenue_total, RevenuePerCompletedTrip());
   os << util::StrFormat(
       "fleet distance           %.1f km (occupied %.1f%%, shared %.1f%%)\n",
       fleet_total_distance_m / 1000.0, 100.0 * OccupancyRate(),

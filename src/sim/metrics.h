@@ -19,6 +19,9 @@ struct SimulationReport {
   int64_t requests_assigned = 0;
   /// Requests with an empty option set (no qualified vehicle).
   int64_t requests_unserved = 0;
+  /// Requests whose rider rejected every offered option on price
+  /// (acceptance screening; 0 unless ChoiceContext enables it).
+  int64_t requests_declined = 0;
   /// Riders dropped at their destination by simulation end.
   int64_t requests_completed = 0;
   /// Of the completed, how many shared the vehicle at some point.
@@ -35,11 +38,18 @@ struct SimulationReport {
   util::RunningStats pickup_wait_s;   // actual minus planned at pick-up
   util::RunningStats detour_ratio;    // actual trip / direct distance
   util::RunningStats quoted_price;
+  /// Quoted fare over the request's fare floor (policy MinPrice); 1.0
+  /// means the rider paid the theoretical minimum.
+  util::RunningStats price_over_floor;
   /// Meters a completed trip ran over its (1+sigma)*direct allowance.
   /// Bounded by the movement granularity (redirects happen at vertices,
   /// while schedules are validated from the root vertex): at most a
   /// couple of edge lengths, never unbounded.
   util::RunningStats trip_overrun_m;
+
+  // --- Revenue (pricing-policy outcome) ---------------------------------------
+  /// Sum of fares of completed trips (what the operator actually banks).
+  double revenue_total = 0.0;
 
   // --- Fleet ------------------------------------------------------------------
   double fleet_total_distance_m = 0.0;
@@ -62,6 +72,20 @@ struct SimulationReport {
     return requests_submitted > 0
                ? static_cast<double>(requests_assigned) /
                      static_cast<double>(requests_submitted)
+               : 0.0;
+  }
+  /// Riders who saw options but walked away on price.
+  double DeclineRate() const {
+    const int64_t offered = requests_assigned + requests_declined;
+    return offered > 0
+               ? static_cast<double>(requests_declined) /
+                     static_cast<double>(offered)
+               : 0.0;
+  }
+  /// Banked fare per completed trip.
+  double RevenuePerCompletedTrip() const {
+    return requests_completed > 0
+               ? revenue_total / static_cast<double>(requests_completed)
                : 0.0;
   }
   double OccupancyRate() const {

@@ -44,10 +44,22 @@ util::Status Simulator::SubmitDueRequests(const std::vector<Trip>& trips,
     }
     ChoiceContext choice = options_.choice;
     choice.now_s = now;
+    // The fare floor the rider benchmarks prices against (the policy's
+    // MinPrice for this request's direct distance).
+    choice.floor_price = system_->pricing_policy().MinPrice(
+        r.num_riders, match->direct_distance_m);
     const size_t pick = ChooseOptionIndex(match->options, choice, rng_);
+    if (pick == kDeclinedOption) {
+      ++report.requests_declined;
+      continue;
+    }
     PTRIDER_RETURN_IF_ERROR(
         system_->ChooseOption(r, match->options[pick], now));
     ++report.requests_assigned;
+    if (choice.floor_price > 0.0) {
+      report.price_over_floor.Add(match->options[pick].price /
+                                  choice.floor_price);
+    }
     // Newly-assigned vehicle may need to re-target.
     PTRIDER_RETURN_IF_ERROR(Replan(match->options[pick].vehicle));
   }
@@ -96,6 +108,7 @@ util::Status Simulator::HandleArrivals(vehicle::VehicleId id, double now,
       ++report.requests_completed;
       if (event->shared) ++report.requests_shared;
       report.quoted_price.Add(event->price);
+      report.revenue_total += event->price;
       if (event->direct_distance_m > 0.0) {
         report.detour_ratio.Add(event->trip_distance_m /
                                 event->direct_distance_m);

@@ -65,6 +65,14 @@ int KineticTree::RidersOnboard() const {
   return riders;
 }
 
+int KineticTree::RidersCommitted() const {
+  int riders = 0;
+  for (const auto& [id, p] : pending_) {
+    riders += p.request.num_riders;
+  }
+  return riders;
+}
+
 bool KineticTree::WalkSequence(const std::vector<Stop>& stops,
                                const ScheduleContext& ctx,
                                DistanceProvider& dist, bool exact,

@@ -109,6 +109,9 @@ class KineticTree {
   size_t NumTreeNodes() const;
   size_t NumPendingRequests() const { return pending_.size(); }
   int RidersOnboard() const;
+  /// Riders committed to this vehicle, onboard or awaiting pick-up
+  /// (occupancy-sensitive pricing discounts against this).
+  int RidersCommitted() const;
   const std::map<RequestId, PendingRequest>& pending() const {
     return pending_;
   }
