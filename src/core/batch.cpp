@@ -4,8 +4,19 @@
 
 namespace ptrider::core {
 
-std::optional<size_t> BatchDispatcher::ChooseEarliest(
-    const vehicle::Request&, const std::vector<Option>& options) {
+void Dispatcher::SortBySubmitOrder(std::vector<vehicle::Request>& batch) {
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const vehicle::Request& a, const vehicle::Request& b) {
+                     if (a.submit_time_s != b.submit_time_s) {
+                       return a.submit_time_s < b.submit_time_s;
+                     }
+                     return a.id < b.id;
+                   });
+}
+
+std::optional<size_t> Dispatcher::ChooseEarliest(const vehicle::Request&,
+                                                 const MatchResult& match) {
+  const std::vector<Option>& options = match.options;
   if (options.empty()) return std::nullopt;
   size_t best = 0;
   for (size_t i = 1; i < options.size(); ++i) {
@@ -14,8 +25,9 @@ std::optional<size_t> BatchDispatcher::ChooseEarliest(
   return best;
 }
 
-std::optional<size_t> BatchDispatcher::ChooseCheapest(
-    const vehicle::Request&, const std::vector<Option>& options) {
+std::optional<size_t> Dispatcher::ChooseCheapest(const vehicle::Request&,
+                                                 const MatchResult& match) {
+  const std::vector<Option>& options = match.options;
   if (options.empty()) return std::nullopt;
   size_t best = 0;
   for (size_t i = 1; i < options.size(); ++i) {
@@ -30,13 +42,7 @@ util::Result<std::vector<BatchItem>> BatchDispatcher::Dispatch(
   if (!chooser) {
     return util::Status::InvalidArgument("batch dispatch needs a chooser");
   }
-  std::stable_sort(batch.begin(), batch.end(),
-                   [](const vehicle::Request& a, const vehicle::Request& b) {
-                     if (a.submit_time_s != b.submit_time_s) {
-                       return a.submit_time_s < b.submit_time_s;
-                     }
-                     return a.id < b.id;
-                   });
+  SortBySubmitOrder(batch);
 
   std::vector<BatchItem> out;
   out.reserve(batch.size());
@@ -50,7 +56,7 @@ util::Result<std::vector<BatchItem>> BatchDispatcher::Dispatch(
       continue;
     }
     item.match = std::move(match).value();
-    const std::optional<size_t> pick = chooser(r, item.match.options);
+    const std::optional<size_t> pick = chooser(r, item.match);
     if (pick.has_value()) {
       if (*pick >= item.match.options.size()) {
         return util::Status::OutOfRange("chooser returned a bad index");

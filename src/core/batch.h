@@ -19,36 +19,64 @@ struct BatchItem {
   Option chosen;
 };
 
-/// The rider-side decision for a batch request: the index of the chosen
-/// option, or nullopt to decline (e.g. all options too expensive).
+/// The rider-side decision for a batch request: an index into
+/// `match.options`, or nullopt to decline (e.g. all options too
+/// expensive). The full MatchResult is provided so choosers can price
+/// against direct_distance_m without re-running shortest paths — the
+/// chooser executes on the sequential commit path, where every saved
+/// computation matters.
 using BatchChooser = std::function<std::optional<size_t>(
-    const vehicle::Request&, const std::vector<Option>&)>;
+    const vehicle::Request&, const MatchResult& match)>;
 
-/// Greedy handling of simultaneous requests (Section 2.5: "a greedy
-/// strategy is used when multiple requests are issued simultaneously").
-/// Requests are processed one at a time in ascending (submit_time, id)
-/// order — the order c.S is sorted by (Section 3.2.2) — and every
-/// commitment updates vehicle state before the next request is matched,
-/// so later requests see the schedules earlier ones created.
-class BatchDispatcher {
+/// Batch-dispatch strategy interface. Every implementation realizes the
+/// paper's greedy semantics for simultaneous requests (Section 2.5):
+/// requests are committed one at a time in ascending (submit_time, id)
+/// order, each commitment visible to every later request. Strategies may
+/// only differ in how they *compute* the matches (e.g. sequentially or
+/// sharded across worker threads) — the returned BatchItem sequence is
+/// identical across strategies (DESIGN.md section 5).
+class Dispatcher {
  public:
-  explicit BatchDispatcher(PTRider& system) : system_(&system) {}
+  virtual ~Dispatcher() = default;
 
   /// Matches and (per `chooser`) commits every request in `batch` at
   /// time `now_s`. Returns one BatchItem per request, in processing
   /// order. Requests that fail validation (e.g. s == d) are returned
   /// unassigned with an empty option list rather than aborting the
   /// batch.
-  util::Result<std::vector<BatchItem>> Dispatch(
+  virtual util::Result<std::vector<BatchItem>> Dispatch(
       std::vector<vehicle::Request> batch, double now_s,
-      const BatchChooser& chooser);
+      const BatchChooser& chooser) = 0;
+
+  virtual const char* name() const = 0;
+
+  /// The paper's greedy processing order, ascending (submit_time, id) —
+  /// the one definition both dispatchers sort with, so their item
+  /// sequences can never disagree on ordering.
+  static void SortBySubmitOrder(std::vector<vehicle::Request>& batch);
 
   /// Convenience chooser: always take the earliest pick-up.
-  static std::optional<size_t> ChooseEarliest(
-      const vehicle::Request&, const std::vector<Option>& options);
+  static std::optional<size_t> ChooseEarliest(const vehicle::Request&,
+                                              const MatchResult& match);
   /// Convenience chooser: always take the lowest price.
-  static std::optional<size_t> ChooseCheapest(
-      const vehicle::Request&, const std::vector<Option>& options);
+  static std::optional<size_t> ChooseCheapest(const vehicle::Request&,
+                                              const MatchResult& match);
+};
+
+/// Greedy handling of simultaneous requests, computed strictly one at a
+/// time on the calling thread: every request is matched against the
+/// vehicle state all earlier commitments produced. The reference
+/// implementation the parallel dispatcher must be item-for-item
+/// equivalent to.
+class BatchDispatcher : public Dispatcher {
+ public:
+  explicit BatchDispatcher(PTRider& system) : system_(&system) {}
+
+  util::Result<std::vector<BatchItem>> Dispatch(
+      std::vector<vehicle::Request> batch, double now_s,
+      const BatchChooser& chooser) override;
+
+  const char* name() const override { return "sequential"; }
 
  private:
   PTRider* system_;

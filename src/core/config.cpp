@@ -52,6 +52,10 @@ util::Status Config::Validate() const {
     return util::Status::InvalidArgument(
         "pickup horizon must be positive");
   }
+  if (dispatch_threads < 0) {
+    return util::Status::InvalidArgument(
+        "dispatch threads must be >= 0");
+  }
   if (!(surge_window_s > 0.0)) {
     return util::Status::InvalidArgument("surge window must be positive");
   }

@@ -81,6 +81,14 @@ struct Config {
   /// at the price of reordering flexibility.
   size_t max_schedules_per_vehicle = 0;
 
+  // --- Dispatch ------------------------------------------------------------
+  /// Worker threads for batch dispatch (src/dispatch/). 0 selects the
+  /// sequential core::BatchDispatcher; >= 1 selects the two-phase
+  /// dispatch::ParallelDispatcher with that many matching workers.
+  /// Results are deterministic and identical across all settings
+  /// (DESIGN.md section 5); this only trades cores for latency.
+  int dispatch_threads = 0;
+
   /// Planned pick-up radius in meters implied by the horizon.
   double MaxPickupRadiusM() const {
     return max_planned_pickup_s * speed_mps;

@@ -37,8 +37,9 @@ bool Skyline::Add(Option option) {
   return true;
 }
 
-bool Skyline::CoveredBy(roadnet::Weight time_lb, double price_lb) const {
-  for (const Option& kept : options_) {
+bool OptionsCover(const std::vector<Option>& options,
+                  roadnet::Weight time_lb, double price_lb) {
+  for (const Option& kept : options) {
     // Strict in at least one coordinate: a kept option merely *equal* to
     // the candidate's lower bounds does not dominate an exact-tie option
     // (Definition 4 keeps ties), so pruning on equality would drop
@@ -50,6 +51,10 @@ bool Skyline::CoveredBy(roadnet::Weight time_lb, double price_lb) const {
     }
   }
   return false;
+}
+
+bool Skyline::CoveredBy(roadnet::Weight time_lb, double price_lb) const {
+  return OptionsCover(options_, time_lb, price_lb);
 }
 
 std::vector<Option> Skyline::TakeSorted() {

@@ -13,6 +13,16 @@ namespace ptrider::core {
 /// Two options equal in both coordinates do not dominate each other.
 bool Dominates(const Option& a, const Option& b);
 
+/// True when some option in `options` strictly dominates the point
+/// (time_lb, price_lb) — i.e. is <= in both coordinates and < in at
+/// least one. With `time_lb`/`price_lb` lower bounds for every option a
+/// vehicle could still produce, a true result proves the vehicle cannot
+/// add to or change the non-dominated set (exact ties are NOT covered;
+/// Definition 4 keeps them). The prune Skyline::CoveredBy applies
+/// mid-search, reusable against an already-extracted option list.
+bool OptionsCover(const std::vector<Option>& options,
+                  roadnet::Weight time_lb, double price_lb);
+
 /// Incrementally maintained set of non-dominated options over
 /// (pickup_distance, price), sorted ascending by pickup distance (so
 /// prices are non-increasing along the vector). Options tied in both

@@ -8,75 +8,15 @@
 
 namespace ptrider::core {
 
-namespace {
-
-/// Clamp-to-zero helper for detour terms.
-roadnet::Weight Positive(roadnet::Weight x) { return x > 0.0 ? x : 0.0; }
-
-}  // namespace
-
 roadnet::Weight IndexedMatcherBase::PickupLowerBound(
     const vehicle::Vehicle& v, roadnet::VertexId start) const {
-  // Any candidate reaches the new pick-up directly from the current
-  // location or from some scheduled stop, so dist_pt >= min LB over those
-  // insertion points. All branches share one stop set; scan the best.
-  const roadnet::GridIndex& grid = *ctx_.grid;
-  roadnet::Weight lb = grid.LowerBound(v.location(), start);
-  if (!v.tree().empty()) {
-    for (const vehicle::Stop& s : v.tree().BestBranch().stops) {
-      lb = std::min(lb, grid.LowerBound(s.location, start));
-    }
-  }
-  return lb;
+  return VehiclePickupLowerBound(*ctx_.grid, v, start);
 }
 
 roadnet::Weight IndexedMatcherBase::DetourLowerBound(
     const vehicle::Vehicle& v, const vehicle::Request& request,
     roadnet::Weight direct) const {
-  // Shortcutting s (resp. d) out of any insertion candidate leaves a
-  // schedule no shorter than the current best, so Delta is at least the
-  // cost of splicing s (resp. d) into its slot. A slot is either an
-  // original branch slot (x -> y with exact cached leg) or — when s and d
-  // end up adjacent — the joint splice x -> s -> d -> y. Taking the min
-  // over branches and slots of each splice cost, then the max over the
-  // s-view and d-view, never exceeds the true minimal Delta.
-  const roadnet::GridIndex& grid = *ctx_.grid;
-  const roadnet::VertexId s = request.start;
-  const roadnet::VertexId d = request.destination;
-  if (v.tree().empty()) {
-    // Empty vehicle: Delta = dist(l,s) + direct exactly.
-    return grid.LowerBound(v.location(), s) + direct;
-  }
-  roadnet::Weight lb_s = roadnet::kInfWeight;  // min splice cost for s
-  roadnet::Weight lb_d = roadnet::kInfWeight;  // min splice cost for d
-  for (const vehicle::Branch& b : v.tree().branches()) {
-    roadnet::VertexId prev = v.location();
-    for (size_t i = 0; i < b.stops.size(); ++i) {
-      const roadnet::VertexId next = b.stops[i].location;
-      const roadnet::Weight leg = b.legs[i];
-      const roadnet::Weight term_s =
-          Positive(grid.LowerBound(prev, s) + grid.LowerBound(s, next) -
-                   leg);
-      const roadnet::Weight term_d =
-          Positive(grid.LowerBound(prev, d) + grid.LowerBound(d, next) -
-                   leg);
-      const roadnet::Weight term_sd =
-          Positive(grid.LowerBound(prev, s) + direct +
-                   grid.LowerBound(d, next) - leg);
-      lb_s = std::min(lb_s, std::min(term_s, term_sd));
-      lb_d = std::min(lb_d, std::min(term_d, term_sd));
-      prev = next;
-    }
-    // Append-at-end slots.
-    const roadnet::Weight tail_s = Positive(grid.LowerBound(prev, s));
-    const roadnet::Weight tail_d = Positive(grid.LowerBound(prev, d));
-    const roadnet::Weight tail_sd =
-        Positive(grid.LowerBound(prev, s) + direct);
-    lb_s = std::min(lb_s, std::min(tail_s, tail_sd));
-    lb_d = std::min(lb_d, std::min(tail_d, tail_sd));
-    if (lb_s == 0.0 && lb_d == 0.0) break;
-  }
-  return std::max(lb_s, lb_d);
+  return VehicleDetourLowerBound(*ctx_.grid, v, request, direct);
 }
 
 MatchResult IndexedMatcherBase::Match(const vehicle::Request& request,

@@ -41,12 +41,16 @@ struct MatchResult {
 };
 
 /// Shared wiring for matchers. All pointers outlive the matcher; the
-/// matcher mutates nothing but the oracle's cache/stats.
+/// matcher mutates nothing but the oracle's cache/stats. Everything but
+/// the oracle is const — matching is a read-only view of system state,
+/// which is what lets the parallel dispatcher run many matches
+/// concurrently against one fleet (each worker supplying its own
+/// oracle and pricing view).
 struct MatchContext {
   const roadnet::RoadNetwork* graph = nullptr;
   const roadnet::GridIndex* grid = nullptr;     // null for naive matching
-  vehicle::Fleet* fleet = nullptr;
-  vehicle::VehicleIndex* vehicle_index = nullptr;  // null for naive
+  const vehicle::Fleet* fleet = nullptr;
+  const vehicle::VehicleIndex* vehicle_index = nullptr;  // null for naive
   roadnet::DistanceOracle* oracle = nullptr;
   const Config* config = nullptr;
   /// Fare policy quotes AND pruning bounds (src/pricing/). Owned by
@@ -78,6 +82,29 @@ size_t EvaluateVehicle(const vehicle::Vehicle& v,
                        const pricing::PricingPolicy& pricing,
                        roadnet::Weight direct, roadnet::Weight radius_m,
                        class Skyline& skyline, MatchResult& result);
+
+/// Admissible lower bound on the pick-up distance any schedule of `v`
+/// could offer a request starting at `start`: the minimum grid lower
+/// bound from any insertion point (current location or scheduled stop).
+/// When it exceeds the pick-up radius, `v` cannot contribute an option —
+/// the time-lemma prune of the indexed matchers, also used by the
+/// parallel dispatcher to decide whether an in-batch commitment can
+/// invalidate a concurrently-computed match.
+roadnet::Weight VehiclePickupLowerBound(const roadnet::GridIndex& grid,
+                                        const vehicle::Vehicle& v,
+                                        roadnet::VertexId start);
+
+/// Admissible lower bound on the added detour Delta = dist_trj - dist_tri
+/// for serving `request` with vehicle `v`, derived from grid lower
+/// bounds and the exact slot legs already cached in the branches. Sound:
+/// never exceeds the true Delta of any insertion candidate (DESIGN.md
+/// 4.3). `direct` is dist(s, d). The price-lemma prune of dual-side
+/// search, shared with the parallel dispatcher's commit-phase
+/// invalidation test.
+roadnet::Weight VehicleDetourLowerBound(const roadnet::GridIndex& grid,
+                                        const vehicle::Vehicle& v,
+                                        const vehicle::Request& request,
+                                        roadnet::Weight direct);
 
 }  // namespace ptrider::core
 

@@ -81,8 +81,8 @@ util::Result<vehicle::VehicleId> PTRider::AddVehicle(
   return id;
 }
 
-util::Result<MatchResult> PTRider::SubmitRequest(
-    const vehicle::Request& request, double now_s) {
+util::Status PTRider::ValidateRequest(
+    const vehicle::Request& request) const {
   if (!graph_->IsValidVertex(request.start) ||
       !graph_->IsValidVertex(request.destination)) {
     return util::Status::InvalidArgument("request endpoints not in network");
@@ -98,6 +98,34 @@ util::Result<MatchResult> PTRider::SubmitRequest(
     return util::Status::InvalidArgument(
         "negative waiting time or service constraint");
   }
+  return util::Status::Ok();
+}
+
+MatchResult PTRider::MatchReadOnly(const vehicle::Request& request,
+                                   double now_s,
+                                   roadnet::DistanceOracle& oracle,
+                                   const pricing::PricingPolicy* pricing)
+    const {
+  MatchContext ctx = match_context_;
+  ctx.oracle = &oracle;
+  if (pricing != nullptr) ctx.pricing = pricing;
+  const vehicle::ScheduleContext sched = MakeScheduleContext(now_s);
+  // Matchers are stateless beyond their context; stack instances keep
+  // this path reentrant.
+  switch (config_.matcher) {
+    case MatcherAlgorithm::kNaive:
+      return NaiveMatcher(ctx).Match(request, sched);
+    case MatcherAlgorithm::kSingleSide:
+      return SingleSideMatcher(ctx).Match(request, sched);
+    case MatcherAlgorithm::kDualSide:
+      break;
+  }
+  return DualSideMatcher(ctx).Match(request, sched);
+}
+
+util::Result<MatchResult> PTRider::SubmitRequest(
+    const vehicle::Request& request, double now_s) {
+  PTRIDER_RETURN_IF_ERROR(ValidateRequest(request));
   if (assignments_.count(request.id) > 0) {
     return util::Status::AlreadyExists(util::StrFormat(
         "request %lld already assigned",

@@ -67,6 +67,31 @@ class PTRider {
   util::Result<MatchResult> SubmitRequest(const vehicle::Request& request,
                                           double now_s);
 
+  /// The state-independent half of SubmitRequest's screening (endpoint,
+  /// rider-count and constraint checks). The dispatchers run it once up
+  /// front so invalid requests are reported unassigned without touching
+  /// the demand signal — exactly SubmitRequest's behavior.
+  util::Status ValidateRequest(const vehicle::Request& request) const;
+
+  /// True while `id` is committed to a vehicle and not yet dropped off.
+  bool IsAssigned(vehicle::RequestId id) const {
+    return assignments_.count(id) > 0;
+  }
+
+  /// The matching step alone, decoupled from the request lifecycle: no
+  /// validation, no demand recording, no commitment. Reads fleet, grid
+  /// and vehicle-index state but mutates nothing of the system — with a
+  /// caller-supplied `oracle` (one per thread; see
+  /// roadnet::DistanceOracle::Clone) and `pricing` view (null = the
+  /// system's policy), any number of MatchReadOnly calls may run
+  /// concurrently, provided no mutating call (ChooseOption, vehicle
+  /// updates, ...) overlaps them. This is the sharded-match phase of
+  /// dispatch::ParallelDispatcher.
+  MatchResult MatchReadOnly(const vehicle::Request& request, double now_s,
+                            roadnet::DistanceOracle& oracle,
+                            const pricing::PricingPolicy* pricing
+                            = nullptr) const;
+
   /// Step (iii): the rider chose `option`; commits the request to the
   /// option's vehicle and updates the vehicle index.
   util::Status ChooseOption(const vehicle::Request& request,
@@ -96,6 +121,7 @@ class PTRider {
   const roadnet::RoadNetwork& graph() const { return *graph_; }
   const roadnet::GridIndex& grid() const { return grid_; }
   roadnet::DistanceOracle& oracle() { return oracle_; }
+  const roadnet::DistanceOracle& oracle() const { return oracle_; }
   vehicle::Fleet& fleet() { return fleet_; }
   const vehicle::Fleet& fleet() const { return fleet_; }
   vehicle::VehicleIndex& vehicle_index() { return vehicle_index_; }

@@ -1,0 +1,221 @@
+#include "dispatch/parallel_dispatcher.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "core/distance_providers.h"
+#include "core/dominance.h"
+#include "core/matcher.h"
+#include "util/timer.h"
+
+namespace ptrider::dispatch {
+
+ParallelDispatcher::ParallelDispatcher(core::PTRider& system,
+                                       size_t num_threads)
+    : system_(&system),
+      sequential_(system),
+      pool_(num_threads == 0 ? 0 : num_threads - 1) {
+  // One context per pool worker plus one for the calling thread, which
+  // ParallelFor enlists as worker id pool_.num_workers().
+  workers_.reserve(pool_.num_workers() + 1);
+  for (size_t w = 0; w < pool_.num_workers() + 1; ++w) {
+    workers_.emplace_back(system);
+  }
+}
+
+util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
+    std::vector<vehicle::Request> batch, double now_s,
+    const core::BatchChooser& chooser) {
+  if (!chooser) {
+    return util::Status::InvalidArgument("batch dispatch needs a chooser");
+  }
+  core::Dispatcher::SortBySubmitOrder(batch);
+  const size_t n = batch.size();
+
+  // Id corner cases (a request id already assigned, or the same id twice
+  // in one batch) make SubmitRequest's AlreadyExists screen depend on
+  // which earlier batch members committed — state phase 1 cannot see.
+  // They cannot occur in normal operation (the simulator issues unique
+  // ids); route such batches through the sequential reference wholesale.
+  {
+    std::unordered_set<vehicle::RequestId> ids;
+    ids.reserve(n);
+    bool degenerate = false;
+    for (const vehicle::Request& r : batch) {
+      if (system_->IsAssigned(r.id) || !ids.insert(r.id).second) {
+        degenerate = true;
+        break;
+      }
+    }
+    if (degenerate) {
+      ++sequential_fallbacks_;
+      return sequential_.Dispatch(std::move(batch), now_s, chooser);
+    }
+  }
+
+  // --- Phase 0: validation, demand records, pricing snapshots -------------
+  // Sequential dispatch records each valid request's demand signal just
+  // before matching it, so request i is quoted under i recorded
+  // arrivals. Replay the records here in the same order, snapshotting
+  // demand-sensitive policies after each one; stateless policies are
+  // shared directly (their quotes cannot change mid-batch).
+  pricing::PricingPolicy& live_policy = system_->pricing_policy();
+  const bool snapshot_pricing = live_policy.HasDemandState();
+  std::vector<util::Status> valid(n);
+  std::vector<std::unique_ptr<pricing::PricingPolicy>> snapshots(
+      snapshot_pricing ? n : 0);
+  for (size_t i = 0; i < n; ++i) {
+    valid[i] = system_->ValidateRequest(batch[i]);
+    if (!valid[i].ok()) continue;
+    live_policy.RecordRequest(now_s);
+    if (snapshot_pricing) snapshots[i] = live_policy.SnapshotForQuote();
+  }
+
+  // --- Phase 1: sharded match against the frozen fleet --------------------
+  // No system state mutates until phase 2, so the fleet/grid/index reads
+  // inside MatchReadOnly all observe the pre-batch snapshot.
+  std::vector<core::MatchResult> matches(n);
+  util::WallTimer phase_timer;
+  // Contiguous chunks (~2 per thread): the batch is sorted by submit
+  // time, so neighbors are often spatially close and their shortest
+  // paths land in the same worker's distance cache.
+  const size_t chunk =
+      std::max<size_t>(1, n / (2 * (pool_.num_workers() + 1)));
+  pool_.ParallelFor(
+      n,
+      [&](size_t i, size_t worker) {
+        if (!valid[i].ok()) return;
+        const pricing::PricingPolicy* pricing =
+            snapshot_pricing ? snapshots[i].get() : &live_policy;
+        matches[i] = system_->MatchReadOnly(
+            batch[i], now_s, workers_[worker].oracle(), pricing);
+      },
+      chunk);
+  match_phase_seconds_ += phase_timer.ElapsedSeconds();
+  phase_timer.Restart();
+
+  // --- Phase 2: sequential commit in (submit_time, id) order --------------
+  const roadnet::GridIndex& grid = system_->grid();
+  const roadnet::Weight radius = system_->config().MaxPickupRadiusM();
+  const bool dual_side =
+      system_->config().matcher == core::MatcherAlgorithm::kDualSide;
+  std::vector<vehicle::VehicleId> dirty;  // vehicles committed this batch
+  std::vector<char> is_dirty(system_->fleet().size(), 0);
+
+  // Reconciles request i's phase-1 match with the in-batch commitments
+  // made so far. Three cases, each preserving item-for-item equality
+  // with the sequential dispatcher (DESIGN.md section 5):
+  //
+  //   * A committed vehicle appears in the option list — its offers are
+  //     stale, and dropping them could resurrect options they dominated.
+  //     Full re-match against live state.
+  //   * A committed vehicle could newly contribute: its live pick-up
+  //     lower bound is inside the radius and the phase-1 skyline does
+  //     not strictly dominate everything it could still offer (the same
+  //     time/price-lemma prunes the matchers run, with admissible
+  //     bounds over live schedules and this request's sequential-order
+  //     pricing view). Cheap local re-match: re-probe just that
+  //     vehicle's kinetic tree into the phase-1 skyline — every other
+  //     vehicle's candidates are untouched, so the merged non-dominated
+  //     set equals a live full match.
+  //   * Neither — commits only append stops, so a vehicle outside these
+  //     tests contributed nothing in phase 1 and can contribute nothing
+  //     now. The phase-1 result is exact as-is.
+  const auto reconcile = [&](size_t i,
+                             const pricing::PricingPolicy& pricing) {
+    core::MatchResult& m = matches[i];
+    // Unreachable destination: empty options regardless of fleet state.
+    if (m.direct_distance_m == roadnet::kInfWeight) return;
+    const vehicle::Request& r = batch[i];
+    for (const core::Option& o : m.options) {
+      if (is_dirty[static_cast<size_t>(o.vehicle)]) {
+        m = system_->MatchReadOnly(r, now_s, system_->oracle(), &pricing);
+        ++rematch_count_;
+        return;
+      }
+    }
+    core::Skyline skyline;
+    bool reprobing = false;
+    const double floor =
+        pricing.MinPrice(r.num_riders, m.direct_distance_m);
+    for (const vehicle::VehicleId id : dirty) {
+      const vehicle::Vehicle& v = system_->fleet().at(id);
+      const roadnet::Weight t_lb =
+          core::VehiclePickupLowerBound(grid, v, r.start);
+      if (t_lb > radius) continue;
+      // Once re-probing started, test against the growing skyline (its
+      // new members are live options and cover just as soundly).
+      const std::vector<core::Option>& kept =
+          reprobing ? skyline.options() : m.options;
+      if (core::OptionsCover(kept, t_lb, floor)) continue;
+      if (dual_side &&
+          core::OptionsCover(
+              kept, t_lb,
+              pricing.PriceWithDetourLb(
+                  r.num_riders,
+                  core::VehicleDetourLowerBound(grid, v, r,
+                                                m.direct_distance_m),
+                  m.direct_distance_m))) {
+        continue;
+      }
+      if (!reprobing) {
+        reprobing = true;
+        ++reprobe_count_;
+        for (core::Option& o : m.options) skyline.Add(std::move(o));
+      }
+      core::IndexedDistanceProvider dist(system_->oracle(), grid);
+      EvaluateVehicle(v, r, system_->MakeScheduleContext(now_s), dist,
+                      pricing, m.direct_distance_m, radius, skyline, m);
+    }
+    if (reprobing) m.options = skyline.TakeSorted();
+  };
+
+  std::vector<core::BatchItem> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    core::BatchItem item;
+    item.request = batch[i];
+    if (!valid[i].ok()) {
+      // Invalid individual request: report it unassigned, keep going.
+      out.push_back(std::move(item));
+      continue;
+    }
+    const pricing::PricingPolicy& pricing_view =
+        snapshot_pricing ? *snapshots[i] : live_policy;
+    if (!dirty.empty()) reconcile(i, pricing_view);
+    item.match = std::move(matches[i]);
+    const std::optional<size_t> pick = chooser(batch[i], item.match);
+    if (pick.has_value()) {
+      if (*pick >= item.match.options.size()) {
+        return util::Status::OutOfRange("chooser returned a bad index");
+      }
+      const core::Option& option = item.match.options[*pick];
+      // The option was computed against the exact live schedule of its
+      // vehicle (phase-1 result only when no commit touched it), so the
+      // commitment cannot race; surface any failure.
+      PTRIDER_RETURN_IF_ERROR(
+          system_->ChooseOption(batch[i], option, now_s));
+      item.assigned = true;
+      item.chosen = option;
+      if (!is_dirty[static_cast<size_t>(option.vehicle)]) {
+        is_dirty[static_cast<size_t>(option.vehicle)] = 1;
+        dirty.push_back(option.vehicle);
+      }
+    }
+    out.push_back(std::move(item));
+  }
+  commit_phase_seconds_ += phase_timer.ElapsedSeconds();
+  return out;
+}
+
+std::unique_ptr<core::Dispatcher> CreateDispatcher(core::PTRider& system) {
+  const int threads = system.config().dispatch_threads;
+  if (threads <= 0) {
+    return std::make_unique<core::BatchDispatcher>(system);
+  }
+  return std::make_unique<ParallelDispatcher>(
+      system, static_cast<size_t>(threads));
+}
+
+}  // namespace ptrider::dispatch

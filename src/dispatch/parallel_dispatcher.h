@@ -1,0 +1,91 @@
+#ifndef PTRIDER_DISPATCH_PARALLEL_DISPATCHER_H_
+#define PTRIDER_DISPATCH_PARALLEL_DISPATCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/batch.h"
+#include "dispatch/thread_pool.h"
+#include "dispatch/worker_context.h"
+
+namespace ptrider::dispatch {
+
+/// Two-phase batch dispatcher: sharded match, sequential commit.
+///
+/// Phase 1 (parallel). Every request in the batch is matched
+/// concurrently against the frozen pre-batch fleet via
+/// core::PTRider::MatchReadOnly — the existing pruning-and-pricing path,
+/// untouched. Each worker uses its own DistanceOracle clone; each
+/// request sees the pricing/demand state a sequential run would have
+/// shown it (demand-sensitive policies are snapshotted per request in
+/// submission order before matching starts).
+///
+/// Phase 2 (sequential). Options are committed in the paper's greedy
+/// (submit_time, id) order. A request whose match could have been
+/// changed by an earlier in-batch commitment — some committed vehicle's
+/// pick-up lower bound reaches into its radius — is re-matched against
+/// live state before its rider chooses; all other phase-1 results are
+/// provably exact (DESIGN.md section 5).
+///
+/// The result is deterministic and item-for-item identical to
+/// core::BatchDispatcher for every chooser, matcher and pricing policy
+/// (tests/dispatch_parallel_test.cpp proves it); threads only buy
+/// latency.
+class ParallelDispatcher : public core::Dispatcher {
+ public:
+  /// `num_threads` matching threads total, the dispatching thread
+  /// included (clamped to >= 1): num_threads - 1 pool workers are
+  /// spawned and the caller matches alongside them, so one thread means
+  /// no pool at all. The pool and the per-thread contexts persist
+  /// across Dispatch calls.
+  ParallelDispatcher(core::PTRider& system, size_t num_threads);
+
+  util::Result<std::vector<core::BatchItem>> Dispatch(
+      std::vector<vehicle::Request> batch, double now_s,
+      const core::BatchChooser& chooser) override;
+
+  const char* name() const override { return "parallel"; }
+
+  size_t num_threads() const { return pool_.num_workers() + 1; }
+
+  // --- Diagnostics ---------------------------------------------------------
+  /// Commit-phase full re-matches: an earlier in-batch commitment left
+  /// stale options in the request's list.
+  uint64_t rematch_count() const { return rematch_count_; }
+  /// Commit-phase local re-matches: one or more committed vehicles were
+  /// re-probed into the request's phase-1 skyline (much cheaper than a
+  /// full re-match).
+  uint64_t reprobe_count() const { return reprobe_count_; }
+  /// Batches routed through the sequential dispatcher wholesale (rare id
+  /// corner cases, see Dispatch).
+  uint64_t sequential_fallbacks() const { return sequential_fallbacks_; }
+  /// Cumulative wall-clock of the sharded-match phase — the part that
+  /// scales with threads.
+  double match_phase_seconds() const { return match_phase_seconds_; }
+  /// Cumulative wall-clock of the sequential commit phase (commits,
+  /// re-validation, choosers) — the Amdahl floor; parallelizing it is a
+  /// ROADMAP item.
+  double commit_phase_seconds() const { return commit_phase_seconds_; }
+
+ private:
+  core::PTRider* system_;
+  core::BatchDispatcher sequential_;
+  ThreadPool pool_;
+  std::vector<WorkerContext> workers_;
+  uint64_t rematch_count_ = 0;
+  uint64_t reprobe_count_ = 0;
+  uint64_t sequential_fallbacks_ = 0;
+  double match_phase_seconds_ = 0.0;
+  double commit_phase_seconds_ = 0.0;
+};
+
+/// The Config::dispatch_threads strategy switch: 0 returns the
+/// sequential core::BatchDispatcher, >= 1 a ParallelDispatcher with that
+/// many workers. Either way the produced BatchItem sequences are
+/// identical.
+std::unique_ptr<core::Dispatcher> CreateDispatcher(core::PTRider& system);
+
+}  // namespace ptrider::dispatch
+
+#endif  // PTRIDER_DISPATCH_PARALLEL_DISPATCHER_H_

@@ -1,0 +1,88 @@
+#include "dispatch/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace ptrider::dispatch {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void(size_t)> task) {
+  if (workers_.empty()) {
+    // No worker will ever drain the queue; the caller is the only
+    // executor there is (it gets id 0, as ParallelFor would give it).
+    task(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t, size_t)>& fn,
+    size_t chunk) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  // One pump task per worker; index ranges come off a shared counter so
+  // a slow range never strands work behind it. `fn` and `next` outlive
+  // the tasks because Wait() returns only after every task object is
+  // destroyed.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  const auto pump = [next, n, &fn, chunk](size_t worker) {
+    for (size_t base = next->fetch_add(chunk, std::memory_order_relaxed);
+         base < n;
+         base = next->fetch_add(chunk, std::memory_order_relaxed)) {
+      const size_t end = std::min(n, base + chunk);
+      for (size_t i = base; i < end; ++i) fn(i, worker);
+    }
+  };
+  const size_t pumps = std::min(num_workers(), (n + chunk - 1) / chunk);
+  for (size_t t = 0; t < pumps; ++t) Submit(pump);
+  // The caller pumps too (as worker id num_workers()) instead of
+  // sleeping in Wait — with zero pool workers this degenerates to a
+  // plain loop.
+  pump(num_workers());
+  Wait();
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    task_ready_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // only reachable when stopping
+    std::function<void(size_t)> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    task(worker_id);
+    task = nullptr;  // release captures before signalling completion
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) all_done_.notify_all();
+  }
+}
+
+}  // namespace ptrider::dispatch

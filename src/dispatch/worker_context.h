@@ -1,0 +1,35 @@
+#ifndef PTRIDER_DISPATCH_WORKER_CONTEXT_H_
+#define PTRIDER_DISPATCH_WORKER_CONTEXT_H_
+
+#include "core/ptrider.h"
+#include "roadnet/distance_oracle.h"
+
+namespace ptrider::dispatch {
+
+/// Everything one matching worker owns privately, so concurrent matches
+/// never share mutable search state: a DistanceOracle clone (own
+/// search-engine scratch, own LRU cache, own counters) over the shared
+/// immutable road network. The fleet, grid and vehicle index are read
+/// through core::PTRider::MatchReadOnly and stay shared — they are
+/// frozen for the duration of the sharded-match phase.
+///
+/// Contexts persist across batches (held by the ParallelDispatcher), so
+/// each worker's distance cache warms up over a simulation the same way
+/// the sequential dispatcher's single cache does.
+class WorkerContext {
+ public:
+  explicit WorkerContext(const core::PTRider& system)
+      : oracle_(system.oracle().Clone()) {}
+
+  roadnet::DistanceOracle& oracle() { return oracle_; }
+
+  /// Exact distance queries answered by this worker (diagnostics).
+  uint64_t distance_computations() const { return oracle_.computed(); }
+
+ private:
+  roadnet::DistanceOracle oracle_;
+};
+
+}  // namespace ptrider::dispatch
+
+#endif  // PTRIDER_DISPATCH_WORKER_CONTEXT_H_

@@ -32,6 +32,10 @@ class PaperPolicy : public PricingPolicy {
     return model_.PriceWithDetourLb(num_riders, detour_lb, direct);
   }
 
+  std::unique_ptr<PricingPolicy> Clone() const override {
+    return std::make_unique<PaperPolicy>(*this);
+  }
+
   const core::PriceModel& model() const { return model_; }
 
  private:

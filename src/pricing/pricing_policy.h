@@ -1,6 +1,8 @@
 #ifndef PTRIDER_PRICING_PRICING_POLICY_H_
 #define PTRIDER_PRICING_PRICING_POLICY_H_
 
+#include <memory>
+
 #include "roadnet/types.h"
 
 namespace ptrider::pricing {
@@ -42,6 +44,15 @@ struct QuoteInputs {
 ///
 /// A bound may be loose (it only weakens pruning) but must never exceed
 /// the realizable price, or the matchers disagree with the naive baseline.
+///
+/// Additionally, MinPrice / EmptyVehiclePrice / PriceWithDetourLb must
+/// NOT depend on demand state (only Price may): demand moves between
+/// bound evaluation and quoting (which is why SurgePolicy's bounds quote
+/// the un-surged fare), and the parallel dispatcher evaluates floors
+/// against the live policy while quotes come from per-request demand
+/// snapshots — demand-dependent bounds would break both pruning
+/// admissibility and the sequential/parallel determinism contract
+/// (DESIGN.md section 5).
 class PricingPolicy {
  public:
   virtual ~PricingPolicy() = default;
@@ -68,6 +79,28 @@ class PricingPolicy {
   /// request before matching it. Policies that ignore demand keep the
   /// default no-op.
   virtual void RecordRequest(double now_s) { (void)now_s; }
+
+  /// True when RecordRequest changes subsequent quotes. The parallel
+  /// dispatcher snapshots such policies per request (via Clone) so
+  /// concurrently-matched requests see exactly the demand state a
+  /// sequential run would have shown them.
+  virtual bool HasDemandState() const { return false; }
+
+  /// Independent deep copy, demand state included. Quotes and bounds of
+  /// the copy are byte-identical to the original's until either side
+  /// records further demand. Each clone is single-threaded like the
+  /// original; the parallel dispatcher hands every worker its own.
+  virtual std::unique_ptr<PricingPolicy> Clone() const = 0;
+
+  /// Read-only snapshot for quoting: preserves everything Price and the
+  /// bound methods read, but need not carry mutable demand history —
+  /// calling RecordRequest on the snapshot is unsupported. The parallel
+  /// dispatcher takes one per batched request, so policies with bulky
+  /// demand state (SurgePolicy's rolling window) should override this
+  /// with a copy of just their quoting inputs. Defaults to Clone().
+  virtual std::unique_ptr<PricingPolicy> SnapshotForQuote() const {
+    return Clone();
+  }
 };
 
 }  // namespace ptrider::pricing

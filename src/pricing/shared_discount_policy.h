@@ -61,6 +61,10 @@ class SharedDiscountPolicy : public PricingPolicy {
            model_.PriceWithDetourLb(num_riders, detour_lb, direct);
   }
 
+  std::unique_ptr<PricingPolicy> Clone() const override {
+    return std::make_unique<SharedDiscountPolicy>(*this);
+  }
+
  private:
   core::PriceModel model_;
   SharedDiscountOptions options_;

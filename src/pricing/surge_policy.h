@@ -60,6 +60,16 @@ class SurgePolicy : public PricingPolicy {
   }
 
   void RecordRequest(double now_s) override;
+  bool HasDemandState() const override { return true; }
+  std::unique_ptr<PricingPolicy> Clone() const override {
+    return std::make_unique<SurgePolicy>(*this);
+  }
+  /// Quoting reads only the multiplier; skip copying the window deque.
+  std::unique_ptr<PricingPolicy> SnapshotForQuote() const override {
+    auto snapshot = std::make_unique<SurgePolicy>(model_, options_);
+    snapshot->multiplier_ = multiplier_;
+    return snapshot;
+  }
 
   /// Demand multiplier applied to the next quote.
   double multiplier() const { return multiplier_; }

@@ -34,6 +34,14 @@ DistanceOracle::DistanceOracle(const RoadNetwork& graph,
   }
 }
 
+DistanceOracle DistanceOracle::Clone() const {
+  // The graph reference is shared (it is immutable); engines rebuild
+  // their O(|V|) scratch arrays, and the cache/stats start empty. Cached
+  // values are exact, so a cold cache changes effort counters only,
+  // never a distance.
+  return DistanceOracle(*graph_, options_);
+}
+
 Weight DistanceOracle::ComputeDistance(VertexId u, VertexId v) {
   ++computed_;
   switch (options_.algorithm) {

@@ -38,11 +38,22 @@ struct DistanceOracleOptions {
 /// Wraps one point-to-point engine with an LRU pair cache and counts every
 /// query — the "number of shortest path distance computations" that the
 /// paper's matching algorithms minimize is read from these counters.
-/// Not thread-safe; one oracle per thread.
+/// Not thread-safe; one oracle per thread — Clone() is how a thread gets
+/// its own.
 class DistanceOracle {
  public:
   explicit DistanceOracle(const RoadNetwork& graph,
                           DistanceOracleOptions options = {});
+
+  /// The "one oracle per thread" contract made explicit: returns an
+  /// independent oracle over the same (immutable, shared) road network
+  /// with the same algorithm/options. Per-query scratch — search-engine
+  /// working arrays, the LRU cache, the statistics counters — is
+  /// duplicated fresh, so the clone and the original can serve queries
+  /// from different threads concurrently. Any future precomputed
+  /// distance tables (landmarks, hub labels) must likewise be shared
+  /// read-only here, never duplicated per clone.
+  DistanceOracle Clone() const;
 
   /// Exact shortest-path distance (kInfWeight when unreachable).
   Weight Distance(VertexId u, VertexId v);

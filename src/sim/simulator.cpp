@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dispatch/parallel_dispatcher.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -10,6 +11,37 @@ namespace ptrider::sim {
 
 Simulator::Simulator(core::PTRider& system, SimulatorOptions options)
     : system_(&system), options_(options), rng_(options.seed) {}
+
+util::Status Simulator::RecordOutcome(const vehicle::Request& request,
+                                      const core::MatchResult& match,
+                                      const core::Option* chosen,
+                                      SimulationReport& report) {
+  ++report.requests_submitted;
+  report.response_time_s.Add(match.match_seconds);
+  report.response_percentiles_s.Add(match.match_seconds);
+  report.options_per_request.Add(
+      static_cast<double>(match.options.size()));
+  report.vehicles_examined.Add(
+      static_cast<double>(match.vehicles_examined));
+  report.distance_computations.Add(
+      static_cast<double>(match.distance_computations));
+  if (match.options.empty()) {
+    ++report.requests_unserved;
+    return util::Status::Ok();
+  }
+  if (chosen == nullptr) {
+    ++report.requests_declined;
+    return util::Status::Ok();
+  }
+  ++report.requests_assigned;
+  const double floor = system_->pricing_policy().MinPrice(
+      request.num_riders, match.direct_distance_m);
+  if (floor > 0.0) {
+    report.price_over_floor.Add(chosen->price / floor);
+  }
+  // Newly-assigned vehicle may need to re-target.
+  return Replan(chosen->vehicle);
+}
 
 util::Status Simulator::SubmitDueRequests(const std::vector<Trip>& trips,
                                           size_t& next_trip, double now,
@@ -28,40 +60,75 @@ util::Status Simulator::SubmitDueRequests(const std::vector<Trip>& trips,
 
     auto match = system_->SubmitRequest(r, now);
     PTRIDER_RETURN_IF_ERROR(match.status());
-    ++report.requests_submitted;
-    report.response_time_s.Add(match->match_seconds);
-    report.response_percentiles_s.Add(match->match_seconds);
-    report.options_per_request.Add(
-        static_cast<double>(match->options.size()));
-    report.vehicles_examined.Add(
-        static_cast<double>(match->vehicles_examined));
-    report.distance_computations.Add(
-        static_cast<double>(match->distance_computations));
+    const std::optional<size_t> pick = PickOption(r, *match, now);
+    const core::Option* chosen =
+        pick.has_value() ? &match->options[*pick] : nullptr;
+    if (chosen != nullptr) {
+      PTRIDER_RETURN_IF_ERROR(system_->ChooseOption(r, *chosen, now));
+    }
+    PTRIDER_RETURN_IF_ERROR(RecordOutcome(r, *match, chosen, report));
+  }
+  return util::Status::Ok();
+}
 
-    if (match->options.empty()) {
-      ++report.requests_unserved;
-      continue;
-    }
-    ChoiceContext choice = options_.choice;
-    choice.now_s = now;
-    // The fare floor the rider benchmarks prices against (the policy's
-    // MinPrice for this request's direct distance).
-    choice.floor_price = system_->pricing_policy().MinPrice(
-        r.num_riders, match->direct_distance_m);
-    const size_t pick = ChooseOptionIndex(match->options, choice, rng_);
-    if (pick == kDeclinedOption) {
-      ++report.requests_declined;
-      continue;
-    }
-    PTRIDER_RETURN_IF_ERROR(
-        system_->ChooseOption(r, match->options[pick], now));
-    ++report.requests_assigned;
-    if (choice.floor_price > 0.0) {
-      report.price_over_floor.Add(match->options[pick].price /
-                                  choice.floor_price);
-    }
-    // Newly-assigned vehicle may need to re-target.
-    PTRIDER_RETURN_IF_ERROR(Replan(match->options[pick].vehicle));
+util::Status Simulator::CollectDueRequests(const std::vector<Trip>& trips,
+                                           size_t& next_trip, double now) {
+  const core::Config& cfg = system_->config();
+  while (next_trip < trips.size() && trips[next_trip].time_s <= now) {
+    const Trip& t = trips[next_trip++];
+    vehicle::Request r;
+    r.id = next_request_id_++;
+    r.start = t.origin;
+    r.destination = t.destination;
+    r.num_riders = t.num_riders;
+    r.max_wait_s = cfg.default_max_wait_s;
+    r.service_sigma = cfg.default_service_sigma;
+    // The arrival instant, not the flush tick: batch dispatch order is
+    // the paper's (submit_time, id) order over real arrivals.
+    r.submit_time_s = t.time_s;
+    // Reject bad trips here, as the per-request path does via
+    // SubmitRequest — folding them into the batch would instead skew
+    // the report with zero-valued never-matched samples.
+    PTRIDER_RETURN_IF_ERROR(system_->ValidateRequest(r));
+    pending_.push_back(r);
+  }
+  return util::Status::Ok();
+}
+
+std::optional<size_t> Simulator::PickOption(const vehicle::Request& request,
+                                            const core::MatchResult& match,
+                                            double now) {
+  if (match.options.empty()) return std::nullopt;
+  ChoiceContext choice = options_.choice;
+  choice.now_s = now;
+  // The fare floor the rider benchmarks prices against (the policy's
+  // MinPrice for this request's direct distance).
+  choice.floor_price = system_->pricing_policy().MinPrice(
+      request.num_riders, match.direct_distance_m);
+  const size_t pick = ChooseOptionIndex(match.options, choice, rng_);
+  if (pick == kDeclinedOption) return std::nullopt;
+  return pick;
+}
+
+util::Status Simulator::DispatchPending(double now,
+                                        SimulationReport& report) {
+  if (pending_.empty()) return util::Status::Ok();
+  // The chooser runs in the dispatcher's sequential commit phase, in
+  // (submit_time, id) order — rng_ consumption is identical for every
+  // dispatch strategy, which is what makes sequential and parallel runs
+  // report-identical.
+  const core::BatchChooser chooser =
+      [this, now](const vehicle::Request& r,
+                  const core::MatchResult& match) {
+        return PickOption(r, match, now);
+      };
+  auto items = dispatcher_->Dispatch(std::move(pending_), now, chooser);
+  pending_.clear();
+  PTRIDER_RETURN_IF_ERROR(items.status());
+  for (const core::BatchItem& item : *items) {
+    PTRIDER_RETURN_IF_ERROR(RecordOutcome(
+        item.request, item.match, item.assigned ? &item.chosen : nullptr,
+        report));
   }
   return util::Status::Ok();
 }
@@ -206,6 +273,13 @@ util::Result<SimulationReport> Simulator::Run(
   if (options_.tick_s <= 0.0) {
     return util::Status::InvalidArgument("tick must be positive");
   }
+  if (options_.batch_window_s < 0.0) {
+    return util::Status::InvalidArgument("batch window must be >= 0");
+  }
+  const bool batched = options_.batch_window_s > 0.0;
+  if (batched && dispatcher_ == nullptr) {
+    dispatcher_ = dispatch::CreateDispatcher(*system_);
+  }
   for (size_t i = 1; i < trips.size(); ++i) {
     if (trips[i].time_s < trips[i - 1].time_s) {
       return util::Status::InvalidArgument("trips must be time-sorted");
@@ -229,10 +303,21 @@ util::Result<SimulationReport> Simulator::Run(
   size_t next_trip = 0;
   double now = 0.0;
   double next_progress_log = 3600.0;
+  double next_flush = options_.batch_window_s;
   while (now < end_time) {
     now += options_.tick_s;
-    PTRIDER_RETURN_IF_ERROR(
-        SubmitDueRequests(trips, next_trip, now, report));
+    if (batched) {
+      PTRIDER_RETURN_IF_ERROR(CollectDueRequests(trips, next_trip, now));
+      if (now + 1e-9 >= next_flush) {
+        PTRIDER_RETURN_IF_ERROR(DispatchPending(now, report));
+        while (next_flush <= now + 1e-9) {
+          next_flush += options_.batch_window_s;
+        }
+      }
+    } else {
+      PTRIDER_RETURN_IF_ERROR(
+          SubmitDueRequests(trips, next_trip, now, report));
+    }
     const double budget = speed * options_.tick_s;
     for (const vehicle::Vehicle& v : system_->fleet().vehicles()) {
       PTRIDER_RETURN_IF_ERROR(MoveVehicle(v.id(), now, budget, report));
@@ -247,6 +332,13 @@ util::Result<SimulationReport> Simulator::Run(
           1e3 * report.response_time_s.mean());
       next_progress_log += 3600.0;
     }
+  }
+
+  if (batched) {
+    // Trips due in the final partial window (end_time_s cut short of the
+    // next flush) still get dispatched once.
+    PTRIDER_RETURN_IF_ERROR(CollectDueRequests(trips, next_trip, now));
+    PTRIDER_RETURN_IF_ERROR(DispatchPending(now, report));
   }
 
   for (const vehicle::Vehicle& v : system_->fleet().vehicles()) {

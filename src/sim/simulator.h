@@ -1,8 +1,10 @@
 #ifndef PTRIDER_SIM_SIMULATOR_H_
 #define PTRIDER_SIM_SIMULATOR_H_
 
+#include <memory>
 #include <vector>
 
+#include "core/batch.h"
 #include "core/ptrider.h"
 #include "sim/choice.h"
 #include "sim/metrics.h"
@@ -27,6 +29,13 @@ struct SimulatorOptions {
   bool idle_cruising = true;
   /// Emit progress lines every simulated hour (kInfo log level).
   bool verbose = false;
+  /// Batched arrivals: > 0 accumulates due trips and dispatches them
+  /// together every `batch_window_s` simulated seconds through the
+  /// Config::dispatch_threads-selected dispatcher (src/dispatch/) — the
+  /// production serving shape, and what lets multi-core matching engage.
+  /// 0 keeps the seed behavior: every request is matched alone in the
+  /// tick it arrives.
+  double batch_window_s = 0.0;
 };
 
 /// Event-driven city simulation (Section 4's demonstration): feeds a trip
@@ -57,6 +66,27 @@ class Simulator {
   util::Status SubmitDueRequests(const std::vector<Trip>& trips,
                                  size_t& next_trip, double now,
                                  SimulationReport& report);
+  /// Batched mode: moves due trips into `pending_` as requests. Errors
+  /// on invalid trips, exactly like the per-request path does.
+  util::Status CollectDueRequests(const std::vector<Trip>& trips,
+                                  size_t& next_trip, double now);
+  /// The rider tap, shared by both submission paths: builds the
+  /// ChoiceContext (floor priced from the match's direct distance) and
+  /// returns the chosen option index, or nullopt on decline / no
+  /// options. Consumes rng_ — call once per request, in order.
+  std::optional<size_t> PickOption(const vehicle::Request& request,
+                                   const core::MatchResult& match,
+                                   double now);
+  /// Batched mode: dispatches `pending_` at time `now` and folds the
+  /// BatchItems into `report`.
+  util::Status DispatchPending(double now, SimulationReport& report);
+  /// Folds one matched request's outcome into `report` (both submission
+  /// paths share this accounting) and re-targets the assigned vehicle.
+  /// `chosen` is null unless the rider accepted an option.
+  util::Status RecordOutcome(const vehicle::Request& request,
+                             const core::MatchResult& match,
+                             const core::Option* chosen,
+                             SimulationReport& report);
   util::Status MoveVehicle(vehicle::VehicleId id, double now, double budget,
                            SimulationReport& report);
   util::Status HandleArrivals(vehicle::VehicleId id, double now,
@@ -68,6 +98,10 @@ class Simulator {
   util::Rng rng_;
   std::vector<Motion> motions_;
   vehicle::RequestId next_request_id_ = 1;
+  /// Batched mode only: strategy per Config::dispatch_threads (created
+  /// lazily in Run) and the requests awaiting the next window flush.
+  std::unique_ptr<core::Dispatcher> dispatcher_;
+  std::vector<vehicle::Request> pending_;
 };
 
 }  // namespace ptrider::sim

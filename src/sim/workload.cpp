@@ -92,23 +92,43 @@ util::Result<std::vector<Trip>> LoadTrips(const roadnet::RoadNetwork& graph,
   PTRIDER_RETURN_IF_ERROR(reader.status());
   std::vector<Trip> trips;
   std::vector<std::string> fields;
+  // Parse failures name the offending line — a 432k-row real trace is
+  // useless to debug from "not an integer" alone.
+  const auto at_line = [&reader](const util::Status& error) {
+    return util::Status(error.code(),
+                        util::StrFormat("line %zu: %s",
+                                        reader.line_number(),
+                                        error.message().c_str()));
+  };
   while (reader.Next(fields)) {
     if (fields.size() != 4) {
       return util::Status::InvalidArgument(util::StrFormat(
           "line %zu: trip rows need 4 fields", reader.line_number()));
     }
     Trip t;
-    PTRIDER_ASSIGN_OR_RETURN(t.time_s, util::ParseDouble(fields[0]));
-    PTRIDER_ASSIGN_OR_RETURN(const int64_t o, util::ParseInt(fields[1]));
-    PTRIDER_ASSIGN_OR_RETURN(const int64_t d, util::ParseInt(fields[2]));
-    PTRIDER_ASSIGN_OR_RETURN(const int64_t n, util::ParseInt(fields[3]));
-    t.origin = static_cast<roadnet::VertexId>(o);
-    t.destination = static_cast<roadnet::VertexId>(d);
-    t.num_riders = static_cast<int>(n);
+    const auto time_s = util::ParseDouble(fields[0]);
+    if (!time_s.ok()) return at_line(time_s.status());
+    t.time_s = *time_s;
+    const auto o = util::ParseInt(fields[1]);
+    if (!o.ok()) return at_line(o.status());
+    const auto d = util::ParseInt(fields[2]);
+    if (!d.ok()) return at_line(d.status());
+    const auto n = util::ParseInt(fields[3]);
+    if (!n.ok()) return at_line(n.status());
+    t.origin = static_cast<roadnet::VertexId>(*o);
+    t.destination = static_cast<roadnet::VertexId>(*d);
+    t.num_riders = static_cast<int>(*n);
     if (!graph.IsValidVertex(t.origin) ||
         !graph.IsValidVertex(t.destination)) {
       return util::Status::OutOfRange(util::StrFormat(
           "line %zu: trip endpoints outside the network",
+          reader.line_number()));
+    }
+    // Degenerate rows would be rejected downstream by
+    // PTRider::ValidateRequest anyway; failing at load names the line.
+    if (t.origin == t.destination) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "line %zu: trip origin equals destination",
           reader.line_number()));
     }
     if (t.num_riders < 1) {

@@ -3,11 +3,21 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 
 namespace ptrider::util {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Serializes sink invocations (and sink swaps) so concurrent threads
+/// emit whole lines, never interleaved fragments.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink g_sink = nullptr;  // nullptr = default stderr sink; guarded by SinkMutex()
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -45,6 +55,13 @@ bool LogLevelEnabled(LogLevel level) {
          g_min_level.load(std::memory_order_relaxed);
 }
 
+LogSink SetLogSink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(LogLevelEnabled(level)), level_(level) {
   if (enabled_) {
@@ -56,7 +73,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
+    const std::string line = stream_.str();
+    const std::lock_guard<std::mutex> lock(SinkMutex());
+    if (g_sink != nullptr) {
+      g_sink(level_, line.c_str());
+    } else {
+      std::fputs(line.c_str(), stderr);
+    }
   }
 }
 

@@ -24,8 +24,22 @@ LogLevel GetLogLevel();
 /// Returns true when messages at `level` would currently be emitted.
 bool LogLevelEnabled(LogLevel level);
 
-/// Stream-style log sink. Accumulates a message and writes a single line to
-/// stderr on destruction. Use through the PTRIDER_LOG macro.
+/// Destination for completed log lines (each `line` is one full message,
+/// newline included). The sink is invoked under the logging mutex, so
+/// lines from concurrent threads never interleave; keep sinks fast, and
+/// never log or call SetLogSink from inside one — the mutex is not
+/// recursive, so reentry deadlocks.
+using LogSink = void (*)(LogLevel level, const char* line);
+
+/// Replaces the process-wide sink (nullptr restores the default stderr
+/// sink). Returns the previous sink (nullptr when it was the default).
+/// Intended for tests and embedders capturing library output.
+LogSink SetLogSink(LogSink sink);
+
+/// Stream-style log message. Accumulates locally and hands the sink one
+/// complete line on destruction — assembly is lock-free; only the final
+/// write serializes, so concurrent workers cannot interleave partial
+/// lines. Use through the PTRIDER_LOG macro.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

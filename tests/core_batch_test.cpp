@@ -83,8 +83,7 @@ TEST_F(BatchTest, ProcessesInTimestampOrderAndSeesEarlierCommitments) {
 TEST_F(BatchTest, DeclinedRequestsLeaveNoState) {
   ASSERT_TRUE(sys_->AddVehicle(ex_.v(13)).ok());
   BatchDispatcher dispatcher(*sys_);
-  auto decline_all = [](const vehicle::Request&,
-                        const std::vector<Option>&) {
+  auto decline_all = [](const vehicle::Request&, const MatchResult&) {
     return std::optional<size_t>{};
   };
   auto out =
@@ -113,8 +112,8 @@ TEST_F(BatchTest, BadChooserIndexSurfaces) {
   ASSERT_TRUE(sys_->AddVehicle(ex_.v(13)).ok());
   BatchDispatcher dispatcher(*sys_);
   auto out_of_range = [](const vehicle::Request&,
-                         const std::vector<Option>& options) {
-    return std::optional<size_t>{options.size() + 5};
+                         const MatchResult& match) {
+    return std::optional<size_t>{match.options.size() + 5};
   };
   EXPECT_EQ(dispatcher.Dispatch({MakeRequest(9, 12, 17)}, 0.0,
                                 out_of_range)
@@ -124,14 +123,15 @@ TEST_F(BatchTest, BadChooserIndexSurfaces) {
 }
 
 TEST_F(BatchTest, ChooserHelpers) {
-  std::vector<Option> options(2);
-  options[0].pickup_time_s = 10.0;
-  options[0].price = 9.0;
-  options[1].pickup_time_s = 20.0;
-  options[1].price = 4.0;
+  MatchResult match;
+  match.options.resize(2);
+  match.options[0].pickup_time_s = 10.0;
+  match.options[0].price = 9.0;
+  match.options[1].pickup_time_s = 20.0;
+  match.options[1].price = 4.0;
   vehicle::Request r;
-  EXPECT_EQ(BatchDispatcher::ChooseEarliest(r, options), 0u);
-  EXPECT_EQ(BatchDispatcher::ChooseCheapest(r, options), 1u);
+  EXPECT_EQ(BatchDispatcher::ChooseEarliest(r, match), 0u);
+  EXPECT_EQ(BatchDispatcher::ChooseCheapest(r, match), 1u);
   EXPECT_FALSE(BatchDispatcher::ChooseEarliest(r, {}).has_value());
   EXPECT_FALSE(BatchDispatcher::ChooseCheapest(r, {}).has_value());
 }

@@ -1,0 +1,103 @@
+// DistanceOracle::Clone — the "one oracle per thread" contract. Clones
+// answer identically, keep independent caches/statistics, and serve
+// concurrent threads (the TSan CI job runs this file too).
+
+#include "roadnet/distance_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "roadnet/graph_generator.h"
+
+namespace ptrider::roadnet {
+namespace {
+
+RoadNetwork TestCity() {
+  CityGridOptions opts;
+  opts.rows = 10;
+  opts.cols = 10;
+  opts.seed = 3;
+  auto g = MakeCityGrid(opts);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(DistanceOracleCloneTest, CloneAnswersIdentically) {
+  const RoadNetwork g = TestCity();
+  for (const SpAlgorithm algo : {SpAlgorithm::kDijkstra,
+                                 SpAlgorithm::kBidirectional,
+                                 SpAlgorithm::kAStar}) {
+    DistanceOracleOptions opts;
+    opts.algorithm = algo;
+    DistanceOracle original(g, opts);
+    DistanceOracle clone = original.Clone();
+    for (VertexId u = 0; u < 40; u += 3) {
+      for (VertexId v = 1; v < 60; v += 7) {
+        EXPECT_EQ(original.Distance(u, v), clone.Distance(u, v))
+            << SpAlgorithmName(algo) << " v" << u << "->v" << v;
+      }
+    }
+  }
+}
+
+TEST(DistanceOracleCloneTest, CloneHasIndependentCacheAndStats) {
+  const RoadNetwork g = TestCity();
+  DistanceOracle original(g);
+  (void)original.Distance(0, 5);
+  (void)original.Distance(0, 5);  // cache hit on the original
+  EXPECT_GT(original.queries(), 0u);
+  EXPECT_GT(original.cache_hits(), 0u);
+
+  DistanceOracle clone = original.Clone();
+  EXPECT_EQ(clone.queries(), 0u);
+  EXPECT_EQ(clone.cache_hits(), 0u);
+  EXPECT_EQ(clone.computed(), 0u);
+
+  // The clone's first identical query computes (cold cache) — the pair
+  // was cached only in the original.
+  (void)clone.Distance(0, 5);
+  EXPECT_EQ(clone.cache_hits(), 0u);
+  EXPECT_EQ(clone.computed(), 1u);
+
+  // And clone queries leave the original's counters alone.
+  const uint64_t before = original.queries();
+  (void)clone.Distance(2, 9);
+  EXPECT_EQ(original.queries(), before);
+}
+
+TEST(DistanceOracleCloneTest, ClonesServeConcurrentThreads) {
+  const RoadNetwork g = TestCity();
+  DistanceOracle original(g);
+  // Reference answers, computed single-threaded.
+  std::vector<Weight> expected;
+  for (VertexId v = 0; v < 50; ++v) {
+    expected.push_back(original.Distance(0, v));
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<DistanceOracle> oracles;
+  oracles.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) oracles.push_back(original.Clone());
+
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        for (VertexId v = 0; v < 50; ++v) {
+          if (oracles[static_cast<size_t>(t)].Distance(0, v) !=
+              expected[static_cast<size_t>(v)]) {
+            ++mismatches[static_cast<size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+}  // namespace
+}  // namespace ptrider::roadnet

@@ -150,7 +150,17 @@ TEST(WorkloadTest, LoadRejectsMalformedRows) {
   EXPECT_FALSE(LoadTrips(g, path).ok());
   {
     std::ofstream out(path);
+    out << "1.0,0,1,1,7\n";  // extra field
+  }
+  EXPECT_FALSE(LoadTrips(g, path).ok());
+  {
+    std::ofstream out(path);
     out << "1.0,0,999999,1\n";  // vertex outside network
+  }
+  EXPECT_FALSE(LoadTrips(g, path).ok());
+  {
+    std::ofstream out(path);
+    out << "1.0,-3,1,1\n";  // negative vertex id
   }
   EXPECT_FALSE(LoadTrips(g, path).ok());
   {
@@ -160,9 +170,56 @@ TEST(WorkloadTest, LoadRejectsMalformedRows) {
   EXPECT_FALSE(LoadTrips(g, path).ok());
   {
     std::ofstream out(path);
+    out << "1.0,5,5,1\n";  // origin == destination
+  }
+  EXPECT_FALSE(LoadTrips(g, path).ok());
+  {
+    std::ofstream out(path);
     out << "abc,0,1,1\n";  // non-numeric time
   }
   EXPECT_FALSE(LoadTrips(g, path).ok());
+  {
+    std::ofstream out(path);
+    out << "1.0,0,1,two\n";  // non-numeric riders
+  }
+  EXPECT_FALSE(LoadTrips(g, path).ok());
+  {
+    std::ofstream out(path);
+    out << "2.0,0,1,1\n"
+        << "\n"             // blank line mid-file
+        << "1.0,0,1,x\n";   // error names the right line
+  }
+  const auto status = LoadTrips(g, path).status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTest, LoadRejectsMissingFile) {
+  const roadnet::RoadNetwork g = TestCity();
+  EXPECT_FALSE(
+      LoadTrips(g, ::testing::TempDir() + "/no_such_trace.csv").ok());
+}
+
+TEST(WorkloadTest, LoadSortsUnorderedRowsAndSkipsComments) {
+  const roadnet::RoadNetwork g = TestCity();
+  const std::string path = ::testing::TempDir() + "/trips_unsorted.csv";
+  {
+    std::ofstream out(path);
+    out << "# time_s,origin,destination,riders\n"
+        << "30.5,4,9,2\n"
+        << "1.25,0,1,1\n"
+        << "12.0,7,2,4\n";
+  }
+  auto trips = LoadTrips(g, path);
+  ASSERT_TRUE(trips.ok());
+  ASSERT_EQ(trips->size(), 3u);
+  EXPECT_DOUBLE_EQ((*trips)[0].time_s, 1.25);
+  EXPECT_EQ((*trips)[0].origin, 0);
+  EXPECT_EQ((*trips)[1].num_riders, 4);
+  EXPECT_DOUBLE_EQ((*trips)[2].time_s, 30.5);
+  EXPECT_EQ((*trips)[2].destination, 9);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,88 @@
+// Thread-safety of util::logging: concurrent workers must emit whole
+// lines — never interleaved fragments. The capture sink receives lines
+// under the logging mutex; the TSan CI job runs this file too.
+
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ptrider::util {
+namespace {
+
+std::mutex g_capture_mu;
+std::vector<std::string> g_captured;  // guarded by g_capture_mu
+
+void CaptureSink(LogLevel, const char* line) {
+  const std::lock_guard<std::mutex> lock(g_capture_mu);
+  g_captured.emplace_back(line);
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  LoggingTest() : old_level_(GetLogLevel()) {
+    {
+      const std::lock_guard<std::mutex> lock(g_capture_mu);
+      g_captured.clear();
+    }
+    SetLogLevel(LogLevel::kDebug);
+    old_sink_ = SetLogSink(&CaptureSink);
+  }
+  ~LoggingTest() override {
+    SetLogSink(old_sink_);
+    SetLogLevel(old_level_);
+  }
+
+  LogLevel old_level_;
+  LogSink old_sink_ = nullptr;
+};
+
+TEST_F(LoggingTest, EmitsOneCompleteLinePerMessage) {
+  PTRIDER_LOG(kInfo) << "hello " << 42;
+  const std::lock_guard<std::mutex> lock(g_capture_mu);
+  ASSERT_EQ(g_captured.size(), 1u);
+  EXPECT_NE(g_captured[0].find("hello 42\n"), std::string::npos);
+  EXPECT_NE(g_captured[0].find("[I "), std::string::npos);
+}
+
+TEST_F(LoggingTest, RespectsMinimumLevel) {
+  SetLogLevel(LogLevel::kError);
+  PTRIDER_LOG(kWarning) << "dropped";
+  PTRIDER_LOG(kError) << "kept";
+  const std::lock_guard<std::mutex> lock(g_capture_mu);
+  ASSERT_EQ(g_captured.size(), 1u);
+  EXPECT_NE(g_captured[0].find("kept"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ConcurrentWritersNeverInterleave) {
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        PTRIDER_LOG(kInfo) << "worker=" << t << " line=" << i << " end";
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const std::lock_guard<std::mutex> lock(g_capture_mu);
+  ASSERT_EQ(g_captured.size(),
+            static_cast<size_t>(kThreads) * kLines);
+  for (const std::string& line : g_captured) {
+    // Every captured line is exactly one message: one prefix, the full
+    // worker=X line=Y payload, one trailing newline.
+    EXPECT_EQ(line.find("[I "), 0u) << line;
+    EXPECT_NE(line.find("worker="), std::string::npos) << line;
+    EXPECT_NE(line.find(" end\n"), std::string::npos) << line;
+    EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
+  }
+}
+
+}  // namespace
+}  // namespace ptrider::util
