@@ -5,12 +5,14 @@
 // time, average sharing rate, ...).
 //
 // Usage:  ./build/examples/example_city_day [taxis] [trips] [hours]
-//             [--jobs N] [--batch-window S]
+//             [--jobs N] [--batch-window S] [--move-jobs N]
 // Defaults: 150 taxis, 2000 trips, 4 hours, sequential per-request
 // dispatch. `--jobs N` matches arrivals in parallel on N worker threads
 // (src/dispatch/), which implies batched arrivals; `--batch-window S`
-// sets the arrival window (default 2 s when batching). Results are
-// identical for every `--jobs` value — only the wall clock moves.
+// sets the arrival window (default 2 s when batching); `--move-jobs N`
+// runs the per-tick vehicle-movement advance on N threads. Results are
+// identical for every `--jobs` / `--move-jobs` value — only the wall
+// clock moves.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,12 +30,14 @@ int main(int argc, char** argv) {
   util::SetLogLevel(util::LogLevel::kInfo);
 
   int jobs = 0;
+  int move_jobs = 1;
   double batch_window_s = 0.0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const bool is_jobs = std::strcmp(argv[i], "--jobs") == 0;
+    const bool is_move_jobs = std::strcmp(argv[i], "--move-jobs") == 0;
     const bool is_window = std::strcmp(argv[i], "--batch-window") == 0;
-    if (is_jobs || is_window) {
+    if (is_jobs || is_move_jobs || is_window) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", argv[i]);
         return 1;
@@ -43,10 +47,13 @@ int main(int argc, char** argv) {
       char* end = nullptr;
       if (is_jobs) {
         jobs = static_cast<int>(std::strtol(value, &end, 10));
+      } else if (is_move_jobs) {
+        move_jobs = static_cast<int>(std::strtol(value, &end, 10));
       } else {
         batch_window_s = std::strtod(value, &end);
       }
       if (end == value || *end != '\0' || (is_jobs && jobs < 0) ||
+          (is_move_jobs && move_jobs < 1) ||
           (is_window && batch_window_s < 0.0)) {
         std::fprintf(stderr, "%s: bad value '%s'\n", flag, value);
         return 1;
@@ -100,17 +107,19 @@ int main(int argc, char** argv) {
               trace->size(), hours, taxis,
               core::MatcherAlgorithmName(cfg.matcher));
   if (batch_window_s > 0.0) {
-    std::printf("Dispatch: %s, %d worker(s), %.1f s arrival window\n\n",
+    std::printf("Dispatch: %s, %d worker(s), %.1f s arrival window\n",
                 jobs > 0 ? "parallel batch" : "sequential batch", jobs,
                 batch_window_s);
   } else {
-    std::printf("Dispatch: per-request (seed behavior)\n\n");
+    std::printf("Dispatch: per-request (seed behavior)\n");
   }
+  std::printf("Movement: %d thread(s)\n\n", move_jobs);
 
   sim::SimulatorOptions sopts;
   sopts.verbose = true;
   sopts.choice.model = sim::RiderChoiceModel::kWeightedUtility;
   sopts.batch_window_s = batch_window_s;
+  sopts.move_jobs = move_jobs;
   sim::Simulator simulator(pt, sopts);
   auto report = simulator.Run(*trace);
   if (!report.ok()) {

@@ -178,11 +178,7 @@ util::Status PTRider::UpdateVehicleLocation(
     return util::Status::InvalidArgument("invalid vehicle location");
   }
   vehicle::Vehicle& v = fleet_.at(id);
-  int onboard_requests = 0;
-  for (const auto& [rid, p] : v.tree().pending()) {
-    if (p.onboard) ++onboard_requests;
-  }
-  v.AccrueMovement(meters_moved, onboard_requests);
+  v.AccrueMovement(meters_moved, v.tree().OnboardRequests());
   IndexedDistanceProvider dist(oracle_, grid_);
   PTRIDER_RETURN_IF_ERROR(v.mutable_tree().AdvanceTo(
       new_location, meters_moved, MakeScheduleContext(now_s), dist,
@@ -220,11 +216,7 @@ util::Result<StopEvent> PTRider::VehicleArrivedAtStop(vehicle::VehicleId id,
     event.waiting_s = std::max(0.0, now_s - pending.planned_pickup_s);
     // Sharing statistic: every request onboard while >= 2 are onboard
     // counts as shared. Sharing state only changes at pick-ups.
-    int onboard_requests = 0;
-    for (const auto& [rid, p] : v.tree().pending()) {
-      if (p.onboard) ++onboard_requests;
-    }
-    if (onboard_requests >= 2) {
+    if (v.tree().OnboardRequests() >= 2) {
       for (const auto& [rid, p] : v.tree().pending()) {
         if (!p.onboard) continue;
         const auto it = assignments_.find(rid);
@@ -246,6 +238,34 @@ util::Result<StopEvent> PTRider::VehicleArrivedAtStop(vehicle::VehicleId id,
   }
   vehicle_index_.Update(v);
   return event;
+}
+
+util::Status PTRider::CommitAdvancedVehicle(
+    vehicle::VehicleId id, vehicle::Vehicle&& advanced,
+    std::vector<AdvanceStop>& stops) {
+  if (!fleet_.IsValid(id) || advanced.id() != id) {
+    return util::Status::InvalidArgument("advanced state names an unknown vehicle");
+  }
+  vehicle::Vehicle& v = fleet_.at(id);
+  v = std::move(advanced);
+  for (AdvanceStop& s : stops) {
+    if (s.event.stop.type == vehicle::StopType::kPickup) {
+      // Sharing statistic: every request onboard while >= 2 are onboard
+      // counts as shared (the advance phase lists them only then).
+      for (const vehicle::RequestId rid : s.onboard) {
+        const auto it = assignments_.find(rid);
+        if (it != assignments_.end()) it->second.shared = true;
+      }
+    } else {
+      const auto it = assignments_.find(s.event.stop.request);
+      if (it != assignments_.end()) {
+        s.event.shared = it->second.shared;
+        assignments_.erase(it);
+      }
+    }
+  }
+  vehicle_index_.Update(v);
+  return util::Status::Ok();
 }
 
 vehicle::VehicleId PTRider::AssignedVehicle(vehicle::RequestId id) const {

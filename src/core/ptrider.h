@@ -36,6 +36,20 @@ struct StopEvent {
   double allowed_trip_distance_m = 0.0;
 };
 
+/// One arrival event recorded by the simulator's read-only movement
+/// advance phase (sim/movement.h) and replayed into the system by
+/// PTRider::CommitAdvancedVehicle. The advance phase fills `event` from
+/// its scratch kinetic tree — everything VehicleArrivedAtStop derives
+/// from tree state alone; the assignment-side fields (`event.shared`)
+/// are resolved at commit time from live assignment state.
+struct AdvanceStop {
+  StopEvent event;
+  /// Pick-ups that left >= 2 distinct requests onboard: the ids of every
+  /// onboard request at that instant (their trips become "shared" —
+  /// exactly VehicleArrivedAtStop's sharing rule).
+  std::vector<vehicle::RequestId> onboard;
+};
+
 /// The PTRider system facade (Fig. 2): road-network index module, vehicles
 /// index module and matching-algorithm module behind one API.
 ///
@@ -115,6 +129,22 @@ class PTRider {
   /// Pick-up / drop-off update: the vehicle is at its next scheduled stop.
   util::Result<StopEvent> VehicleArrivedAtStop(vehicle::VehicleId id,
                                                double now_s);
+
+  /// Movement-commit entry point for the simulator's advance/commit
+  /// split (DESIGN.md section 6): installs `advanced` — the vehicle's
+  /// scratch copy after a read-only tick advance (tree walked forward,
+  /// movement accrued, stops popped) — as vehicle `id`'s live state,
+  /// applies the assignment-side effects of its arrival events in order
+  /// (shared-flag marking at pick-ups, assignment release at drop-offs,
+  /// filling each drop-off's `event.shared`), and re-registers the
+  /// vehicle in the index once. Equivalent to the per-event
+  /// UpdateVehicleLocation / VehicleArrivedAtStop sequence the advance
+  /// phase simulated, because those mutations never feed back into the
+  /// advance of any vehicle within the same tick. Must be called for
+  /// vehicles in ascending id order, one commit per advanced vehicle.
+  util::Status CommitAdvancedVehicle(vehicle::VehicleId id,
+                                     vehicle::Vehicle&& advanced,
+                                     std::vector<AdvanceStop>& stops);
 
   // --- Accessors ---------------------------------------------------------------
   const Config& config() const { return config_; }

@@ -13,16 +13,7 @@ namespace ptrider::dispatch {
 
 ParallelDispatcher::ParallelDispatcher(core::PTRider& system,
                                        size_t num_threads)
-    : system_(&system),
-      sequential_(system),
-      pool_(num_threads == 0 ? 0 : num_threads - 1) {
-  // One context per pool worker plus one for the calling thread, which
-  // ParallelFor enlists as worker id pool_.num_workers().
-  workers_.reserve(pool_.num_workers() + 1);
-  for (size_t w = 0; w < pool_.num_workers() + 1; ++w) {
-    workers_.emplace_back(system);
-  }
-}
+    : system_(&system), sequential_(system), pool_(system, num_threads) {}
 
 util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
     std::vector<vehicle::Request> batch, double now_s,
@@ -80,16 +71,15 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
   // Contiguous chunks (~2 per thread): the batch is sorted by submit
   // time, so neighbors are often spatially close and their shortest
   // paths land in the same worker's distance cache.
-  const size_t chunk =
-      std::max<size_t>(1, n / (2 * (pool_.num_workers() + 1)));
+  const size_t chunk = std::max<size_t>(1, n / (2 * pool_.num_threads()));
   pool_.ParallelFor(
       n,
-      [&](size_t i, size_t worker) {
+      [&](size_t i, WorkerContext& context) {
         if (!valid[i].ok()) return;
         const pricing::PricingPolicy* pricing =
             snapshot_pricing ? snapshots[i].get() : &live_policy;
-        matches[i] = system_->MatchReadOnly(
-            batch[i], now_s, workers_[worker].oracle(), pricing);
+        matches[i] = system_->MatchReadOnly(batch[i], now_s,
+                                            context.oracle(), pricing);
       },
       chunk);
   match_phase_seconds_ += phase_timer.ElapsedSeconds();

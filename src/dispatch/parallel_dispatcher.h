@@ -6,8 +6,7 @@
 #include <vector>
 
 #include "core/batch.h"
-#include "dispatch/thread_pool.h"
-#include "dispatch/worker_context.h"
+#include "dispatch/worker_pool.h"
 
 namespace ptrider::dispatch {
 
@@ -47,7 +46,7 @@ class ParallelDispatcher : public core::Dispatcher {
 
   const char* name() const override { return "parallel"; }
 
-  size_t num_threads() const { return pool_.num_workers() + 1; }
+  size_t num_threads() const { return pool_.num_threads(); }
 
   // --- Diagnostics ---------------------------------------------------------
   /// Commit-phase full re-matches: an earlier in-batch commitment left
@@ -71,8 +70,7 @@ class ParallelDispatcher : public core::Dispatcher {
  private:
   core::PTRider* system_;
   core::BatchDispatcher sequential_;
-  ThreadPool pool_;
-  std::vector<WorkerContext> workers_;
+  WorkerPool pool_;
   uint64_t rematch_count_ = 0;
   uint64_t reprobe_count_ = 0;
   uint64_t sequential_fallbacks_ = 0;

@@ -11,8 +11,12 @@ std::string SimulationReport::ToString() const {
   os << "=== PTRider statistics ===\n";
   os << util::StrFormat("simulated time           %s\n",
                         util::FormatDuration(simulated_seconds).c_str());
-  os << util::StrFormat("wall clock               %s\n",
-                        util::FormatDuration(wall_clock_seconds).c_str());
+  os << util::StrFormat(
+      "wall clock               %s (match %s, move %s + %s commit)\n",
+      util::FormatDuration(wall_clock_seconds).c_str(),
+      util::FormatDuration(match_phase_seconds).c_str(),
+      util::FormatDuration(move_advance_seconds).c_str(),
+      util::FormatDuration(move_commit_seconds).c_str());
   os << util::StrFormat(
       "requests                 %lld submitted, %lld assigned (%.1f%%), "
       "%lld unserved, %lld declined\n",
@@ -34,6 +38,8 @@ std::string SimulationReport::ToString() const {
                             response_percentiles_s.Value(99)).c_str());
   os << util::StrFormat("avg sharing rate         %.1f%%\n",
                         100.0 * SharingRate());
+  os << util::StrFormat("avg submit delay         %s\n",
+                        util::FormatDuration(submit_delay_s.mean()).c_str());
   os << util::StrFormat("avg options/request      %.2f\n",
                         options_per_request.mean());
   os << util::StrFormat("avg pickup wait          %s\n",

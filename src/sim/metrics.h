@@ -30,6 +30,11 @@ struct SimulationReport {
   // --- Matching -------------------------------------------------------------
   util::RunningStats response_time_s;   // matcher wall-clock per request
   util::Percentiles response_percentiles_s;
+  /// Simulated seconds between a trip's arrival (Request::submit_time_s)
+  /// and the instant it was matched: tick rounding in per-request mode,
+  /// tick rounding plus window queueing in batched mode. Both submission
+  /// paths stamp the true arrival, so this is comparable across modes.
+  util::RunningStats submit_delay_s;
   util::RunningStats options_per_request;
   util::RunningStats vehicles_examined;
   util::RunningStats distance_computations;
@@ -58,6 +63,16 @@ struct SimulationReport {
 
   double simulated_seconds = 0.0;
   double wall_clock_seconds = 0.0;
+
+  // --- Phase split (wall clock; like wall_clock_seconds, excluded from
+  // determinism comparisons) --------------------------------------------------
+  /// Request submission / batch dispatch, cumulative.
+  double match_phase_seconds = 0.0;
+  /// Vehicle-movement advance (the SimulatorOptions::move_jobs-parallel
+  /// part), cumulative.
+  double move_advance_seconds = 0.0;
+  /// Vehicle-movement commit + idle cruising (sequential), cumulative.
+  double move_commit_seconds = 0.0;
 
   /// Demo statistic: completed-and-shared / completed.
   double SharingRate() const {

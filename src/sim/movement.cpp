@@ -1,0 +1,183 @@
+#include "sim/movement.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/distance_providers.h"
+#include "util/string_util.h"
+
+namespace ptrider::sim {
+
+namespace {
+
+/// HandleArrivals on scratch state: consumes every stop scheduled at the
+/// vehicle's current vertex (a pick-up and drop-off can share an
+/// intersection), recording each as a core::AdvanceStop instead of
+/// calling PTRider::VehicleArrivedAtStop — every StopEvent field except
+/// `shared` derives from tree state alone; `shared` is resolved at
+/// commit from live assignment state.
+util::Status AdvanceArrivals(vehicle::Vehicle& v, Motion& m, double now,
+                             const vehicle::ScheduleContext& sched,
+                             roadnet::DistanceOracle& oracle,
+                             std::vector<core::AdvanceStop>& stops) {
+  while (true) {
+    if (v.tree().empty()) break;
+    if (v.tree().BestBranch().stops.front().location != v.location()) {
+      break;
+    }
+    const vehicle::Stop next = v.tree().BestBranch().stops.front();
+    const auto pending_it = v.tree().pending().find(next.request);
+    if (pending_it == v.tree().pending().end()) {
+      return util::Status::Internal("scheduled stop for unknown request");
+    }
+    const vehicle::PendingRequest pending = pending_it->second;
+    PTRIDER_ASSIGN_OR_RETURN(const vehicle::Stop popped,
+                             v.mutable_tree().PopFirstStop(sched));
+    core::AdvanceStop s;
+    s.event.stop = popped;
+    s.event.price = pending.price;
+    s.event.num_riders = pending.request.num_riders;
+    if (popped.type == vehicle::StopType::kPickup) {
+      s.event.waiting_s = std::max(0.0, now - pending.planned_pickup_s);
+      // Sharing state only changes at pick-ups; list the onboard set
+      // exactly when VehicleArrivedAtStop would mark it shared.
+      if (v.tree().OnboardRequests() >= 2) {
+        for (const auto& [rid, p] : v.tree().pending()) {
+          if (p.onboard) s.onboard.push_back(rid);
+        }
+      }
+    } else {
+      s.event.trip_distance_m = pending.consumed_trip_distance_m;
+      s.event.allowed_trip_distance_m = pending.max_trip_distance_m;
+      s.event.direct_distance_m =
+          pending.max_trip_distance_m / (1.0 + pending.request.service_sigma);
+      v.RecordCompletedRequest();
+    }
+    stops.push_back(std::move(s));
+  }
+  return ReplanMotion(m, v, oracle);
+}
+
+}  // namespace
+
+util::Status ReplanMotion(Motion& m, const vehicle::Vehicle& v,
+                          roadnet::DistanceOracle& oracle) {
+  if (v.tree().empty()) {
+    m.has_target = false;
+    m.path.clear();
+    return util::Status::Ok();
+  }
+  const vehicle::Stop target = v.tree().BestBranch().stops.front();
+  if (m.has_target && target == m.target && !m.path.empty()) {
+    return util::Status::Ok();  // already heading there
+  }
+  // Re-route from the current vertex. Mid-edge progress is abandoned;
+  // with per-vertex updates the error is below one edge length.
+  auto path = oracle.ShortestPath(v.location(), target.location);
+  PTRIDER_RETURN_IF_ERROR(path.status());
+  m.path = std::move(path).value();
+  m.next = m.path.size() > 1 ? 1 : 0;
+  m.edge_progress_m = 0.0;
+  m.target = target;
+  m.has_target = true;
+  return util::Status::Ok();
+}
+
+MovementOutcome AdvanceVehicle(const core::PTRider& system,
+                               vehicle::VehicleId id, const Motion& motion,
+                               double now, double budget,
+                               roadnet::DistanceOracle& oracle) {
+  MovementOutcome out;
+  const vehicle::Vehicle& live = system.fleet().at(id);
+  if (live.tree().empty()) {
+    // The whole tick is the RNG-driven idle walk — oracle-free, done
+    // sequentially in the commit phase in vehicle-id order.
+    out.idle_remainder = true;
+    out.budget_left = budget;
+    return out;
+  }
+  if (budget <= 1e-9) return out;  // nothing moves this tick
+
+  out.vehicle = live;  // scratch copies, advanced against the frozen tick
+  out.motion = motion;
+  vehicle::Vehicle& v = *out.vehicle;
+  Motion& m = out.motion;
+  const roadnet::RoadNetwork& graph = system.graph();
+  const vehicle::ScheduleContext sched = system.MakeScheduleContext(now);
+  core::IndexedDistanceProvider dist(oracle, system.grid());
+
+  // Guard against pathological zero-length cycles.
+  for (int hops = 0; budget > 1e-9 && hops < 10000; ++hops) {
+    const bool serving = !v.tree().empty();
+
+    // Redirection only happens at vertices: a vehicle mid-edge finishes
+    // the segment first (it cannot teleport back to the tail vertex).
+    // Schedule commitments are validated from the root vertex, so actual
+    // driven distances can overrun the validated ones by at most two edge
+    // lengths per redirect; SimulationReport::trip_overrun_m tracks it.
+    if (m.edge_progress_m == 0.0) {
+      if (!serving) {
+        // Final drop-off consumed mid-tick: the rest of the tick is the
+        // cruising walk. Hand it to the sequential phase, which resumes
+        // this very loop iteration (same budget, same hop count).
+        out.idle_remainder = true;
+        out.budget_left = budget;
+        out.hops = hops;
+        return out;
+      }
+      out.status = ReplanMotion(m, v, oracle);
+      if (!out.status.ok()) return out;
+      if (m.path.size() <= 1 || m.next == 0) {
+        // Already at the stop's vertex.
+        out.status = AdvanceArrivals(v, m, now, sched, oracle, out.stops);
+        if (!out.status.ok()) return out;
+        if (v.tree().empty()) continue;  // idle
+        if (m.path.size() <= 1) break;  // replanned to the same vertex
+      }
+    }
+    if (m.path.size() <= 1 || m.next == 0 || m.next >= m.path.size()) {
+      break;  // nowhere to go this tick
+    }
+
+    const roadnet::VertexId from = m.path[m.next - 1];
+    const roadnet::VertexId to = m.path[m.next];
+    const roadnet::Weight edge_len = graph.EdgeWeight(from, to);
+    if (edge_len == roadnet::kInfWeight) {
+      out.status = util::Status::Internal(util::StrFormat(
+          "vehicle %d routed over missing edge v%d->v%d", id, from, to));
+      return out;
+    }
+    const double remaining = edge_len - m.edge_progress_m;
+    if (budget < remaining) {
+      m.edge_progress_m += budget;
+      m.meters_since_update += budget;
+      budget = 0.0;
+      break;
+    }
+    // Reach the next vertex.
+    budget -= remaining;
+    m.meters_since_update += remaining;
+    m.edge_progress_m = 0.0;
+    ++m.next;
+    const std::vector<vehicle::Stop> executing =
+        serving ? v.tree().BestBranch().stops : std::vector<vehicle::Stop>{};
+    // UpdateVehicleLocation, scratch half: accrue the movement and walk
+    // the tree forward (index registration happens once, at commit).
+    v.AccrueMovement(m.meters_since_update, v.tree().OnboardRequests());
+    out.status = v.mutable_tree().AdvanceTo(to, m.meters_since_update,
+                                            sched, dist, executing);
+    if (!out.status.ok()) return out;
+    m.meters_since_update = 0.0;
+    if (m.next >= m.path.size()) {
+      m.path.clear();
+      m.next = 0;
+      if (serving) {
+        out.status = AdvanceArrivals(v, m, now, sched, oracle, out.stops);
+        if (!out.status.ok()) return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ptrider::sim

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "dispatch/parallel_dispatcher.h"
 #include "util/logging.h"
@@ -12,11 +13,30 @@ namespace ptrider::sim {
 Simulator::Simulator(core::PTRider& system, SimulatorOptions options)
     : system_(&system), options_(options), rng_(options.seed) {}
 
+vehicle::Request Simulator::BuildRequest(const Trip& t) {
+  const core::Config& cfg = system_->config();
+  vehicle::Request r;
+  r.id = next_request_id_++;
+  r.start = t.origin;
+  r.destination = t.destination;
+  r.num_riders = t.num_riders;
+  r.max_wait_s = cfg.default_max_wait_s;
+  r.service_sigma = cfg.default_service_sigma;
+  // The arrival instant, not the processing tick: batch dispatch order
+  // is the paper's (submit_time, id) order over real arrivals, and
+  // submit-delay accounting measures dispatch lag from the same epoch
+  // in both submission modes.
+  r.submit_time_s = t.time_s;
+  return r;
+}
+
 util::Status Simulator::RecordOutcome(const vehicle::Request& request,
                                       const core::MatchResult& match,
                                       const core::Option* chosen,
+                                      double now,
                                       SimulationReport& report) {
   ++report.requests_submitted;
+  report.submit_delay_s.Add(now - request.submit_time_s);
   report.response_time_s.Add(match.match_seconds);
   report.response_percentiles_s.Add(match.match_seconds);
   report.options_per_request.Add(
@@ -40,24 +60,16 @@ util::Status Simulator::RecordOutcome(const vehicle::Request& request,
     report.price_over_floor.Add(chosen->price / floor);
   }
   // Newly-assigned vehicle may need to re-target.
-  return Replan(chosen->vehicle);
+  return ReplanMotion(motions_[static_cast<size_t>(chosen->vehicle)],
+                      system_->fleet().at(chosen->vehicle),
+                      system_->oracle());
 }
 
 util::Status Simulator::SubmitDueRequests(const std::vector<Trip>& trips,
                                           size_t& next_trip, double now,
                                           SimulationReport& report) {
-  const core::Config& cfg = system_->config();
   while (next_trip < trips.size() && trips[next_trip].time_s <= now) {
-    const Trip& t = trips[next_trip++];
-    vehicle::Request r;
-    r.id = next_request_id_++;
-    r.start = t.origin;
-    r.destination = t.destination;
-    r.num_riders = t.num_riders;
-    r.max_wait_s = cfg.default_max_wait_s;
-    r.service_sigma = cfg.default_service_sigma;
-    r.submit_time_s = now;
-
+    const vehicle::Request r = BuildRequest(trips[next_trip++]);
     auto match = system_->SubmitRequest(r, now);
     PTRIDER_RETURN_IF_ERROR(match.status());
     const std::optional<size_t> pick = PickOption(r, *match, now);
@@ -66,26 +78,15 @@ util::Status Simulator::SubmitDueRequests(const std::vector<Trip>& trips,
     if (chosen != nullptr) {
       PTRIDER_RETURN_IF_ERROR(system_->ChooseOption(r, *chosen, now));
     }
-    PTRIDER_RETURN_IF_ERROR(RecordOutcome(r, *match, chosen, report));
+    PTRIDER_RETURN_IF_ERROR(RecordOutcome(r, *match, chosen, now, report));
   }
   return util::Status::Ok();
 }
 
 util::Status Simulator::CollectDueRequests(const std::vector<Trip>& trips,
                                            size_t& next_trip, double now) {
-  const core::Config& cfg = system_->config();
   while (next_trip < trips.size() && trips[next_trip].time_s <= now) {
-    const Trip& t = trips[next_trip++];
-    vehicle::Request r;
-    r.id = next_request_id_++;
-    r.start = t.origin;
-    r.destination = t.destination;
-    r.num_riders = t.num_riders;
-    r.max_wait_s = cfg.default_max_wait_s;
-    r.service_sigma = cfg.default_service_sigma;
-    // The arrival instant, not the flush tick: batch dispatch order is
-    // the paper's (submit_time, id) order over real arrivals.
-    r.submit_time_s = t.time_s;
+    const vehicle::Request r = BuildRequest(trips[next_trip++]);
     // Reject bad trips here, as the per-request path does via
     // SubmitRequest — folding them into the batch would instead skew
     // the report with zero-valued never-matched samples.
@@ -128,104 +129,101 @@ util::Status Simulator::DispatchPending(double now,
   for (const core::BatchItem& item : *items) {
     PTRIDER_RETURN_IF_ERROR(RecordOutcome(
         item.request, item.match, item.assigned ? &item.chosen : nullptr,
-        report));
+        now, report));
   }
   return util::Status::Ok();
 }
 
-util::Status Simulator::Replan(vehicle::VehicleId id) {
-  Motion& m = motions_[static_cast<size_t>(id)];
-  const vehicle::Vehicle& v = system_->fleet().at(id);
-  if (v.tree().empty()) {
-    m.has_target = false;
-    m.path.clear();
-    return util::Status::Ok();
-  }
-  const vehicle::Stop target = v.tree().BestBranch().stops.front();
-  if (m.has_target && target == m.target && !m.path.empty()) {
-    return util::Status::Ok();  // already heading there
-  }
-  // Re-route from the current vertex. Mid-edge progress is abandoned;
-  // with per-vertex updates the error is below one edge length.
-  auto path = system_->oracle().ShortestPath(v.location(), target.location);
-  PTRIDER_RETURN_IF_ERROR(path.status());
-  m.path = std::move(path).value();
-  m.next = m.path.size() > 1 ? 1 : 0;
-  m.edge_progress_m = 0.0;
-  m.target = target;
-  m.has_target = true;
-  return util::Status::Ok();
-}
-
-util::Status Simulator::HandleArrivals(vehicle::VehicleId id, double now,
-                                       SimulationReport& report) {
-  // Consume every stop scheduled at the vehicle's current vertex (a
-  // pick-up and drop-off can share an intersection).
-  while (true) {
-    const vehicle::Vehicle& v = system_->fleet().at(id);
-    if (v.tree().empty()) break;
-    if (v.tree().BestBranch().stops.front().location != v.location()) {
-      break;
+util::Status Simulator::MovePhase(double now, double budget,
+                                  SimulationReport& report) {
+  const size_t n = system_->fleet().size();
+  util::WallTimer timer;
+  advances_.resize(n);
+  if (move_pool_ != nullptr) {
+    // Contiguous shards: id-adjacent vehicles were placed together at
+    // fleet init and drift slowly, so their routes tend to share each
+    // worker's distance cache.
+    const size_t chunk =
+        std::max<size_t>(1, n / (4 * move_pool_->num_threads()));
+    move_pool_->ParallelFor(
+        n,
+        [&](size_t i, dispatch::WorkerContext& context) {
+          advances_[i] = AdvanceVehicle(
+              *system_, static_cast<vehicle::VehicleId>(i), motions_[i],
+              now, budget, context.oracle());
+        },
+        chunk);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      advances_[i] =
+          AdvanceVehicle(*system_, static_cast<vehicle::VehicleId>(i),
+                         motions_[i], now, budget, system_->oracle());
     }
-    auto event = system_->VehicleArrivedAtStop(id, now);
-    PTRIDER_RETURN_IF_ERROR(event.status());
-    if (event->stop.type == vehicle::StopType::kPickup) {
-      report.pickup_wait_s.Add(event->waiting_s);
-    } else {
-      ++report.requests_completed;
-      if (event->shared) ++report.requests_shared;
-      report.quoted_price.Add(event->price);
-      report.revenue_total += event->price;
-      if (event->direct_distance_m > 0.0) {
-        report.detour_ratio.Add(event->trip_distance_m /
-                                event->direct_distance_m);
+  }
+  report.move_advance_seconds += timer.ElapsedSeconds();
+  timer.Restart();
+
+  // Commit in vehicle-id order: install scratch state, fold arrival
+  // events into the report with exactly the sequential loop's
+  // accounting, then finish idle remainders (the only rng_ consumers).
+  for (size_t i = 0; i < n; ++i) {
+    MovementOutcome& a = advances_[i];
+    PTRIDER_RETURN_IF_ERROR(a.status);
+    const auto id = static_cast<vehicle::VehicleId>(i);
+    if (a.vehicle.has_value()) {
+      PTRIDER_RETURN_IF_ERROR(system_->CommitAdvancedVehicle(
+          id, *std::move(a.vehicle), a.stops));
+      motions_[i] = std::move(a.motion);
+      for (const core::AdvanceStop& s : a.stops) {
+        const core::StopEvent& event = s.event;
+        if (event.stop.type == vehicle::StopType::kPickup) {
+          report.pickup_wait_s.Add(event.waiting_s);
+        } else {
+          ++report.requests_completed;
+          if (event.shared) ++report.requests_shared;
+          report.quoted_price.Add(event.price);
+          report.revenue_total += event.price;
+          if (event.direct_distance_m > 0.0) {
+            report.detour_ratio.Add(event.trip_distance_m /
+                                    event.direct_distance_m);
+          }
+          report.trip_overrun_m.Add(std::max(
+              0.0,
+              event.trip_distance_m - event.allowed_trip_distance_m));
+        }
       }
-      report.trip_overrun_m.Add(std::max(
-          0.0, event->trip_distance_m - event->allowed_trip_distance_m));
+    }
+    if (a.idle_remainder) {
+      PTRIDER_RETURN_IF_ERROR(
+          MoveIdleVehicle(id, now, a.budget_left, a.hops));
     }
   }
-  return Replan(id);
+  report.move_commit_seconds += timer.ElapsedSeconds();
+  return util::Status::Ok();
 }
 
-util::Status Simulator::MoveVehicle(vehicle::VehicleId id, double now,
-                                    double budget,
-                                    SimulationReport& report) {
+util::Status Simulator::MoveIdleVehicle(vehicle::VehicleId id, double now,
+                                        double budget, int hops) {
   Motion& m = motions_[static_cast<size_t>(id)];
   const roadnet::RoadNetwork& graph = system_->graph();
-
-  // Guard against pathological zero-length cycles.
-  for (int hops = 0; budget > 1e-9 && hops < 10000; ++hops) {
+  // The tail of the advance phase's loop, restricted to an empty tree:
+  // no replans, no arrivals — just (possibly stale) path walking and
+  // Section 4's cruising rule. Resumes at the advance's hop count so the
+  // zero-length-cycle guard spans the whole tick.
+  for (; budget > 1e-9 && hops < 10000; ++hops) {
     const vehicle::Vehicle& v = system_->fleet().at(id);
-    const bool serving = !v.tree().empty();
-
-    // Redirection only happens at vertices: a vehicle mid-edge finishes
-    // the segment first (it cannot teleport back to the tail vertex).
-    // Schedule commitments are validated from the root vertex, so actual
-    // driven distances can overrun the validated ones by at most two edge
-    // lengths per redirect; SimulationReport::trip_overrun_m tracks it.
     if (m.edge_progress_m == 0.0) {
-      if (serving) {
-        PTRIDER_RETURN_IF_ERROR(Replan(id));
-        if (m.path.size() <= 1 || m.next == 0) {
-          // Already at the stop's vertex.
-          PTRIDER_RETURN_IF_ERROR(HandleArrivals(id, now, report));
-          if (system_->fleet().at(id).tree().empty()) continue;  // idle
-          if (m.path.size() <= 1) break;  // replanned to the same vertex
-        }
-      } else {
-        if (!options_.idle_cruising) break;
-        if (m.path.size() <= 1 || m.next == 0 ||
-            m.next >= m.path.size()) {
-          // Pick a random outgoing segment (Section 4's cruising rule).
-          const auto edges = graph.OutEdges(v.location());
-          if (edges.empty()) break;  // dead end without exit
-          const size_t e = static_cast<size_t>(rng_.UniformInt(
-              0, static_cast<int64_t>(edges.size()) - 1));
-          m.path = {v.location(), edges[e].to};
-          m.next = 1;
-          m.edge_progress_m = 0.0;
-          m.has_target = false;
-        }
+      if (!options_.idle_cruising) break;
+      if (m.path.size() <= 1 || m.next == 0 || m.next >= m.path.size()) {
+        // Pick a random outgoing segment (Section 4's cruising rule).
+        const auto edges = graph.OutEdges(v.location());
+        if (edges.empty()) break;  // dead end without exit
+        const size_t e = static_cast<size_t>(rng_.UniformInt(
+            0, static_cast<int64_t>(edges.size()) - 1));
+        m.path = {v.location(), edges[e].to};
+        m.next = 1;
+        m.edge_progress_m = 0.0;
+        m.has_target = false;
       }
     }
     if (m.path.size() <= 1 || m.next == 0 || m.next >= m.path.size()) {
@@ -251,18 +249,12 @@ util::Status Simulator::MoveVehicle(vehicle::VehicleId id, double now,
     m.meters_since_update += remaining;
     m.edge_progress_m = 0.0;
     ++m.next;
-    const std::vector<vehicle::Stop> executing =
-        serving ? system_->fleet().at(id).tree().BestBranch().stops
-                : std::vector<vehicle::Stop>{};
     PTRIDER_RETURN_IF_ERROR(system_->UpdateVehicleLocation(
-        id, to, m.meters_since_update, now, executing));
+        id, to, m.meters_since_update, now, {}));
     m.meters_since_update = 0.0;
     if (m.next >= m.path.size()) {
       m.path.clear();
       m.next = 0;
-      if (serving) {
-        PTRIDER_RETURN_IF_ERROR(HandleArrivals(id, now, report));
-      }
     }
   }
   return util::Status::Ok();
@@ -279,6 +271,10 @@ util::Result<SimulationReport> Simulator::Run(
   const bool batched = options_.batch_window_s > 0.0;
   if (batched && dispatcher_ == nullptr) {
     dispatcher_ = dispatch::CreateDispatcher(*system_);
+  }
+  if (options_.move_jobs > 1 && move_pool_ == nullptr) {
+    move_pool_ = std::make_unique<dispatch::WorkerPool>(
+        *system_, static_cast<size_t>(options_.move_jobs));
   }
   for (size_t i = 1; i < trips.size(); ++i) {
     if (trips[i].time_s < trips[i - 1].time_s) {
@@ -303,25 +299,39 @@ util::Result<SimulationReport> Simulator::Run(
   size_t next_trip = 0;
   double now = 0.0;
   double next_progress_log = 3600.0;
-  double next_flush = options_.batch_window_s;
-  while (now < end_time) {
-    now += options_.tick_s;
+  // Flush boundaries derive from an integer window index for the same
+  // reason tick times do below: accumulating `+= batch_window_s` drifts
+  // on non-representable windows until a flush slips past a tick.
+  int64_t next_window = 1;
+  util::WallTimer phase_timer;
+  // Tick times derive from an integer tick index: accumulating
+  // `now += tick_s` drifts over long horizons (86k+ ticks at day scale)
+  // and overshoots end_time by up to one tick. The final tick is clamped
+  // to land exactly on end_time, its driving budget shortened pro rata.
+  const int64_t total_ticks =
+      static_cast<int64_t>(std::ceil(end_time / options_.tick_s));
+  for (int64_t tick = 1; tick <= total_ticks; ++tick) {
+    const double prev = now;
+    now = std::min(static_cast<double>(tick) * options_.tick_s, end_time);
+    phase_timer.Restart();
     if (batched) {
       PTRIDER_RETURN_IF_ERROR(CollectDueRequests(trips, next_trip, now));
-      if (now + 1e-9 >= next_flush) {
+      if (now + 1e-9 >= static_cast<double>(next_window) *
+                            options_.batch_window_s) {
         PTRIDER_RETURN_IF_ERROR(DispatchPending(now, report));
-        while (next_flush <= now + 1e-9) {
-          next_flush += options_.batch_window_s;
+        while (static_cast<double>(next_window) *
+                   options_.batch_window_s <=
+               now + 1e-9) {
+          ++next_window;
         }
       }
     } else {
       PTRIDER_RETURN_IF_ERROR(
           SubmitDueRequests(trips, next_trip, now, report));
     }
-    const double budget = speed * options_.tick_s;
-    for (const vehicle::Vehicle& v : system_->fleet().vehicles()) {
-      PTRIDER_RETURN_IF_ERROR(MoveVehicle(v.id(), now, budget, report));
-    }
+    report.match_phase_seconds += phase_timer.ElapsedSeconds();
+    PTRIDER_RETURN_IF_ERROR(
+        MovePhase(now, speed * (now - prev), report));
     if (options_.verbose && now >= next_progress_log) {
       PTRIDER_LOG(kInfo) << util::StrFormat(
           "t=%.0fh submitted=%lld assigned=%lld completed=%lld "
@@ -337,8 +347,10 @@ util::Result<SimulationReport> Simulator::Run(
   if (batched) {
     // Trips due in the final partial window (end_time_s cut short of the
     // next flush) still get dispatched once.
+    phase_timer.Restart();
     PTRIDER_RETURN_IF_ERROR(CollectDueRequests(trips, next_trip, now));
     PTRIDER_RETURN_IF_ERROR(DispatchPending(now, report));
+    report.match_phase_seconds += phase_timer.ElapsedSeconds();
   }
 
   for (const vehicle::Vehicle& v : system_->fleet().vehicles()) {

@@ -6,8 +6,10 @@
 
 #include "core/batch.h"
 #include "core/ptrider.h"
+#include "dispatch/worker_pool.h"
 #include "sim/choice.h"
 #include "sim/metrics.h"
+#include "sim/movement.h"
 #include "sim/trip.h"
 #include "util/random.h"
 
@@ -36,6 +38,14 @@ struct SimulatorOptions {
   /// 0 keeps the seed behavior: every request is matched alone in the
   /// tick it arrives.
   double batch_window_s = 0.0;
+  /// Threads for the per-tick vehicle-movement advance phase (the
+  /// calling thread included; clamped to >= 1). The advance walks every
+  /// vehicle's tick against the frozen pre-tick state on per-thread
+  /// DistanceOracle clones; a sequential commit applies the results in
+  /// vehicle-id order, so the SimulationReport is item-for-item
+  /// identical at every setting (DESIGN.md section 6) — threads only
+  /// buy movement latency at large fleet counts.
+  int move_jobs = 1;
 };
 
 /// Event-driven city simulation (Section 4's demonstration): feeds a trip
@@ -50,19 +60,11 @@ class Simulator {
   util::Result<SimulationReport> Run(const std::vector<Trip>& trips);
 
  private:
-  /// Per-vehicle motion state between vertices.
-  struct Motion {
-    /// Remaining path; path[next] is the vertex being approached.
-    std::vector<roadnet::VertexId> path;
-    size_t next = 0;
-    double edge_progress_m = 0.0;
-    double meters_since_update = 0.0;
-    /// Stop the current path leads to; re-planned when the tree's best
-    /// branch changes.
-    vehicle::Stop target;
-    bool has_target = false;
-  };
-
+  /// The shared trip-to-request conversion of both submission paths.
+  /// Stamps the trip's true arrival instant as submit_time_s — never the
+  /// processing tick — so wait/response accounting agrees across
+  /// per-request and batched modes.
+  vehicle::Request BuildRequest(const Trip& t);
   util::Status SubmitDueRequests(const std::vector<Trip>& trips,
                                  size_t& next_trip, double now,
                                  SimulationReport& report);
@@ -85,13 +87,21 @@ class Simulator {
   /// `chosen` is null unless the rider accepted an option.
   util::Status RecordOutcome(const vehicle::Request& request,
                              const core::MatchResult& match,
-                             const core::Option* chosen,
+                             const core::Option* chosen, double now,
                              SimulationReport& report);
-  util::Status MoveVehicle(vehicle::VehicleId id, double now, double budget,
-                           SimulationReport& report);
-  util::Status HandleArrivals(vehicle::VehicleId id, double now,
-                              SimulationReport& report);
-  util::Status Replan(vehicle::VehicleId id);
+  /// One tick of fleet movement (`budget` meters per vehicle): parallel
+  /// advance over the frozen tick, then sequential commit in vehicle-id
+  /// order (install scratch state, fold arrival events into `report`,
+  /// finish idle remainders through the RNG).
+  util::Status MovePhase(double now, double budget,
+                         SimulationReport& report);
+  /// The idle-cruising walk of one vehicle's tick remainder, resumed at
+  /// `budget` / `hops`: draws cruise segments from rng_ and flushes
+  /// vertex crossings through the live system. Oracle-free (the tree is
+  /// empty), so keeping it sequential costs no parallelism — and keeps
+  /// rng_ consumption in vehicle-id order at every move_jobs setting.
+  util::Status MoveIdleVehicle(vehicle::VehicleId id, double now,
+                               double budget, int hops);
 
   core::PTRider* system_;
   SimulatorOptions options_;
@@ -102,6 +112,12 @@ class Simulator {
   /// lazily in Run) and the requests awaiting the next window flush.
   std::unique_ptr<core::Dispatcher> dispatcher_;
   std::vector<vehicle::Request> pending_;
+  /// move_jobs > 1 only: the movement advance pool (per-thread oracle
+  /// clones persist across ticks, created lazily in Run).
+  std::unique_ptr<dispatch::WorkerPool> move_pool_;
+  /// Per-tick advance results (the outer n-slot vector persists across
+  /// ticks; each slot's buffers are rebuilt by its vehicle's advance).
+  std::vector<MovementOutcome> advances_;
 };
 
 }  // namespace ptrider::sim

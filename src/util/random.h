@@ -18,6 +18,30 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Uniform draw in [0, n) from a SplitMix64 stream, n > 0. Lemire's
+/// multiply-shift with rejection of the biased low zone: unlike
+/// `SplitMix64(state) % n`, every residue is exactly equally likely for
+/// every n, not just powers of two (the bias of plain modulo scales with
+/// n/2^64 but breaks statistical tests on long streams — and reservoir
+/// sampling feeds n = total samples seen, which is never a power of two
+/// for long).
+inline uint64_t UniformBelow(uint64_t& state, uint64_t n) {
+  assert(n > 0);
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(SplitMix64(state)) * n;
+  auto low = static_cast<uint64_t>(product);
+  if (low < n) {
+    // 2^64 mod n: draws whose low word lands below it would over-weight
+    // the first (2^64 mod n) residues; redraw them.
+    const uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      product = static_cast<unsigned __int128>(SplitMix64(state)) * n;
+      low = static_cast<uint64_t>(product);
+    }
+  }
+  return static_cast<uint64_t>(product >> 64);
+}
+
 /// Deterministic, fast PRNG (xoshiro256**). All experiment randomness in
 /// PTRider flows through this type so runs are reproducible from a seed.
 /// Satisfies UniformRandomBitGenerator.

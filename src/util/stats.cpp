@@ -67,8 +67,9 @@ void Percentiles::Add(double x) {
     return;
   }
   // Reservoir sampling: keep each of the `total_` values with equal
-  // probability capacity_/total_.
-  const uint64_t draw = SplitMix64(rng_state_) % total_;
+  // probability capacity_/total_. The slot draw must be bias-free
+  // (UniformBelow, not modulo) or late samples skew toward low slots.
+  const uint64_t draw = UniformBelow(rng_state_, total_);
   if (draw < capacity_) {
     samples_[static_cast<size_t>(draw)] = x;
     sorted_ = false;

@@ -65,6 +65,14 @@ int KineticTree::RidersOnboard() const {
   return riders;
 }
 
+int KineticTree::OnboardRequests() const {
+  int requests = 0;
+  for (const auto& [id, p] : pending_) {
+    if (p.onboard) ++requests;
+  }
+  return requests;
+}
+
 int KineticTree::RidersCommitted() const {
   int riders = 0;
   for (const auto& [id, p] : pending_) {

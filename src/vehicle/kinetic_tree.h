@@ -109,6 +109,11 @@ class KineticTree {
   size_t NumTreeNodes() const;
   size_t NumPendingRequests() const { return pending_.size(); }
   int RidersOnboard() const;
+  /// Distinct unfinished requests currently onboard (pick-up consumed,
+  /// drop-off pending). Movement accounting and the sharing rule key on
+  /// this — the simulator's scratch advance and PTRider's live path
+  /// must count it identically (DESIGN.md section 6).
+  int OnboardRequests() const;
   /// Riders committed to this vehicle, onboard or awaiting pick-up
   /// (occupancy-sensitive pricing discounts against this).
   int RidersCommitted() const;

@@ -44,6 +44,48 @@ TEST(RngTest, UniformIntDegenerateRange) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
 }
 
+TEST(UniformBelowTest, StaysInRangeAndIsDeterministic) {
+  uint64_t a = 77;
+  uint64_t b = 77;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = UniformBelow(a, 13);
+    ASSERT_LT(x, 13u);
+    EXPECT_EQ(x, UniformBelow(b, 13));
+  }
+  EXPECT_EQ(a, b);  // same number of stream steps consumed
+}
+
+TEST(UniformBelowTest, TrivialRange) {
+  uint64_t state = 5;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(UniformBelow(state, 1), 0u);
+}
+
+// The draw must be uniform for awkward non-power-of-two ranges — the
+// regression that motivated replacing `SplitMix64(state) % n` in the
+// Percentiles reservoir (plain modulo over-weights low residues).
+TEST(UniformBelowTest, UniformOverNonPowerOfTwoRange) {
+  constexpr uint64_t kRange = 7;
+  constexpr int kDraws = 70000;
+  uint64_t state = 2024;
+  int counts[kRange] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[UniformBelow(state, kRange)];
+  // Expected 10000 per bucket; a fair draw stays within ~4 sigma (~400).
+  for (const int c : counts) {
+    EXPECT_GT(c, 9600);
+    EXPECT_LT(c, 10400);
+  }
+}
+
+// Lemire's rejection zone: for n just below 2^63, nearly half of all
+// raw draws are rejected — the loop must still terminate and stay in
+// range (the structural difference from biased modulo, which would map
+// the rejected zone onto low residues).
+TEST(UniformBelowTest, HugeRangeRejectionTerminates) {
+  const uint64_t n = (1ULL << 63) + 12345;
+  uint64_t state = 99;
+  for (int i = 0; i < 200; ++i) ASSERT_LT(UniformBelow(state, n), n);
+}
+
 TEST(RngTest, UniformDoubleInRange) {
   Rng rng(11);
   double lo = 1.0;
