@@ -1,7 +1,7 @@
 #ifndef PTRIDER_BENCH_BENCH_COMMON_H_
 #define PTRIDER_BENCH_BENCH_COMMON_H_
 
-// Shared scaffolding for the experiment binaries (DESIGN.md section 8).
+// Shared scaffolding for the experiment binaries (DESIGN.md section 9).
 // Each bench prints a header naming the paper artifact it reproduces and
 // one table of results; `for b in build/bench/*; do $b; done` regenerates
 // every figure/statistic of the paper.

@@ -1,4 +1,4 @@
-// E14 — Pricing-policy overhead (DESIGN.md section 8).
+// E14 — Pricing-policy overhead (DESIGN.md section 9).
 //
 // (a) Per-quote cost: the legacy inlined core::PriceModel vs each
 //     pricing::PricingPolicy behind the virtual interface, on identical

@@ -6,13 +6,18 @@
 //
 // Usage:  ./build/examples/example_city_day [taxis] [trips] [hours]
 //             [--jobs N] [--batch-window S] [--move-jobs N]
+//             [--sp-algo dijkstra|bidirectional|astar|ch]
 // Defaults: 150 taxis, 2000 trips, 4 hours, sequential per-request
 // dispatch. `--jobs N` matches arrivals in parallel on N worker threads
 // (src/dispatch/), which implies batched arrivals; `--batch-window S`
 // sets the arrival window (default 2 s when batching); `--move-jobs N`
-// runs the per-tick vehicle-movement advance on N threads. Results are
-// identical for every `--jobs` / `--move-jobs` value — only the wall
-// clock moves.
+// runs the per-tick vehicle-movement advance on N threads; `--sp-algo`
+// picks the distance oracle's point-to-point engine (`ch` preprocesses
+// a contraction hierarchy once, shared by every worker thread's oracle
+// clone). Results are identical for every `--jobs` / `--move-jobs`
+// value — only the wall clock moves — and for every `--sp-algo` except
+// `bidirectional`, whose half-path sums can differ in the last float
+// bit (DESIGN.md section 7).
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,11 +37,26 @@ int main(int argc, char** argv) {
   int jobs = 0;
   int move_jobs = 1;
   double batch_window_s = 0.0;
+  roadnet::SpAlgorithm sp_algo = roadnet::SpAlgorithm::kAStar;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const bool is_jobs = std::strcmp(argv[i], "--jobs") == 0;
     const bool is_move_jobs = std::strcmp(argv[i], "--move-jobs") == 0;
     const bool is_window = std::strcmp(argv[i], "--batch-window") == 0;
+    if (std::strcmp(argv[i], "--sp-algo") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--sp-algo needs a value\n");
+        return 1;
+      }
+      if (!roadnet::SpAlgorithmFromName(argv[++i], &sp_algo)) {
+        std::fprintf(stderr,
+                     "--sp-algo: unknown algorithm '%s' (expected "
+                     "dijkstra, bidirectional, astar or ch)\n",
+                     argv[i]);
+        return 1;
+      }
+      continue;
+    }
     if (is_jobs || is_move_jobs || is_window) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", argv[i]);
@@ -85,6 +105,7 @@ int main(int argc, char** argv) {
   core::Config cfg;  // defaults: 48 km/h, capacity 3, w = 5 min
   cfg.matcher = core::MatcherAlgorithm::kDualSide;
   cfg.dispatch_threads = jobs;
+  cfg.sp_algorithm = sp_algo;
   auto system = core::PTRider::Create(*graph, cfg);
   if (!system.ok()) {
     std::fprintf(stderr, "%s\n", system.status().ToString().c_str());
@@ -92,6 +113,14 @@ int main(int argc, char** argv) {
   }
   core::PTRider& pt = **system;
   std::printf("Index: %s\n", pt.grid().DebugString().c_str());
+  std::printf("SP engine: %s", roadnet::SpAlgorithmName(sp_algo));
+  if (const roadnet::CHIndex* ch = pt.oracle().ch_index()) {
+    std::printf(" (preprocessed %.2f s, %zu shortcuts, %.1f MiB, "
+                "shared across worker clones)",
+                ch->build_seconds(), ch->num_shortcuts(),
+                static_cast<double>(ch->MemoryBytes()) / (1024.0 * 1024.0));
+  }
+  std::printf("\n");
   if (!pt.InitFleetUniform(taxis, /*seed=*/1).ok()) return 1;
 
   sim::HotspotWorkloadOptions workload;

@@ -10,13 +10,21 @@
 
 namespace ptrider::core {
 
+namespace {
+roadnet::DistanceOracleOptions OracleOptions(const Config& config) {
+  roadnet::DistanceOracleOptions opts;
+  opts.algorithm = config.sp_algorithm;
+  return opts;
+}
+}  // namespace
+
 PTRider::PTRider(const roadnet::RoadNetwork& graph, Config config,
                  roadnet::GridIndex grid,
                  std::unique_ptr<pricing::PricingPolicy> pricing)
     : graph_(&graph),
       config_(config),
       grid_(std::move(grid)),
-      oracle_(graph),
+      oracle_(graph, OracleOptions(config)),
       vehicle_index_(grid_),
       pricing_(std::move(pricing)) {
   match_context_.graph = graph_;

@@ -1,0 +1,459 @@
+#include "roadnet/ch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace ptrider::roadnet {
+
+namespace {
+
+// Witness-search settle budgets. Exhausting a budget conservatively adds
+// the shortcut — extra shortcuts cost memory and a few heap pops, never
+// correctness (a shortcut's weight is always the length of a real path).
+constexpr int kWitnessBudgetSimulate = 64;
+constexpr int kWitnessBudgetContract = 1024;
+
+struct HeapEntry {
+  Weight dist;
+  VertexId vertex;
+  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
+};
+
+/// Dynamic adjacency entry during contraction. `other` is the far
+/// endpoint, `middle` the bypassed vertex for shortcuts.
+struct DynEdge {
+  VertexId other;
+  Weight weight;
+  VertexId middle;
+};
+
+/// Scratch state for CHIndex::Build. Maintains the "remaining" graph
+/// (uncontracted vertices + accumulated shortcuts) as paired out/in
+/// adjacency lists with at most one edge per ordered vertex pair.
+class Builder {
+ public:
+  explicit Builder(const RoadNetwork& graph)
+      : n_(graph.NumVertices()),
+        out_(n_),
+        in_(n_),
+        frozen_up_(n_),
+        frozen_down_(n_),
+        contracted_(n_, 0),
+        deleted_neighbors_(n_, 0),
+        level_(n_, 0),
+        wdist_(n_, kInfWeight),
+        wversion_(n_, 0) {
+    for (VertexId u = 0; u < static_cast<VertexId>(n_); ++u) {
+      for (const Edge& e : graph.OutEdges(u)) {
+        // Parallel input edges collapse to their minimum here, exactly
+        // the one Dijkstra would ever relax along.
+        AddOrUpdate(u, e.to, e.weight, kInvalidVertex);
+      }
+    }
+  }
+
+  /// Contracts every vertex; results are read via the accessors below.
+  void Run();
+
+  const std::vector<uint32_t>& ranks() const { return rank_; }
+  const std::vector<DynEdge>& frozen_up(VertexId v) const {
+    return frozen_up_[v];
+  }
+  const std::vector<DynEdge>& frozen_down(VertexId v) const {
+    return frozen_down_[v];
+  }
+
+ private:
+  using PqEntry = std::pair<int64_t, VertexId>;  // (priority, vertex)
+
+  int64_t Priority(VertexId v) {
+    const int added = Shortcuts(v, kWitnessBudgetSimulate, /*add=*/false);
+    int removed = 0;
+    for (const DynEdge& e : out_[v]) removed += !contracted_[e.other];
+    for (const DynEdge& e : in_[v]) removed += !contracted_[e.other];
+    // Edge difference plus hierarchy depth plus deleted neighbors: the
+    // depth term keeps the hierarchy shallow (it bounds how many
+    // upward hops a query can take), the others spread contraction
+    // evenly across the network.
+    return 2 * (static_cast<int64_t>(added) - removed) + 2 * level_[v] +
+           deleted_neighbors_[v];
+  }
+
+  /// Enumerates the shortcuts contracting `v` requires; inserts them
+  /// when `add`. Returns how many pairs needed one.
+  int Shortcuts(VertexId v, int witness_budget, bool add) {
+    int count = 0;
+    for (const DynEdge& ein : in_[v]) {
+      const VertexId u = ein.other;
+      if (contracted_[u]) continue;
+      Weight bound = 0.0;
+      bool any_target = false;
+      for (const DynEdge& eout : out_[v]) {
+        if (contracted_[eout.other] || eout.other == u) continue;
+        bound = std::max(bound, ein.weight + eout.weight);
+        any_target = true;
+      }
+      if (!any_target) continue;
+      Witness(u, v, bound, witness_budget);
+      for (const DynEdge& eout : out_[v]) {
+        const VertexId w = eout.other;
+        if (contracted_[w] || w == u) continue;
+        const Weight shortcut = ein.weight + eout.weight;
+        const Weight witness =
+            wversion_[w] == wgen_ ? wdist_[w] : kInfWeight;
+        if (witness <= shortcut) continue;  // v is bypassable for (u, w)
+        ++count;
+        if (add) AddOrUpdate(u, w, shortcut, v);
+      }
+    }
+    return count;
+  }
+
+  void Contract(VertexId v) {
+    (void)Shortcuts(v, kWitnessBudgetContract, /*add=*/true);
+    // Freeze v's incident edges: every neighbor is still uncontracted,
+    // so it outranks v and the edge lands in v's up/down lists.
+    for (const DynEdge& e : out_[v]) {
+      if (contracted_[e.other]) continue;
+      frozen_up_[v].push_back(e);
+      ++deleted_neighbors_[e.other];
+      level_[e.other] = std::max(level_[e.other], level_[v] + 1);
+    }
+    for (const DynEdge& e : in_[v]) {
+      if (contracted_[e.other]) continue;
+      frozen_down_[v].push_back(e);
+      ++deleted_neighbors_[e.other];
+      level_[e.other] = std::max(level_[e.other], level_[v] + 1);
+    }
+    contracted_[v] = 1;
+    // Neighbors keep stale entries pointing at v; iteration skips them
+    // via contracted_. Reclaim v's own lists.
+    std::vector<DynEdge>().swap(out_[v]);
+    std::vector<DynEdge>().swap(in_[v]);
+  }
+
+  /// Local Dijkstra from `source` over the remaining graph minus
+  /// `avoid`, pruned at `bound` and `budget` settles.
+  void Witness(VertexId source, VertexId avoid, Weight bound, int budget) {
+    if (++wgen_ == 0) {
+      std::fill(wversion_.begin(), wversion_.end(), 0);
+      wgen_ = 1;
+    }
+    wheap_.clear();
+    wdist_[source] = 0.0;
+    wversion_[source] = wgen_;
+    wheap_.push_back({0.0, source});
+    int settles = 0;
+    while (!wheap_.empty()) {
+      std::pop_heap(wheap_.begin(), wheap_.end(), std::greater<>());
+      const HeapEntry top = wheap_.back();
+      wheap_.pop_back();
+      if (wversion_[top.vertex] != wgen_ || top.dist > wdist_[top.vertex]) {
+        continue;
+      }
+      if (top.dist > bound || ++settles > budget) break;
+      for (const DynEdge& e : out_[top.vertex]) {
+        if (contracted_[e.other] || e.other == avoid) continue;
+        const Weight nd = top.dist + e.weight;
+        if (wversion_[e.other] != wgen_ || nd < wdist_[e.other]) {
+          wversion_[e.other] = wgen_;
+          wdist_[e.other] = nd;
+          wheap_.push_back({nd, e.other});
+          std::push_heap(wheap_.begin(), wheap_.end(), std::greater<>());
+        }
+      }
+    }
+  }
+
+  /// Keeps at most one `u -> w` edge, at the minimum weight seen.
+  void AddOrUpdate(VertexId u, VertexId w, Weight weight, VertexId middle) {
+    if (u == w) return;
+    for (DynEdge& e : out_[u]) {
+      if (e.other != w) continue;
+      if (weight < e.weight) {
+        e.weight = weight;
+        e.middle = middle;
+        for (DynEdge& r : in_[w]) {
+          if (r.other == u) {
+            r.weight = weight;
+            r.middle = middle;
+            break;
+          }
+        }
+      }
+      return;
+    }
+    out_[u].push_back({w, weight, middle});
+    in_[w].push_back({u, weight, middle});
+  }
+
+  const size_t n_;
+  std::vector<uint32_t> rank_;
+  std::vector<std::vector<DynEdge>> out_;
+  std::vector<std::vector<DynEdge>> in_;
+  std::vector<std::vector<DynEdge>> frozen_up_;
+  std::vector<std::vector<DynEdge>> frozen_down_;
+  std::vector<char> contracted_;
+  std::vector<int32_t> deleted_neighbors_;
+  /// 1 + max level among contracted neighbors (hierarchy depth bound).
+  std::vector<int32_t> level_;
+  // Witness-search scratch (version-stamped).
+  std::vector<Weight> wdist_;
+  std::vector<uint32_t> wversion_;
+  uint32_t wgen_ = 0;
+  std::vector<HeapEntry> wheap_;
+};
+
+void Builder::Run() {
+  // Min-heap on (priority, vertex id) — the id tiebreak makes the
+  // contraction order, and thus the whole index, deterministic.
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<PqEntry>>
+      pq;
+  for (VertexId v = 0; v < static_cast<VertexId>(n_); ++v) {
+    pq.push({Priority(v), v});
+  }
+  rank_.assign(n_, 0);
+  uint32_t order = 0;
+  while (!pq.empty()) {
+    const auto [stale_priority, v] = pq.top();
+    pq.pop();
+    if (contracted_[v]) continue;
+    // Lazy re-evaluation: contracting earlier vertices may have changed
+    // v's priority; re-check against the next-best candidate.
+    const int64_t now = Priority(v);
+    if (!pq.empty() && now > pq.top().first) {
+      pq.push({now, v});
+      continue;
+    }
+    Contract(v);
+    rank_[v] = order++;
+  }
+}
+
+/// The unique remaining `other`-matching edge in `list` (dedup keeps one
+/// edge per ordered pair at any instant, so frozen snapshots hold one).
+const CHIndex::Edge* FindEdge(std::span<const CHIndex::Edge> list,
+                              VertexId other) {
+  const CHIndex::Edge* best = nullptr;
+  for (const CHIndex::Edge& e : list) {
+    if (e.other == other && (best == nullptr || e.weight < best->weight)) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CHIndex CHIndex::Build(const RoadNetwork& graph) {
+  util::WallTimer timer;
+  CHIndex index;
+  Builder builder(graph);
+  builder.Run();
+
+  const size_t n = graph.NumVertices();
+  index.rank_ = builder.ranks();
+  index.up_offsets_.assign(n + 1, 0);
+  index.down_offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    index.up_offsets_[v + 1] =
+        index.up_offsets_[v] + builder.frozen_up(v).size();
+    index.down_offsets_[v + 1] =
+        index.down_offsets_[v] + builder.frozen_down(v).size();
+  }
+  index.up_edges_.reserve(index.up_offsets_[n]);
+  index.down_edges_.reserve(index.down_offsets_[n]);
+  for (size_t v = 0; v < n; ++v) {
+    for (const DynEdge& e : builder.frozen_up(v)) {
+      index.up_edges_.push_back({e.other, e.weight, e.middle});
+      index.num_shortcuts_ += e.middle != kInvalidVertex;
+    }
+    for (const DynEdge& e : builder.frozen_down(v)) {
+      index.down_edges_.push_back({e.other, e.weight, e.middle});
+      index.num_shortcuts_ += e.middle != kInvalidVertex;
+    }
+  }
+  index.build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+size_t CHIndex::MemoryBytes() const {
+  return rank_.capacity() * sizeof(uint32_t) +
+         (up_offsets_.capacity() + down_offsets_.capacity()) *
+             sizeof(size_t) +
+         (up_edges_.capacity() + down_edges_.capacity()) * sizeof(Edge);
+}
+
+CHQuery::CHQuery(const CHIndex& index) : index_(&index) {
+  const size_t n = index.NumVertices();
+  for (Side* side : {&fwd_, &bwd_}) {
+    side->dist.assign(n, kInfWeight);
+    side->version.assign(n, 0);
+    side->settled.assign(n, 0);
+    side->parent.assign(n, kInvalidVertex);
+    side->parent_weight.assign(n, 0.0);
+    side->parent_middle.assign(n, kInvalidVertex);
+  }
+}
+
+void CHQuery::Touch(Side& side, VertexId v) {
+  if (side.version[v] != generation_) {
+    side.version[v] = generation_;
+    side.dist[v] = kInfWeight;
+    side.settled[v] = 0;
+    side.parent[v] = kInvalidVertex;
+  }
+}
+
+Weight CHQuery::Distance(VertexId source, VertexId target) {
+  const size_t n = index_->NumVertices();
+  if (source < 0 || target < 0 || static_cast<size_t>(source) >= n ||
+      static_cast<size_t>(target) >= n) {
+    return kInfWeight;
+  }
+  if (source == target) return 0.0;
+
+  if (++generation_ == 0) {
+    std::fill(fwd_.version.begin(), fwd_.version.end(), 0);
+    std::fill(bwd_.version.begin(), bwd_.version.end(), 0);
+    generation_ = 1;
+  }
+
+  using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                      std::greater<HeapEntry>>;
+  MinHeap fq;
+  MinHeap bq;
+  Touch(fwd_, source);
+  fwd_.dist[source] = 0.0;
+  fq.push({0.0, source});
+  Touch(bwd_, target);
+  bwd_.dist[target] = 0.0;
+  bq.push({0.0, target});
+
+  Weight best = kInfWeight;
+  VertexId meet = kInvalidVertex;
+
+  // One settle step on `side`. `forward` selects the relax adjacency
+  // (up-edges) vs the backward one (down-edges); the *opposite* list at
+  // the settled vertex feeds the stall-on-demand check.
+  const auto settle = [&](Side& side, Side& other, MinHeap& heap,
+                          bool forward) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    ++total_pops_;
+    const VertexId u = top.vertex;
+    if (side.version[u] != generation_ || side.settled[u] ||
+        top.dist > side.dist[u]) {
+      return;
+    }
+    side.settled[u] = 1;
+    ++total_settled_;
+    // Meeting candidate: other.dist[u] is the length of a real upward
+    // path even before u settles there, so the sum is a real s..t walk.
+    if (other.version[u] == generation_ && other.dist[u] != kInfWeight &&
+        top.dist + other.dist[u] < best) {
+      best = top.dist + other.dist[u];
+      meet = u;
+    }
+    // Stall-on-demand: a higher-ranked in-neighbor (for the forward
+    // search) that reaches u cheaper proves side.dist[u] is not the
+    // value of any shortest up-path through u — skip relaxing.
+    const std::span<const CHIndex::Edge> stall_edges =
+        forward ? index_->DownEdges(u) : index_->UpEdges(u);
+    for (const CHIndex::Edge& e : stall_edges) {
+      if (side.version[e.other] == generation_ &&
+          side.dist[e.other] + e.weight < top.dist) {
+        ++total_stalled_;
+        return;
+      }
+    }
+    const std::span<const CHIndex::Edge> relax_edges =
+        forward ? index_->UpEdges(u) : index_->DownEdges(u);
+    for (const CHIndex::Edge& e : relax_edges) {
+      const VertexId v = e.other;
+      const Weight nd = top.dist + e.weight;
+      // A label >= best cannot lie on an improving up-down path (the
+      // other half of any path through v only adds length): prune.
+      if (nd >= best) continue;
+      Touch(side, v);
+      if (side.settled[v]) continue;
+      if (nd < side.dist[v]) {
+        side.dist[v] = nd;
+        side.parent[v] = u;
+        side.parent_weight[v] = e.weight;
+        side.parent_middle[v] = e.middle;
+        heap.push({nd, v});
+      }
+    }
+  };
+
+  // Unlike plain bidirectional Dijkstra there is no frontier-sum rule:
+  // each direction runs until its own minimum key reaches `best`.
+  while (true) {
+    const bool fwd_active = !fq.empty() && fq.top().dist < best;
+    const bool bwd_active = !bq.empty() && bq.top().dist < best;
+    if (!fwd_active && !bwd_active) break;
+    if (fwd_active &&
+        (!bwd_active || fq.top().dist <= bq.top().dist)) {
+      settle(fwd_, bwd_, fq, /*forward=*/true);
+    } else {
+      settle(bwd_, fwd_, bq, /*forward=*/false);
+    }
+  }
+
+  if (meet == kInvalidVertex) return kInfWeight;
+  return UnpackSum(source, target, meet);
+}
+
+Weight CHQuery::UnpackSum(VertexId source, VertexId target,
+                          VertexId meet) {
+  // CH edges along source..meet..target, in path order. The three
+  // buffers are member scratch — no allocation on the query path.
+  std::vector<Seg>& chain = unpack_chain_;
+  std::vector<Seg>& rev = unpack_rev_;
+  std::vector<Seg>& stack = unpack_stack_;
+  chain.clear();
+  rev.clear();
+  stack.clear();
+  for (VertexId v = meet; v != source;) {  // meet back to source
+    const VertexId u = fwd_.parent[v];
+    rev.push_back({u, v, fwd_.parent_weight[v], fwd_.parent_middle[v]});
+    v = u;
+  }
+  chain.assign(rev.rbegin(), rev.rend());
+  for (VertexId v = meet; v != target;) {
+    const VertexId u = bwd_.parent[v];  // edge v -> u, original direction
+    chain.push_back({v, u, bwd_.parent_weight[v], bwd_.parent_middle[v]});
+    v = u;
+  }
+
+  // Expand shortcuts depth-first, left to right, summing original edge
+  // weights in exactly the order a Dijkstra relaxation would have.
+  Weight sum = 0.0;
+  stack.assign(chain.rbegin(), chain.rend());
+  while (!stack.empty()) {
+    const Seg seg = stack.back();
+    stack.pop_back();
+    if (seg.middle == kInvalidVertex) {
+      sum += seg.weight;
+      continue;
+    }
+    // Both component edges were frozen at `middle`'s contraction: the
+    // in-edge from `from` in its down list, the out-edge to `to` in its
+    // up list.
+    const CHIndex::Edge* first =
+        FindEdge(index_->DownEdges(seg.middle), seg.from);
+    const CHIndex::Edge* second =
+        FindEdge(index_->UpEdges(seg.middle), seg.to);
+    assert(first != nullptr && second != nullptr);
+    stack.push_back({seg.middle, seg.to, second->weight, second->middle});
+    stack.push_back({seg.from, seg.middle, first->weight, first->middle});
+  }
+  return sum;
+}
+
+}  // namespace ptrider::roadnet

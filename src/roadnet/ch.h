@@ -1,0 +1,149 @@
+#ifndef PTRIDER_ROADNET_CH_H_
+#define PTRIDER_ROADNET_CH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "roadnet/types.h"
+
+namespace ptrider::roadnet {
+
+/// Contraction-hierarchy distance oracle substrate (DESIGN.md section 7).
+///
+/// `CHIndex::Build` contracts every vertex in edge-difference order
+/// (lazy re-evaluation), inserting a shortcut `u -> w` whenever removing
+/// the contracted vertex `v` would break the shortest `u -> w` distance
+/// among the remaining vertices (witness searches prove the cases where
+/// it would not). The result is two CSR adjacencies over the original
+/// edges plus shortcuts:
+///
+///  * `UpEdges(v)`  — out-edges `v -> x` with `Rank(x) > Rank(v)`,
+///  * `DownEdges(v)` — in-edges `x -> v` with `Rank(x) > Rank(v)`
+///    (stored as `{from, weight, middle}`),
+///
+/// over which `CHQuery` runs a bidirectional *upward* Dijkstra with
+/// stall-on-demand. Every shortest path in the input graph has an
+/// up-down representation in this structure, so queries are exact; the
+/// query re-sums the unpacked original-edge path left-to-right, making
+/// the returned doubles bit-identical to `DijkstraEngine::Distance` on
+/// networks without rounding-tied shortest paths (DESIGN.md 7.4).
+///
+/// A built index is immutable: any number of threads may query it
+/// concurrently through their own `CHQuery` scratch. This is exactly the
+/// precomputed-table contract of `DistanceOracle::Clone` — the index is
+/// built once and shared read-only; only `CHQuery` state is per-thread.
+class CHIndex {
+ public:
+  /// One CSR entry. `other` is the edge's far endpoint (the head for
+  /// up-edges, the tail for down-edges); `middle` is the contracted
+  /// vertex a shortcut bypasses, or kInvalidVertex for an original edge.
+  struct Edge {
+    VertexId other = kInvalidVertex;
+    Weight weight = 0.0;
+    VertexId middle = kInvalidVertex;
+  };
+
+  /// Preprocesses `graph` (kept only during the call; the index stores
+  /// no reference to it). Deterministic for a given graph.
+  static CHIndex Build(const RoadNetwork& graph);
+
+  size_t NumVertices() const { return rank_.size(); }
+  /// Contraction order, 0 = contracted first (lowest).
+  uint32_t Rank(VertexId v) const { return rank_[v]; }
+
+  std::span<const Edge> UpEdges(VertexId v) const {
+    return {up_edges_.data() + up_offsets_[v],
+            up_edges_.data() + up_offsets_[v + 1]};
+  }
+  std::span<const Edge> DownEdges(VertexId v) const {
+    return {down_edges_.data() + down_offsets_[v],
+            down_edges_.data() + down_offsets_[v + 1]};
+  }
+
+  // --- Preprocessing statistics -------------------------------------------
+  size_t num_shortcuts() const { return num_shortcuts_; }
+  size_t num_edges() const { return up_edges_.size() + down_edges_.size(); }
+  double build_seconds() const { return build_seconds_; }
+  /// Resident bytes of the built index (CSR arrays + ranks).
+  size_t MemoryBytes() const;
+
+ private:
+  CHIndex() = default;
+
+  std::vector<uint32_t> rank_;
+  std::vector<size_t> up_offsets_;    // size NumVertices()+1
+  std::vector<size_t> down_offsets_;  // size NumVertices()+1
+  std::vector<Edge> up_edges_;
+  std::vector<Edge> down_edges_;
+  size_t num_shortcuts_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+/// Per-thread query scratch over a shared CHIndex: bidirectional upward
+/// Dijkstra with stall-on-demand. State arrays are version-stamped so
+/// repeated queries cost O(touched) to reset. Not thread-safe; one
+/// CHQuery per thread — the index it points at may be shared freely.
+class CHQuery {
+ public:
+  /// `index` must outlive the query object.
+  explicit CHQuery(const CHIndex& index);
+
+  /// Exact shortest-path distance; kInfWeight when unreachable. The
+  /// up-down path is unpacked into original edges and re-summed in path
+  /// order, so the result is bit-identical to DijkstraEngine::Distance
+  /// whenever shortest paths are unique beyond float rounding (all
+  /// generated networks; DESIGN.md section 7.4 — rounding-tied paths on
+  /// coarse-weight graphs can differ in the last ULP).
+  Weight Distance(VertexId source, VertexId target);
+
+  // --- Statistics (cumulative across queries) -----------------------------
+  uint64_t total_pops() const { return total_pops_; }
+  uint64_t total_settled() const { return total_settled_; }
+  uint64_t total_stalled() const { return total_stalled_; }
+  void ResetStats() {
+    total_pops_ = total_settled_ = total_stalled_ = 0;
+  }
+
+ private:
+  struct Side {
+    std::vector<Weight> dist;
+    std::vector<uint32_t> version;
+    std::vector<char> settled;
+    // Search-tree parent and the CH edge that reached the vertex (for
+    // unpacking): fwd parent edge is `parent -> v`, bwd is `v -> parent`.
+    std::vector<VertexId> parent;
+    std::vector<Weight> parent_weight;
+    std::vector<VertexId> parent_middle;
+  };
+
+  /// One CH edge (possibly a shortcut) along an unpacked path.
+  struct Seg {
+    VertexId from;
+    VertexId to;
+    Weight weight;
+    VertexId middle;
+  };
+
+  void Touch(Side& side, VertexId v);
+  /// Left-associated sum of the original-edge weights along the unpacked
+  /// s -> meet -> t path (the value Dijkstra would have accumulated).
+  Weight UnpackSum(VertexId source, VertexId target, VertexId meet);
+
+  const CHIndex* index_;
+  Side fwd_;
+  Side bwd_;
+  // Unpack scratch, reused across queries like the Side arrays.
+  std::vector<Seg> unpack_chain_;
+  std::vector<Seg> unpack_rev_;
+  std::vector<Seg> unpack_stack_;
+  uint32_t generation_ = 0;
+  uint64_t total_pops_ = 0;
+  uint64_t total_settled_ = 0;
+  uint64_t total_stalled_ = 0;
+};
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_CH_H_

@@ -1,26 +1,22 @@
 #include "roadnet/distance_oracle.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/string_util.h"
 
 namespace ptrider::roadnet {
 
-const char* SpAlgorithmName(SpAlgorithm algo) {
-  switch (algo) {
-    case SpAlgorithm::kDijkstra:
-      return "dijkstra";
-    case SpAlgorithm::kBidirectional:
-      return "bidirectional";
-    case SpAlgorithm::kAStar:
-      return "astar";
-  }
-  return "unknown";
-}
-
 DistanceOracle::DistanceOracle(const RoadNetwork& graph,
                                DistanceOracleOptions options)
-    : graph_(&graph), options_(options) {
+    : DistanceOracle(graph, options, nullptr) {}
+
+DistanceOracle::DistanceOracle(const RoadNetwork& graph,
+                               DistanceOracleOptions options,
+                               std::shared_ptr<const CHIndex> shared_ch)
+    : graph_(&graph),
+      options_(options),
+      cache_(options.cache_capacity) {
   switch (options_.algorithm) {
     case SpAlgorithm::kDijkstra:
       dijkstra_ = std::make_unique<DijkstraEngine>(graph);
@@ -31,15 +27,30 @@ DistanceOracle::DistanceOracle(const RoadNetwork& graph,
     case SpAlgorithm::kAStar:
       astar_ = std::make_unique<AStarEngine>(graph);
       break;
+    case SpAlgorithm::kContractionHierarchy:
+      // Preprocessing runs once; clones receive the built index.
+      ch_index_ = shared_ch != nullptr
+                      ? std::move(shared_ch)
+                      : std::make_shared<const CHIndex>(
+                            CHIndex::Build(graph));
+      ch_query_ = std::make_unique<CHQuery>(*ch_index_);
+      break;
   }
 }
 
 DistanceOracle DistanceOracle::Clone() const {
-  // The graph reference is shared (it is immutable); engines rebuild
-  // their O(|V|) scratch arrays, and the cache/stats start empty. Cached
-  // values are exact, so a cold cache changes effort counters only,
-  // never a distance.
-  return DistanceOracle(*graph_, options_);
+  // The graph reference and any precomputed table (the CHIndex) are
+  // shared — both are immutable; engines rebuild their O(|V|) scratch
+  // arrays, and the cache/stats start empty. Cached values are exact,
+  // so a cold cache changes effort counters only, never a distance.
+  return CloneWith(options_);
+}
+
+DistanceOracle DistanceOracle::CloneWith(
+    DistanceOracleOptions options) const {
+  return DistanceOracle(
+      *graph_, options,
+      options.algorithm == options_.algorithm ? ch_index_ : nullptr);
 }
 
 Weight DistanceOracle::ComputeDistance(VertexId u, VertexId v) {
@@ -51,18 +62,10 @@ Weight DistanceOracle::ComputeDistance(VertexId u, VertexId v) {
       return bidirectional_->Distance(u, v);
     case SpAlgorithm::kAStar:
       return astar_->Distance(u, v);
+    case SpAlgorithm::kContractionHierarchy:
+      return ch_query_->Distance(u, v);
   }
   return kInfWeight;
-}
-
-void DistanceOracle::CacheInsert(uint64_t key, Weight value) {
-  if (options_.cache_capacity == 0) return;
-  if (lru_.size() >= options_.cache_capacity) {
-    cache_.erase(lru_.back().key);
-    lru_.pop_back();
-  }
-  lru_.push_front({key, value});
-  cache_[key] = lru_.begin();
 }
 
 Weight DistanceOracle::Distance(VertexId u, VertexId v) {
@@ -75,25 +78,26 @@ Weight DistanceOracle::Distance(VertexId u, VertexId v) {
   VertexId b = v;
   if (options_.symmetric && a > b) std::swap(a, b);
   const uint64_t key = Key(a, b);
-  if (options_.cache_capacity > 0) {
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++cache_hits_;
-      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-      return it->second->value;
-    }
+  if (const Weight* hit = cache_.Find(key)) {
+    ++cache_hits_;
+    return *hit;
   }
   const Weight d = ComputeDistance(a, b);
-  CacheInsert(key, d);
+  cache_.Insert(key, d);
   return d;
 }
 
 util::Result<std::vector<VertexId>> DistanceOracle::ShortestPath(
     VertexId u, VertexId v) {
+  // Path queries share Distance's accounting: every call is a query;
+  // non-trivial ones execute (and count) one exact search, whose heap
+  // pops the lazily built engine already folds into heap_pops().
+  ++queries_;
   if (!graph_->IsValidVertex(u) || !graph_->IsValidVertex(v)) {
     return util::Status::InvalidArgument("invalid path endpoints");
   }
   if (u == v) return std::vector<VertexId>{u};
+  ++computed_;
   // Path extraction always uses A* (exact given geometric lower bounds;
   // plain Dijkstra otherwise) regardless of the distance algorithm.
   if (!astar_) astar_ = std::make_unique<AStarEngine>(*graph_);
@@ -110,6 +114,7 @@ uint64_t DistanceOracle::heap_pops() const {
   if (dijkstra_) pops += dijkstra_->total_pops();
   if (bidirectional_) pops += bidirectional_->total_pops();
   if (astar_) pops += astar_->total_pops();
+  if (ch_query_) pops += ch_query_->total_pops();
   return pops;
 }
 
@@ -120,6 +125,7 @@ void DistanceOracle::ResetStats() {
   if (dijkstra_) dijkstra_->ResetStats();
   if (bidirectional_) bidirectional_->ResetStats();
   if (astar_) astar_->ResetStats();
+  if (ch_query_) ch_query_->ResetStats();
 }
 
 }  // namespace ptrider::roadnet

@@ -2,28 +2,20 @@
 #define PTRIDER_ROADNET_DISTANCE_ORACLE_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "roadnet/astar.h"
 #include "roadnet/bidirectional_dijkstra.h"
+#include "roadnet/ch.h"
 #include "roadnet/dijkstra.h"
 #include "roadnet/graph.h"
+#include "roadnet/pair_cache.h"
+#include "roadnet/sp_algorithm.h"
 #include "roadnet/types.h"
 #include "util/status.h"
 
 namespace ptrider::roadnet {
-
-/// Point-to-point algorithm selection for the oracle.
-enum class SpAlgorithm {
-  kDijkstra,
-  kBidirectional,
-  kAStar,
-};
-
-const char* SpAlgorithmName(SpAlgorithm algo);
 
 struct DistanceOracleOptions {
   SpAlgorithm algorithm = SpAlgorithm::kAStar;
@@ -50,19 +42,33 @@ class DistanceOracle {
   /// with the same algorithm/options. Per-query scratch — search-engine
   /// working arrays, the LRU cache, the statistics counters — is
   /// duplicated fresh, so the clone and the original can serve queries
-  /// from different threads concurrently. Any future precomputed
-  /// distance tables (landmarks, hub labels) must likewise be shared
-  /// read-only here, never duplicated per clone.
+  /// from different threads concurrently. Precomputed distance tables
+  /// are shared read-only here, never duplicated per clone: under
+  /// kContractionHierarchy every clone queries the one CHIndex the
+  /// first oracle built (see ch_index()).
   DistanceOracle Clone() const;
+
+  /// Clone with different per-clone options (cache capacity, symmetry
+  /// flag). Shared precomputed tables are reused when the algorithm is
+  /// unchanged; switching algorithms builds the new engine fresh
+  /// (including CH preprocessing when switching *to*
+  /// kContractionHierarchy).
+  DistanceOracle CloneWith(DistanceOracleOptions options) const;
 
   /// Exact shortest-path distance (kInfWeight when unreachable).
   Weight Distance(VertexId u, VertexId v);
 
   /// Exact shortest path as a vertex sequence (u..v inclusive); error when
-  /// unreachable. Paths are not cached.
+  /// unreachable. Paths are not cached; each call counts as one query and
+  /// one computed search (trivial u == v paths count as query only,
+  /// mirroring Distance's accounting).
   util::Result<std::vector<VertexId>> ShortestPath(VertexId u, VertexId v);
 
   const RoadNetwork& graph() const { return *graph_; }
+
+  /// The shared contraction-hierarchy index; null unless the algorithm
+  /// is kContractionHierarchy. Clones return the same pointer.
+  const CHIndex* ch_index() const { return ch_index_.get(); }
 
   // --- Statistics ---------------------------------------------------------
   uint64_t queries() const { return queries_; }
@@ -78,8 +84,10 @@ class DistanceOracle {
            static_cast<uint32_t>(v);
   }
 
+  DistanceOracle(const RoadNetwork& graph, DistanceOracleOptions options,
+                 std::shared_ptr<const CHIndex> shared_ch);
+
   Weight ComputeDistance(VertexId u, VertexId v);
-  void CacheInsert(uint64_t key, Weight value);
 
   const RoadNetwork* graph_;
   DistanceOracleOptions options_;
@@ -87,14 +95,12 @@ class DistanceOracle {
   std::unique_ptr<DijkstraEngine> dijkstra_;
   std::unique_ptr<BidirectionalDijkstra> bidirectional_;
   std::unique_ptr<AStarEngine> astar_;
+  /// kContractionHierarchy: the immutable index, shared across clones...
+  std::shared_ptr<const CHIndex> ch_index_;
+  /// ...and this oracle's private query scratch over it.
+  std::unique_ptr<CHQuery> ch_query_;
 
-  // LRU cache: map key -> list iterator; list front = most recent.
-  struct CacheEntry {
-    uint64_t key;
-    Weight value;
-  };
-  std::list<CacheEntry> lru_;
-  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_;
+  PairCache cache_;
 
   uint64_t queries_ = 0;
   uint64_t cache_hits_ = 0;

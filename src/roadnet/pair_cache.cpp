@@ -1,0 +1,132 @@
+#include "roadnet/pair_cache.h"
+
+#include <cassert>
+
+#include "util/random.h"
+
+namespace ptrider::roadnet {
+
+namespace {
+constexpr size_t kMinSlots = 64;
+}  // namespace
+
+PairCache::PairCache(size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) return;
+  // Pool indices are 32-bit; kNil is reserved.
+  if (capacity_ > 0xFFFFFFFEu) capacity_ = 0xFFFFFFFEu;
+  // Start small and grow with use (Rehash doubles at load 1/2), so a
+  // cold clone with the default 2^20-entry budget costs no more memory
+  // than the node-based cache it replaces did.
+  table_.assign(kMinSlots, kNil);
+  mask_ = table_.size() - 1;
+}
+
+size_t PairCache::Hash(uint64_t key) {
+  // Pair keys are two packed vertex ids, heavily clustered in the low
+  // bits — run them through the shared SplitMix64 mix before masking.
+  uint64_t state = key;
+  return static_cast<size_t>(util::SplitMix64(state));
+}
+
+const Weight* PairCache::Find(uint64_t key) {
+  if (capacity_ == 0) return nullptr;
+  size_t i = Hash(key) & mask_;
+  while (table_[i] != kNil) {
+    const uint32_t idx = table_[i];
+    if (entries_[idx].key == key) {
+      MoveToFront(idx);
+      return &entries_[idx].value;
+    }
+    i = (i + 1) & mask_;
+  }
+  return nullptr;
+}
+
+void PairCache::Insert(uint64_t key, Weight value) {
+  if (capacity_ == 0) return;
+  uint32_t idx;
+  if (entries_.size() >= capacity_) {
+    // Recycle the least-recently-used entry in place.
+    idx = tail_;
+    TableErase(entries_[idx].key);
+    tail_ = entries_[idx].prev;
+    if (tail_ != kNil) {
+      entries_[tail_].next = kNil;
+    } else {
+      head_ = kNil;
+    }
+  } else {
+    if ((entries_.size() + 1) * 2 > table_.size()) {
+      Rehash(table_.size() * 2);  // keep load factor <= 1/2
+    }
+    idx = static_cast<uint32_t>(entries_.size());
+    entries_.push_back({});
+  }
+  entries_[idx].key = key;
+  entries_[idx].value = value;
+  PushFront(idx);
+  TableInsert(key, idx);
+}
+
+void PairCache::MoveToFront(uint32_t idx) {
+  if (idx == head_) return;
+  Entry& e = entries_[idx];
+  entries_[e.prev].next = e.next;
+  if (e.next != kNil) {
+    entries_[e.next].prev = e.prev;
+  } else {
+    tail_ = e.prev;
+  }
+  PushFront(idx);
+}
+
+void PairCache::PushFront(uint32_t idx) {
+  Entry& e = entries_[idx];
+  e.prev = kNil;
+  e.next = head_;
+  if (head_ != kNil) entries_[head_].prev = idx;
+  head_ = idx;
+  if (tail_ == kNil) tail_ = idx;
+}
+
+void PairCache::Rehash(size_t new_slots) {
+  table_.assign(new_slots, kNil);
+  mask_ = new_slots - 1;
+  for (uint32_t idx = 0; idx < entries_.size(); ++idx) {
+    TableInsert(entries_[idx].key, idx);
+  }
+}
+
+void PairCache::TableInsert(uint64_t key, uint32_t idx) {
+  size_t i = Hash(key) & mask_;
+  while (table_[i] != kNil) {
+    assert(entries_[table_[i]].key != key);
+    i = (i + 1) & mask_;
+  }
+  table_[i] = idx;
+}
+
+void PairCache::TableErase(uint64_t key) {
+  size_t i = Hash(key) & mask_;
+  while (table_[i] == kNil || entries_[table_[i]].key != key) {
+    assert(table_[i] != kNil);  // erase of an absent key
+    i = (i + 1) & mask_;
+  }
+  // Backward-shift deletion: close the gap by pulling back any later
+  // cluster member whose home slot precedes the hole, so probe runs
+  // stay unbroken without tombstones.
+  size_t hole = i;
+  size_t j = i;
+  while (true) {
+    j = (j + 1) & mask_;
+    if (table_[j] == kNil) break;
+    const size_t home = Hash(entries_[table_[j]].key) & mask_;
+    if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+      table_[hole] = table_[j];
+      hole = j;
+    }
+  }
+  table_[hole] = kNil;
+}
+
+}  // namespace ptrider::roadnet

@@ -1,0 +1,69 @@
+#ifndef PTRIDER_ROADNET_PAIR_CACHE_H_
+#define PTRIDER_ROADNET_PAIR_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/types.h"
+
+namespace ptrider::roadnet {
+
+/// Flat LRU cache for (vertex-pair key -> distance), replacing the old
+/// std::list + std::unordered_map pair: entries live in one contiguous
+/// pool linked by 32-bit indices (recency list), and an open-addressing
+/// table with linear probing maps keys to pool slots. Hits and evictions
+/// touch no allocator and splice no list nodes — a hit is one probe run
+/// plus four index writes. Semantics match the classic LRU exactly:
+/// Find marks the entry most-recently-used; Insert at capacity evicts
+/// the least-recently-used entry.
+///
+/// Storage grows geometrically with use (like the node-based version)
+/// and tops out at `capacity` entries. Keys must never be ~0ULL (vertex
+/// pair keys cannot be: vertex ids are non-negative int32).
+class PairCache {
+ public:
+  /// `capacity` == 0 disables the cache (Find misses, Insert drops).
+  explicit PairCache(size_t capacity);
+
+  /// The cached value, marked most-recently-used — or nullptr. The
+  /// pointer is valid until the next Insert.
+  const Weight* Find(uint64_t key);
+
+  /// Inserts a key not currently present (checked only by assert);
+  /// evicts the least-recently-used entry when full.
+  void Insert(uint64_t key, Weight value);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    Weight value;
+    uint32_t prev;  // toward most-recently-used
+    uint32_t next;  // toward least-recently-used
+  };
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  static size_t Hash(uint64_t key);
+
+  void MoveToFront(uint32_t idx);
+  void PushFront(uint32_t idx);
+  /// Grows the slot table and re-inserts every live entry.
+  void Rehash(size_t new_slots);
+  void TableInsert(uint64_t key, uint32_t idx);
+  /// Removes `key`'s slot with backward-shift deletion (no tombstones).
+  void TableErase(uint64_t key);
+
+  size_t capacity_;
+  std::vector<Entry> entries_;   // stable pool; index = identity
+  std::vector<uint32_t> table_;  // open addressing: slot -> pool index
+  size_t mask_ = 0;              // table_.size() - 1 (power of two)
+  uint32_t head_ = kNil;         // most-recently-used
+  uint32_t tail_ = kNil;         // least-recently-used
+};
+
+}  // namespace ptrider::roadnet
+
+#endif  // PTRIDER_ROADNET_PAIR_CACHE_H_

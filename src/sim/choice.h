@@ -42,7 +42,7 @@ struct ChoiceContext {
   /// Fare floor of this request (the policy's MinPrice for its direct
   /// distance); set per request by the simulator. Policy-relative: a
   /// discount policy's floor is the fully-discounted fare, surge's the
-  /// un-surged one (see DESIGN.md section 7 before comparing decline
+  /// un-surged one (see DESIGN.md section 8 before comparing decline
   /// rates across policies).
   double floor_price = 0.0;
 };

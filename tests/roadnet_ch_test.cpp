@@ -1,0 +1,195 @@
+// Contraction-hierarchy correctness (DESIGN.md section 7). The load-
+// bearing property: CH distances are BIT-identical to DijkstraEngine —
+// the query unpacks its up-down path into original edges and re-sums
+// them in path order, so the acceptance tests here use exact EXPECT_EQ
+// on doubles, not tolerances. Identical distances are what make the
+// whole simulation invariant under Config::sp_algorithm.
+
+#include "roadnet/ch.h"
+
+#include <gtest/gtest.h>
+
+#include "roadnet/dijkstra.h"
+#include "roadnet/distance_oracle.h"
+#include "roadnet/graph_generator.h"
+#include "roadnet/paper_example.h"
+#include "util/random.h"
+
+namespace ptrider::roadnet {
+namespace {
+
+void ExpectBitIdentical(const RoadNetwork& g, int pairs, uint64_t seed,
+                        const char* label) {
+  const CHIndex index = CHIndex::Build(g);
+  CHQuery ch(index);
+  DijkstraEngine dij(g);
+  util::Rng rng(seed);
+  const auto random_vertex = [&] {
+    return static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g.NumVertices()) - 1));
+  };
+  for (int i = 0; i < pairs; ++i) {
+    const VertexId u = random_vertex();
+    const VertexId v = random_vertex();
+    const Weight expected = dij.Distance(u, v);
+    EXPECT_EQ(ch.Distance(u, v), expected)
+        << label << ": v" << u << " -> v" << v;
+  }
+}
+
+TEST(CHPropertyTest, BitIdenticalToDijkstraOnCityGrids) {
+  for (const uint64_t graph_seed : {1ULL, 9ULL, 20090529ULL}) {
+    CityGridOptions opts;
+    opts.rows = 11;
+    opts.cols = 13;
+    opts.seed = graph_seed;
+    auto g = MakeCityGrid(opts);
+    ASSERT_TRUE(g.ok());
+    ExpectBitIdentical(*g, 250, /*seed=*/graph_seed * 7 + 3, "city");
+  }
+}
+
+TEST(CHPropertyTest, BitIdenticalToDijkstraOnRingCity) {
+  RingCityOptions opts;
+  opts.rings = 7;
+  opts.spokes = 12;
+  opts.seed = 5;
+  auto g = MakeRingCity(opts);
+  ASSERT_TRUE(g.ok());
+  ExpectBitIdentical(*g, 250, /*seed=*/17, "ring");
+}
+
+TEST(CHPropertyTest, PaperExampleKnownDistances) {
+  const PaperExampleNetwork ex = MakePaperExampleNetwork();
+  const CHIndex index = CHIndex::Build(ex.graph);
+  CHQuery ch(index);
+  DijkstraEngine dij(ex.graph);
+  for (int a = 1; a <= 17; ++a) {
+    for (int b = 1; b <= 17; ++b) {
+      EXPECT_EQ(ch.Distance(ex.v(a), ex.v(b)),
+                dij.Distance(ex.v(a), ex.v(b)))
+          << "v" << a << " -> v" << b;
+    }
+  }
+  EXPECT_DOUBLE_EQ(ch.Distance(ex.v(2), ex.v(16)), 12.0);
+}
+
+TEST(CHPropertyTest, DirectedAsymmetricGraph) {
+  // One-way streets: CH must respect edge direction, not assume the
+  // symmetric networks the generators produce.
+  GraphBuilder b;
+  const VertexId a = b.AddVertex({0, 0});
+  const VertexId c = b.AddVertex({1, 0});
+  const VertexId d = b.AddVertex({2, 0});
+  const VertexId e = b.AddVertex({1, 1});
+  ASSERT_TRUE(b.AddEdge(a, c, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(c, d, 1.0).ok());
+  ASSERT_TRUE(b.AddEdge(d, e, 1.5).ok());
+  ASSERT_TRUE(b.AddEdge(e, a, 1.5).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const CHIndex index = CHIndex::Build(*g);
+  CHQuery ch(index);
+  DijkstraEngine dij(*g);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = 0; v < 4; ++v) {
+      EXPECT_EQ(ch.Distance(u, v), dij.Distance(u, v))
+          << u << " -> " << v;
+    }
+  }
+  // The cycle makes a -> c cheap but c -> a the long way round.
+  EXPECT_DOUBLE_EQ(ch.Distance(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(ch.Distance(c, a), 4.0);
+}
+
+TEST(CHPropertyTest, DisconnectedPairsAreInfinite) {
+  GraphBuilder b;
+  const VertexId a = b.AddVertex({0, 0});
+  const VertexId c = b.AddVertex({1, 0});
+  const VertexId d = b.AddVertex({9, 9});
+  const VertexId e = b.AddVertex({10, 9});
+  ASSERT_TRUE(b.AddUndirectedEdge(a, c, 1.0).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(d, e, 1.0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const CHIndex index = CHIndex::Build(*g);
+  CHQuery ch(index);
+  EXPECT_EQ(ch.Distance(a, d), kInfWeight);
+  EXPECT_EQ(ch.Distance(d, a), kInfWeight);
+  EXPECT_DOUBLE_EQ(ch.Distance(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(ch.Distance(d, e), 1.0);
+}
+
+TEST(CHPropertyTest, TrivialAndInvalidQueries) {
+  CityGridOptions opts;
+  opts.rows = 6;
+  opts.cols = 6;
+  auto g = MakeCityGrid(opts);
+  ASSERT_TRUE(g.ok());
+  const CHIndex index = CHIndex::Build(*g);
+  CHQuery ch(index);
+  EXPECT_DOUBLE_EQ(ch.Distance(3, 3), 0.0);
+  EXPECT_EQ(ch.Distance(-1, 3), kInfWeight);
+  EXPECT_EQ(ch.Distance(3, static_cast<VertexId>(g->NumVertices())),
+            kInfWeight);
+}
+
+TEST(CHIndexTest, BuildIsDeterministicAndRanksArePermutation) {
+  CityGridOptions opts;
+  opts.rows = 9;
+  opts.cols = 9;
+  opts.seed = 4;
+  auto g = MakeCityGrid(opts);
+  ASSERT_TRUE(g.ok());
+  const CHIndex a = CHIndex::Build(*g);
+  const CHIndex b = CHIndex::Build(*g);
+  ASSERT_EQ(a.NumVertices(), g->NumVertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_shortcuts(), b.num_shortcuts());
+  std::vector<char> seen(a.NumVertices(), 0);
+  for (VertexId v = 0; v < static_cast<VertexId>(a.NumVertices()); ++v) {
+    EXPECT_EQ(a.Rank(v), b.Rank(v));
+    ASSERT_LT(a.Rank(v), a.NumVertices());
+    EXPECT_FALSE(seen[a.Rank(v)]) << "duplicate rank";
+    seen[a.Rank(v)] = 1;
+    // The hierarchy property: stored edges only point upward.
+    for (const CHIndex::Edge& e : a.UpEdges(v)) {
+      EXPECT_GT(a.Rank(e.other), a.Rank(v));
+    }
+    for (const CHIndex::Edge& e : a.DownEdges(v)) {
+      EXPECT_GT(a.Rank(e.other), a.Rank(v));
+    }
+  }
+  EXPECT_GT(a.MemoryBytes(), 0u);
+  EXPECT_GE(a.build_seconds(), 0.0);
+}
+
+TEST(CHQueryTest, SearchIsFarSmallerThanFullDijkstra) {
+  CityGridOptions opts;
+  opts.rows = 30;
+  opts.cols = 30;
+  opts.seed = 11;
+  auto g = MakeCityGrid(opts);
+  ASSERT_TRUE(g.ok());
+  const CHIndex index = CHIndex::Build(*g);
+  CHQuery ch(index);
+  util::Rng rng(23);
+  const int kQueries = 100;
+  for (int i = 0; i < kQueries; ++i) {
+    const auto u = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g->NumVertices()) - 1));
+    const auto v = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g->NumVertices()) - 1));
+    (void)ch.Distance(u, v);
+  }
+  EXPECT_GT(ch.total_pops(), 0u);
+  EXPECT_GE(ch.total_settled(), 0u);
+  // The point of the hierarchy: the average query settles a small
+  // fraction of the graph (a full Dijkstra settles ~half of it).
+  EXPECT_LT(ch.total_settled() / kQueries, g->NumVertices() / 4);
+  ch.ResetStats();
+  EXPECT_EQ(ch.total_pops(), 0u);
+}
+
+}  // namespace
+}  // namespace ptrider::roadnet

@@ -200,6 +200,58 @@ TEST(DistanceOracleTest, CacheEviction) {
   }
 }
 
+TEST(DistanceOracleTest, CacheEvictsLeastRecentlyUsed) {
+  // Pin the flat cache's LRU semantics: a hit refreshes recency, an
+  // insert at capacity evicts the stalest pair. Observed through
+  // computed(): a re-query of a cached pair leaves it unchanged.
+  const RoadNetwork g = SmallCity();
+  DistanceOracleOptions opts;
+  opts.cache_capacity = 3;
+  DistanceOracle oracle(g, opts);
+  oracle.Distance(0, 1);  // A
+  oracle.Distance(0, 2);  // B
+  oracle.Distance(0, 3);  // C    recency: C B A
+  EXPECT_EQ(oracle.computed(), 3u);
+
+  oracle.Distance(0, 1);  // hit A  recency: A C B
+  EXPECT_EQ(oracle.cache_hits(), 1u);
+  EXPECT_EQ(oracle.computed(), 3u);
+
+  oracle.Distance(0, 4);  // D evicts B (LRU), not A: recency D A C
+  EXPECT_EQ(oracle.computed(), 4u);
+
+  oracle.Distance(0, 1);  // A survived its refresh
+  oracle.Distance(0, 3);  // C survived
+  EXPECT_EQ(oracle.cache_hits(), 3u);
+  EXPECT_EQ(oracle.computed(), 4u);
+
+  oracle.Distance(0, 2);  // B was evicted: recomputes (evicting D)
+  EXPECT_EQ(oracle.cache_hits(), 3u);
+  EXPECT_EQ(oracle.computed(), 5u);
+
+  oracle.Distance(0, 4);  // and D is gone in turn
+  EXPECT_EQ(oracle.computed(), 6u);
+}
+
+TEST(DistanceOracleTest, CacheChurnStaysConsistent) {
+  // Heavy insert/hit/evict mix over a tiny capacity: the open-addressing
+  // table's backward-shift deletions must never lose or corrupt entries.
+  const RoadNetwork g = SmallCity();
+  DistanceOracleOptions opts;
+  opts.cache_capacity = 16;
+  DistanceOracle oracle(g, opts);
+  DijkstraEngine ref(g);
+  util::Rng rng(2024);
+  for (int i = 0; i < 3000; ++i) {
+    const auto u = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g.NumVertices()) - 1));
+    const auto v = static_cast<VertexId>(rng.UniformInt(0, 12));
+    EXPECT_DOUBLE_EQ(oracle.Distance(u, v), ref.Distance(u, v));
+  }
+  EXPECT_EQ(oracle.queries(), 3000u);
+  EXPECT_GT(oracle.cache_hits(), 0u);
+}
+
 TEST(DistanceOracleTest, AllAlgorithmsAgree) {
   const RoadNetwork g = SmallCity();
   DistanceOracleOptions base;
@@ -207,7 +259,7 @@ TEST(DistanceOracleTest, AllAlgorithmsAgree) {
   util::Rng rng(42);
   for (const SpAlgorithm algo :
        {SpAlgorithm::kDijkstra, SpAlgorithm::kBidirectional,
-        SpAlgorithm::kAStar}) {
+        SpAlgorithm::kAStar, SpAlgorithm::kContractionHierarchy}) {
     DistanceOracleOptions opts = base;
     opts.algorithm = algo;
     DistanceOracle oracle(g, opts);
@@ -221,6 +273,42 @@ TEST(DistanceOracleTest, AllAlgorithmsAgree) {
           << SpAlgorithmName(algo);
     }
   }
+}
+
+TEST(DistanceOracleTest, ShortestPathCountsAsQuery) {
+  // Path queries used to run a hidden A* whose heap pops surfaced in
+  // heap_pops() while queries()/computed() never moved — the per-search
+  // effort ratios were skewed. They now share Distance's accounting.
+  const RoadNetwork g = SmallCity();
+  DistanceOracleOptions opts;
+  opts.algorithm = SpAlgorithm::kBidirectional;  // path engine is hidden
+  DistanceOracle oracle(g, opts);
+
+  auto path = oracle.ShortestPath(0, 40);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(oracle.queries(), 1u);
+  EXPECT_EQ(oracle.computed(), 1u);
+  EXPECT_GT(oracle.heap_pops(), 0u);  // the lazily built A* is counted
+
+  // Trivial path: a query, but no search — exactly like Distance(v, v).
+  ASSERT_TRUE(oracle.ShortestPath(5, 5).ok());
+  EXPECT_EQ(oracle.queries(), 2u);
+  EXPECT_EQ(oracle.computed(), 1u);
+
+  // Invalid endpoints: counted as a query, like Distance's screening.
+  EXPECT_FALSE(oracle.ShortestPath(-1, 2).ok());
+  EXPECT_EQ(oracle.queries(), 3u);
+  EXPECT_EQ(oracle.computed(), 1u);
+
+  // Paths are not cached: the same pair searches again.
+  ASSERT_TRUE(oracle.ShortestPath(0, 40).ok());
+  EXPECT_EQ(oracle.queries(), 4u);
+  EXPECT_EQ(oracle.computed(), 2u);
+  EXPECT_EQ(oracle.cache_hits(), 0u);
+
+  // And ResetStats clears the path engine's pops too.
+  oracle.ResetStats();
+  EXPECT_EQ(oracle.heap_pops(), 0u);
 }
 
 TEST(DistanceOracleTest, ShortestPathExtraction) {

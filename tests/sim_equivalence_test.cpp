@@ -85,6 +85,68 @@ TEST(SimEquivalenceTest, WholeSimulationIdenticalAcrossMatchers) {
             single.vehicles_examined.sum() + 1e-9);
 }
 
+TEST(SimEquivalenceTest, WholeSimulationIdenticalAcrossSpAlgorithms) {
+  // Every Config::sp_algorithm returns bit-identical distances
+  // (DESIGN.md section 7), and distances are the only thing the oracle
+  // feeds the matchers — so the entire simulation, rider choices and
+  // fleet movement included, must be invariant under the engine choice.
+  roadnet::CityGridOptions gopts;
+  gopts.rows = 12;
+  gopts.cols = 12;
+  gopts.seed = 77;
+  auto graph = roadnet::MakeCityGrid(gopts);
+  ASSERT_TRUE(graph.ok());
+  HotspotWorkloadOptions wopts;
+  wopts.num_trips = 90;
+  wopts.duration_s = 1200.0;
+  wopts.seed = 31;
+  auto trips = GenerateHotspotTrips(*graph, wopts);
+  ASSERT_TRUE(trips.ok());
+
+  const auto run_with = [&](roadnet::SpAlgorithm algo) {
+    core::Config cfg;
+    cfg.sp_algorithm = algo;
+    cfg.default_service_sigma = 0.4;
+    cfg.max_planned_pickup_s = 600.0;
+    auto sys = core::PTRider::Create(*graph, cfg);
+    EXPECT_TRUE(sys.ok());
+    EXPECT_TRUE((*sys)->InitFleetUniform(35, /*seed=*/4).ok());
+    SimulatorOptions sopts;
+    sopts.seed = 12;
+    sopts.choice.model = RiderChoiceModel::kCheapest;
+    Simulator sim(**sys, sopts);
+    auto report = sim.Run(*trips);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  };
+
+  // kBidirectional is deliberately absent: its meet-in-the-middle sum
+  // (dist_f + dist_b) rounds differently from a left-to-right path sum,
+  // so it is ULP-close but not bit-identical — a pre-existing property
+  // of that engine. Dijkstra, A* and CH all accumulate the shortest
+  // path's original edges in path order and agree exactly.
+  const SimulationReport astar = run_with(roadnet::SpAlgorithm::kAStar);
+  ASSERT_GT(astar.requests_assigned, 40);
+  for (const roadnet::SpAlgorithm algo :
+       {roadnet::SpAlgorithm::kDijkstra,
+        roadnet::SpAlgorithm::kContractionHierarchy}) {
+    const SimulationReport r = run_with(algo);
+    EXPECT_EQ(r.requests_submitted, astar.requests_submitted);
+    EXPECT_EQ(r.requests_assigned, astar.requests_assigned);
+    EXPECT_EQ(r.requests_unserved, astar.requests_unserved);
+    EXPECT_EQ(r.requests_completed, astar.requests_completed);
+    EXPECT_EQ(r.requests_shared, astar.requests_shared);
+    EXPECT_EQ(r.fleet_total_distance_m, astar.fleet_total_distance_m);
+    EXPECT_EQ(r.fleet_occupied_distance_m,
+              astar.fleet_occupied_distance_m);
+    EXPECT_EQ(r.fleet_shared_distance_m, astar.fleet_shared_distance_m);
+    EXPECT_EQ(r.quoted_price.sum(), astar.quoted_price.sum());
+    EXPECT_EQ(r.pickup_wait_s.sum(), astar.pickup_wait_s.sum());
+    EXPECT_EQ(r.options_per_request.sum(),
+              astar.options_per_request.sum());
+  }
+}
+
 TEST(SimEquivalenceTest, ScheduleCapTradesOutcomeNotCorrectness) {
   // With max_schedules_per_vehicle = 1, the system still serves riders
   // and every invariant holds; it may just assign fewer (less
