@@ -25,7 +25,7 @@ PTRider::PTRider(const roadnet::RoadNetwork& graph, Config config,
       config_(config),
       grid_(std::move(grid)),
       oracle_(graph, OracleOptions(config)),
-      vehicle_index_(grid_),
+      vehicle_index_(grid_, static_cast<size_t>(config.index_shards)),
       pricing_(std::move(pricing)) {
   match_context_.graph = graph_;
   match_context_.grid = &grid_;
@@ -139,15 +139,19 @@ util::Result<MatchResult> PTRider::SubmitRequest(
         "request %lld already assigned",
         static_cast<long long>(request.id)));
   }
-  // Demand signal first: the surge multiplier quoting this request already
-  // reflects it (a burst surges its own members, not just their
-  // successors).
+  // Quote-time decay first — stale demand windows must never outlive a
+  // lull into this quote — then the demand signal: the surge multiplier
+  // quoting this request already reflects it (a burst surges its own
+  // members, not just their successors).
+  pricing_->Decay(now_s);
   pricing_->RecordRequest(now_s);
   return matcher().Match(request, MakeScheduleContext(now_s));
 }
 
 util::Status PTRider::ChooseOption(const vehicle::Request& request,
-                                   const Option& option, double now_s) {
+                                   const Option& option, double now_s,
+                                   std::vector<vehicle::PendingUpdate>*
+                                       deferred_reindex) {
   if (!fleet_.IsValid(option.vehicle)) {
     return util::Status::InvalidArgument("option names an unknown vehicle");
   }
@@ -157,7 +161,11 @@ util::Status PTRider::ChooseOption(const vehicle::Request& request,
       request, option.pickup_distance, option.price,
       MakeScheduleContext(now_s), dist));
   assignments_[request.id] = {option.vehicle, false};
-  vehicle_index_.Update(v);
+  if (deferred_reindex != nullptr) {
+    deferred_reindex->push_back(vehicle_index_.Prepare(v));
+  } else {
+    vehicle_index_.Update(v);
+  }
   return util::Status::Ok();
 }
 
@@ -178,7 +186,7 @@ util::Status PTRider::CancelRequest(vehicle::RequestId id) {
 util::Status PTRider::UpdateVehicleLocation(
     vehicle::VehicleId id, roadnet::VertexId new_location,
     double meters_moved, double now_s,
-    const std::vector<vehicle::Stop>& executing) {
+    const std::vector<vehicle::Stop>& executing, bool reindex) {
   if (!fleet_.IsValid(id)) {
     return util::Status::InvalidArgument("unknown vehicle");
   }
@@ -191,7 +199,7 @@ util::Status PTRider::UpdateVehicleLocation(
   PTRIDER_RETURN_IF_ERROR(v.mutable_tree().AdvanceTo(
       new_location, meters_moved, MakeScheduleContext(now_s), dist,
       executing));
-  vehicle_index_.Update(v);
+  if (reindex) vehicle_index_.Update(v);
   return util::Status::Ok();
 }
 
@@ -250,7 +258,7 @@ util::Result<StopEvent> PTRider::VehicleArrivedAtStop(vehicle::VehicleId id,
 
 util::Status PTRider::CommitAdvancedVehicle(
     vehicle::VehicleId id, vehicle::Vehicle&& advanced,
-    std::vector<AdvanceStop>& stops) {
+    std::vector<AdvanceStop>& stops, bool reindex) {
   if (!fleet_.IsValid(id) || advanced.id() != id) {
     return util::Status::InvalidArgument("advanced state names an unknown vehicle");
   }
@@ -272,7 +280,7 @@ util::Status PTRider::CommitAdvancedVehicle(
       }
     }
   }
-  vehicle_index_.Update(v);
+  if (reindex) vehicle_index_.Update(v);
   return util::Status::Ok();
 }
 

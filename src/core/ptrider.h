@@ -107,9 +107,18 @@ class PTRider {
                             = nullptr) const;
 
   /// Step (iii): the rider chose `option`; commits the request to the
-  /// option's vehicle and updates the vehicle index.
+  /// option's vehicle and updates the vehicle index. When
+  /// `deferred_reindex` is non-null the index re-registration is
+  /// recorded there (vehicle::VehicleIndex::Prepare) instead of applied
+  /// — the batch dispatcher's commit phase queues registrations between
+  /// its re-match points and applies them shard-concurrently
+  /// (DESIGN.md section 10). Callers owning a deferred queue must flush
+  /// it (vehicle_index().ApplyBatch or dispatch::ApplyReindex) before
+  /// anything reads the index.
   util::Status ChooseOption(const vehicle::Request& request,
-                            const Option& option, double now_s);
+                            const Option& option, double now_s,
+                            std::vector<vehicle::PendingUpdate>*
+                                deferred_reindex = nullptr);
 
   /// Rider cancellation: removes an assigned, not-yet-picked-up request
   /// from its vehicle's schedules and updates the index. Fails for
@@ -119,12 +128,17 @@ class PTRider {
   // --- Vehicle updates ---------------------------------------------------------
   /// Location update: the vehicle moved `meters_moved` and now stands at
   /// `new_location`. `executing` is the stop sequence it is driving
-  /// (empty for idle cruising).
+  /// (empty for idle cruising). `reindex = false` skips the vehicle-index
+  /// re-registration — the simulator's movement commit marks the vehicle
+  /// dirty instead and re-registers every moved vehicle once, at the end
+  /// of the tick, shard-concurrently (DESIGN.md section 10); nothing may
+  /// read the index until that deferred pass ran.
   util::Status UpdateVehicleLocation(vehicle::VehicleId id,
                                      roadnet::VertexId new_location,
                                      double meters_moved, double now_s,
                                      const std::vector<vehicle::Stop>&
-                                         executing);
+                                         executing,
+                                     bool reindex = true);
 
   /// Pick-up / drop-off update: the vehicle is at its next scheduled stop.
   util::Result<StopEvent> VehicleArrivedAtStop(vehicle::VehicleId id,
@@ -142,9 +156,12 @@ class PTRider {
   /// phase simulated, because those mutations never feed back into the
   /// advance of any vehicle within the same tick. Must be called for
   /// vehicles in ascending id order, one commit per advanced vehicle.
+  /// `reindex = false` defers the index re-registration exactly like
+  /// UpdateVehicleLocation's flag does.
   util::Status CommitAdvancedVehicle(vehicle::VehicleId id,
                                      vehicle::Vehicle&& advanced,
-                                     std::vector<AdvanceStop>& stops);
+                                     std::vector<AdvanceStop>& stops,
+                                     bool reindex = true);
 
   // --- Accessors ---------------------------------------------------------------
   const Config& config() const { return config_; }

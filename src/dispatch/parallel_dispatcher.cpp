@@ -7,6 +7,7 @@
 #include "core/distance_providers.h"
 #include "core/dominance.h"
 #include "core/matcher.h"
+#include "dispatch/reindex.h"
 #include "util/timer.h"
 
 namespace ptrider::dispatch {
@@ -52,6 +53,11 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
   // demand-sensitive policies after each one; stateless policies are
   // shared directly (their quotes cannot change mid-batch).
   pricing::PricingPolicy& live_policy = system_->pricing_policy();
+  // Quote-time decay: even a batch with no valid request brings the
+  // demand window current, so no quote (or rate read) after a lull pays
+  // a stale surge. RecordRequest decays too, so the replay below is
+  // unaffected.
+  live_policy.Decay(now_s);
   const bool snapshot_pricing = live_policy.HasDemandState();
   std::vector<util::Status> valid(n);
   std::vector<std::unique_ptr<pricing::PricingPolicy>> snapshots(
@@ -93,6 +99,17 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
   std::vector<vehicle::VehicleId> dirty;  // vehicles committed this batch
   std::vector<char> is_dirty(system_->fleet().size(), 0);
 
+  // Commit-side index re-registrations are queued (in commit order) and
+  // applied shard-concurrently at the next point something reads the
+  // index: a full re-match below, or the end of the batch. The local
+  // re-probe path reads the fleet directly, so runs of re-probe-only
+  // commits never force a flush (DESIGN.md section 10).
+  std::vector<vehicle::PendingUpdate> pending_reindex;
+  const auto flush_reindex = [&] {
+    ApplyReindex(system_->vehicle_index(), pending_reindex, &pool_);
+    pending_reindex.clear();
+  };
+
   // Reconciles request i's phase-1 match with the in-batch commitments
   // made so far. Three cases, each preserving item-for-item equality
   // with the sequential dispatcher (DESIGN.md section 5):
@@ -120,6 +137,7 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
     const vehicle::Request& r = batch[i];
     for (const core::Option& o : m.options) {
       if (is_dirty[static_cast<size_t>(o.vehicle)]) {
+        flush_reindex();  // the full re-match walks the vehicle index
         m = system_->MatchReadOnly(r, now_s, system_->oracle(), &pricing);
         ++rematch_count_;
         return;
@@ -178,14 +196,23 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
     const std::optional<size_t> pick = chooser(batch[i], item.match);
     if (pick.has_value()) {
       if (*pick >= item.match.options.size()) {
+        // Error exits still flush: earlier commits in this batch
+        // mutated fleet state, and the index must not outlive the call
+        // disagreeing with it.
+        flush_reindex();
         return util::Status::OutOfRange("chooser returned a bad index");
       }
       const core::Option& option = item.match.options[*pick];
       // The option was computed against the exact live schedule of its
       // vehicle (phase-1 result only when no commit touched it), so the
       // commitment cannot race; surface any failure.
-      PTRIDER_RETURN_IF_ERROR(
-          system_->ChooseOption(batch[i], option, now_s));
+      const util::Status chosen =
+          system_->ChooseOption(batch[i], option, now_s,
+                                &pending_reindex);
+      if (!chosen.ok()) {
+        flush_reindex();
+        return chosen;
+      }
       item.assigned = true;
       item.chosen = option;
       if (!is_dirty[static_cast<size_t>(option.vehicle)]) {
@@ -195,6 +222,7 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
     }
     out.push_back(std::move(item));
   }
+  flush_reindex();
   commit_phase_seconds_ += phase_timer.ElapsedSeconds();
   return out;
 }

@@ -80,6 +80,18 @@ class PricingPolicy {
   /// default no-op.
   virtual void RecordRequest(double now_s) { (void)now_s; }
 
+  /// Quote-time decay hook: brings the demand state current to `now_s`
+  /// WITHOUT recording a request, so a demand lull lowers the next quote
+  /// instead of leaving it at the last burst's level. Called on the
+  /// quote path (PTRider::SubmitRequest, the dispatchers' batch entry)
+  /// before RecordRequest; RecordRequest must itself decay first, so
+  /// Decay(t) followed by RecordRequest(t) leaves exactly the state
+  /// RecordRequest(t) alone would — determinism across call patterns.
+  /// Must not change the MinPrice / EmptyVehiclePrice / PriceWithDetourLb
+  /// bounds (they are demand-free by contract). Policies without demand
+  /// state keep the default no-op.
+  virtual void Decay(double now_s) { (void)now_s; }
+
   /// True when RecordRequest changes subsequent quotes. The parallel
   /// dispatcher snapshots such policies per request (via Clone) so
   /// concurrently-matched requests see exactly the demand state a

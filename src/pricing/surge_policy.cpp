@@ -9,14 +9,32 @@ double SurgePolicy::rate_per_min() const {
   return 60.0 * static_cast<double>(window_.size()) / options_.window_s;
 }
 
-void SurgePolicy::RecordRequest(double now_s) {
+void SurgePolicy::EvictBefore(double now_s) {
   while (!window_.empty() && window_.front() <= now_s - options_.window_s) {
     window_.pop_front();
   }
-  window_.push_back(now_s);
+}
+
+void SurgePolicy::Recompute() {
   const double excess = rate_per_min() - options_.baseline_rate_per_min;
-  multiplier_ = std::clamp(1.0 + options_.gain_per_rate * std::max(0.0, excess),
-                           1.0, options_.max_multiplier);
+  multiplier_ = std::clamp(
+      1.0 + options_.gain_per_rate * std::max(0.0, excess), 1.0,
+      options_.max_multiplier);
+}
+
+void SurgePolicy::Decay(double now_s) {
+  EvictBefore(now_s);
+  Recompute();
+}
+
+void SurgePolicy::RecordRequest(double now_s) {
+  // Evict-then-record through the same helpers Decay uses, so
+  // Decay(t); RecordRequest(t) is byte-identical to RecordRequest(t)
+  // alone and the quote paths may decay defensively without perturbing
+  // the demand signal.
+  EvictBefore(now_s);
+  window_.push_back(now_s);
+  Recompute();
 }
 
 }  // namespace ptrider::pricing

@@ -60,6 +60,14 @@ class SurgePolicy : public PricingPolicy {
   }
 
   void RecordRequest(double now_s) override;
+  /// Evicts window entries older than `now_s - window_s` and recomputes
+  /// the multiplier — the quote-time decay that lets the surge come back
+  /// down after a demand lull (before this hook, the multiplier was only
+  /// recomputed inside RecordRequest, so every read between submissions
+  /// — Price on a quiet system, multiplier(), rate_per_min() — kept
+  /// reporting the last burst). Bounds are untouched: they quote the
+  /// un-surged fare (conservative contract above).
+  void Decay(double now_s) override;
   bool HasDemandState() const override { return true; }
   std::unique_ptr<PricingPolicy> Clone() const override {
     return std::make_unique<SurgePolicy>(*this);
@@ -77,6 +85,11 @@ class SurgePolicy : public PricingPolicy {
   double rate_per_min() const;
 
  private:
+  /// Drops window entries older than `now_s - window_s`.
+  void EvictBefore(double now_s);
+  /// Re-derives the multiplier from the current window.
+  void Recompute();
+
   core::PriceModel model_;
   SurgeOptions options_;
   /// Submission times inside the rolling window, oldest first.

@@ -269,9 +269,28 @@ Weight GridIndex::UpperBound(VertexId u, VertexId v) const {
 std::vector<CellId> GridIndex::CellsOfPath(
     std::span<const VertexId> path) const {
   std::vector<CellId> cells;
+  // Long CH-extracted paths made the scan-the-output dedupe O(P^2); a
+  // CellId-keyed bitmap keeps it linear while preserving first-touch
+  // order. Short paths stay on the scan — their whole output fits in a
+  // cache line, cheaper than zeroing NumCells()/8 bitmap bytes.
+  constexpr size_t kScanThreshold = 24;
+  if (path.size() <= kScanThreshold) {
+    for (VertexId v : path) {
+      const CellId c = cell_of_vertex_[v];
+      if (std::find(cells.begin(), cells.end(), c) == cells.end()) {
+        cells.push_back(c);
+      }
+    }
+    return cells;
+  }
+  std::vector<uint64_t> seen(
+      (static_cast<size_t>(NumCells()) + 63) / 64, 0);
   for (VertexId v : path) {
     const CellId c = cell_of_vertex_[v];
-    if (std::find(cells.begin(), cells.end(), c) == cells.end()) {
+    const size_t word = static_cast<size_t>(c) >> 6;
+    const uint64_t bit = uint64_t{1} << (static_cast<size_t>(c) & 63);
+    if ((seen[word] & bit) == 0) {
+      seen[word] |= bit;
       cells.push_back(c);
     }
   }

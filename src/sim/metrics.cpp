@@ -12,11 +12,13 @@ std::string SimulationReport::ToString() const {
   os << util::StrFormat("simulated time           %s\n",
                         util::FormatDuration(simulated_seconds).c_str());
   os << util::StrFormat(
-      "wall clock               %s (match %s, move %s + %s commit)\n",
+      "wall clock               %s (match %s, move %s + %s commit "
+      "+ %s reindex)\n",
       util::FormatDuration(wall_clock_seconds).c_str(),
       util::FormatDuration(match_phase_seconds).c_str(),
       util::FormatDuration(move_advance_seconds).c_str(),
-      util::FormatDuration(move_commit_seconds).c_str());
+      util::FormatDuration(move_commit_seconds).c_str(),
+      util::FormatDuration(index_update_seconds).c_str());
   os << util::StrFormat(
       "requests                 %lld submitted, %lld assigned (%.1f%%), "
       "%lld unserved, %lld declined\n",

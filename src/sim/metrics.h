@@ -73,6 +73,9 @@ struct SimulationReport {
   double move_advance_seconds = 0.0;
   /// Vehicle-movement commit + idle cruising (sequential), cumulative.
   double move_commit_seconds = 0.0;
+  /// End-of-tick vehicle-index re-registration (the shard-concurrent
+  /// part of the movement commit; DESIGN.md section 10), cumulative.
+  double index_update_seconds = 0.0;
 
   /// Demo statistic: completed-and-shared / completed.
   double SharingRate() const {

@@ -16,7 +16,14 @@ namespace {
 /// calling PTRider::VehicleArrivedAtStop — every StopEvent field except
 /// `shared` derives from tree state alone; `shared` is resolved at
 /// commit from live assignment state.
-util::Status AdvanceArrivals(vehicle::Vehicle& v, Motion& m, double now,
+///
+/// `arrival_s` is the intra-tick instant the vehicle reached this vertex
+/// — derived by the caller from the driving budget consumed so far
+/// (speed is constant within a tick), NOT the tick boundary. Stamping
+/// the boundary would quantize every pick-up's waiting time to the tick
+/// grid, biasing waiting_s by up to one tick for mid-tick arrivals.
+util::Status AdvanceArrivals(vehicle::Vehicle& v, Motion& m,
+                             double arrival_s,
                              const vehicle::ScheduleContext& sched,
                              roadnet::DistanceOracle& oracle,
                              std::vector<core::AdvanceStop>& stops) {
@@ -38,7 +45,8 @@ util::Status AdvanceArrivals(vehicle::Vehicle& v, Motion& m, double now,
     s.event.price = pending.price;
     s.event.num_riders = pending.request.num_riders;
     if (popped.type == vehicle::StopType::kPickup) {
-      s.event.waiting_s = std::max(0.0, now - pending.planned_pickup_s);
+      s.event.waiting_s =
+          std::max(0.0, arrival_s - pending.planned_pickup_s);
       // Sharing state only changes at pick-ups; list the onboard set
       // exactly when VehicleArrivedAtStop would mark it shared.
       if (v.tree().OnboardRequests() >= 2) {
@@ -128,8 +136,11 @@ MovementOutcome AdvanceVehicle(const core::PTRider& system,
       out.status = ReplanMotion(m, v, oracle);
       if (!out.status.ok()) return out;
       if (m.path.size() <= 1 || m.next == 0) {
-        // Already at the stop's vertex.
-        out.status = AdvanceArrivals(v, m, now, sched, oracle, out.stops);
+        // Already at the stop's vertex; `budget` meters of the tick are
+        // still unspent, so the arrival instant lies that far before
+        // the tick boundary.
+        out.status = AdvanceArrivals(v, m, now - budget / sched.speed_mps,
+                                     sched, oracle, out.stops);
         if (!out.status.ok()) return out;
         if (v.tree().empty()) continue;  // idle
         if (m.path.size() <= 1) break;  // replanned to the same vertex
@@ -172,7 +183,8 @@ MovementOutcome AdvanceVehicle(const core::PTRider& system,
       m.path.clear();
       m.next = 0;
       if (serving) {
-        out.status = AdvanceArrivals(v, m, now, sched, oracle, out.stops);
+        out.status = AdvanceArrivals(v, m, now - budget / sched.speed_mps,
+                                     sched, oracle, out.stops);
         if (!out.status.ok()) return out;
       }
     }

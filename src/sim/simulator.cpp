@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dispatch/parallel_dispatcher.h"
+#include "dispatch/reindex.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -166,13 +167,25 @@ util::Status Simulator::MovePhase(double now, double budget,
   // Commit in vehicle-id order: install scratch state, fold arrival
   // events into the report with exactly the sequential loop's
   // accounting, then finish idle remainders (the only rng_ consumers).
-  for (size_t i = 0; i < n; ++i) {
+  // Index re-registration is deferred: the commit loop only marks moved
+  // vehicles dirty, and the reindex pass below applies their
+  // end-of-tick registrations once per vehicle — nothing reads the
+  // index until the next tick's submissions.
+  move_dirty_.assign(n, 0);
+  // An error aborts the loop but not the reindex pass below: vehicles
+  // committed before the failure must still reach the index, or a
+  // caller keeping the system alive would match against stale lists.
+  util::Status commit_status;
+  for (size_t i = 0; i < n && commit_status.ok(); ++i) {
     MovementOutcome& a = advances_[i];
-    PTRIDER_RETURN_IF_ERROR(a.status);
+    commit_status = a.status;
+    if (!commit_status.ok()) break;
     const auto id = static_cast<vehicle::VehicleId>(i);
     if (a.vehicle.has_value()) {
-      PTRIDER_RETURN_IF_ERROR(system_->CommitAdvancedVehicle(
-          id, *std::move(a.vehicle), a.stops));
+      commit_status = system_->CommitAdvancedVehicle(
+          id, *std::move(a.vehicle), a.stops, /*reindex=*/false);
+      if (!commit_status.ok()) break;
+      move_dirty_[i] = 1;
       motions_[i] = std::move(a.motion);
       for (const core::AdvanceStop& s : a.stops) {
         const core::StopEvent& event = s.event;
@@ -194,12 +207,27 @@ util::Status Simulator::MovePhase(double now, double budget,
       }
     }
     if (a.idle_remainder) {
-      PTRIDER_RETURN_IF_ERROR(
-          MoveIdleVehicle(id, now, a.budget_left, a.hops));
+      commit_status = MoveIdleVehicle(id, now, a.budget_left, a.hops);
     }
   }
   report.move_commit_seconds += timer.ElapsedSeconds();
-  return util::Status::Ok();
+  timer.Restart();
+
+  // Deferred reindex: one end-of-tick registration per moved vehicle,
+  // prepared in vehicle-id order (the per-shard application order), then
+  // applied across shards — concurrently on the movement pool when the
+  // tick moved enough vehicles to pay the fan-out. Bit-identical lists
+  // at every move_jobs x index_shards setting (DESIGN.md section 10).
+  pending_reindex_.clear();
+  vehicle::VehicleIndex& index = system_->vehicle_index();
+  for (size_t i = 0; i < n; ++i) {
+    if (!move_dirty_[i]) continue;
+    pending_reindex_.push_back(index.Prepare(
+        system_->fleet().at(static_cast<vehicle::VehicleId>(i))));
+  }
+  dispatch::ApplyReindex(index, pending_reindex_, move_pool_.get());
+  report.index_update_seconds += timer.ElapsedSeconds();
+  return commit_status;
 }
 
 util::Status Simulator::MoveIdleVehicle(vehicle::VehicleId id, double now,
@@ -250,7 +278,8 @@ util::Status Simulator::MoveIdleVehicle(vehicle::VehicleId id, double now,
     m.edge_progress_m = 0.0;
     ++m.next;
     PTRIDER_RETURN_IF_ERROR(system_->UpdateVehicleLocation(
-        id, to, m.meters_since_update, now, {}));
+        id, to, m.meters_since_update, now, {}, /*reindex=*/false));
+    move_dirty_[static_cast<size_t>(id)] = 1;
     m.meters_since_update = 0.0;
     if (m.next >= m.path.size()) {
       m.path.clear();

@@ -92,7 +92,11 @@ class Simulator {
   /// One tick of fleet movement (`budget` meters per vehicle): parallel
   /// advance over the frozen tick, then sequential commit in vehicle-id
   /// order (install scratch state, fold arrival events into `report`,
-  /// finish idle remainders through the RNG).
+  /// finish idle remainders through the RNG). Index re-registrations are
+  /// deferred out of the commit loop: every vehicle that moved is
+  /// re-registered once at the end of the tick, in vehicle-id order per
+  /// shard, shard-concurrently when move_jobs > 1 (DESIGN.md
+  /// section 10).
   util::Status MovePhase(double now, double budget,
                          SimulationReport& report);
   /// The idle-cruising walk of one vehicle's tick remainder, resumed at
@@ -118,6 +122,11 @@ class Simulator {
   /// Per-tick advance results (the outer n-slot vector persists across
   /// ticks; each slot's buffers are rebuilt by its vehicle's advance).
   std::vector<MovementOutcome> advances_;
+  /// Per-tick movement-commit scratch: which vehicles changed state this
+  /// tick (commit or idle walk) and their end-of-tick registrations,
+  /// applied via dispatch::ApplyReindex after the commit loop.
+  std::vector<char> move_dirty_;
+  std::vector<vehicle::PendingUpdate> pending_reindex_;
 };
 
 }  // namespace ptrider::sim

@@ -1,75 +1,197 @@
 #include "vehicle/vehicle_index.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace ptrider::vehicle {
 
-VehicleIndex::VehicleIndex(const roadnet::GridIndex& grid) : grid_(&grid) {
-  empty_lists_.assign(static_cast<size_t>(grid.NumCells()), {});
-  non_empty_lists_.assign(static_cast<size_t>(grid.NumCells()), {});
-}
-
-void VehicleIndex::Unregister(VehicleId id, const Registration& reg) {
-  auto& lists = reg.is_empty ? empty_lists_ : non_empty_lists_;
-  for (const roadnet::CellId c : reg.cells) {
-    std::vector<VehicleId>& list = lists[static_cast<size_t>(c)];
-    const auto it = std::find(list.begin(), list.end(), id);
-    if (it != list.end()) {
-      *it = list.back();
-      list.pop_back();
-    }
+VehicleIndex::VehicleIndex(const roadnet::GridIndex& grid,
+                           size_t num_shards)
+    : grid_(&grid) {
+  const size_t cells = static_cast<size_t>(grid.NumCells());
+  const size_t shards = std::clamp<size_t>(num_shards, 1, cells);
+  empty_lists_.assign(cells, {});
+  non_empty_lists_.assign(cells, {});
+  shards_.resize(shards);
+  // Contiguous cell-range shards: shard(c) = c * S / cells is
+  // non-decreasing in c and splits the grid into S balanced regions
+  // (consecutive cell ids are geometric row neighbors).
+  shard_of_cell_.resize(cells);
+  for (size_t c = 0; c < cells; ++c) {
+    shard_of_cell_[c] = static_cast<uint32_t>(c * shards / cells);
   }
 }
 
 void VehicleIndex::Update(const Vehicle& v) {
-  ++update_count_;
-  const auto old_it = registration_.find(v.id());
+  const PendingUpdate u = Prepare(v);
+  ApplyBatch({&u, 1});
+}
 
-  Registration next;
-  next.is_empty = v.IsEmpty();
-  const roadnet::CellId loc_cell =
-      grid_->CellOfVertex(v.location());
-  next.cells.push_back(loc_cell);
-  if (!next.is_empty) {
+PendingUpdate VehicleIndex::Prepare(const Vehicle& v) const {
+  PendingUpdate u;
+  u.id = v.id();
+  u.is_empty = v.IsEmpty();
+  u.cells.push_back(grid_->CellOfVertex(v.location()));
+  if (!u.is_empty) {
     for (const Branch& b : v.tree().branches()) {
       for (const Stop& s : b.stops) {
-        const roadnet::CellId c = grid_->CellOfVertex(s.location);
-        if (std::find(next.cells.begin(), next.cells.end(), c) ==
-            next.cells.end()) {
-          next.cells.push_back(c);
-        }
+        u.cells.push_back(grid_->CellOfVertex(s.location));
       }
     }
+    std::sort(u.cells.begin(), u.cells.end());
+    u.cells.erase(std::unique(u.cells.begin(), u.cells.end()),
+                  u.cells.end());
   }
-  std::sort(next.cells.begin(), next.cells.end());
+  return u;
+}
 
-  if (old_it != registration_.end()) {
-    if (old_it->second.is_empty == next.is_empty &&
-        old_it->second.cells == next.cells) {
-      return;  // registration unchanged
+void VehicleIndex::BeginBatch(std::span<const PendingUpdate> pending) {
+  for (const PendingUpdate& u : pending) {
+    ++update_count_;
+    const size_t slot = static_cast<size_t>(u.id);
+    if (slot >= registered_.size()) registered_.resize(slot + 1, 0);
+    if (!registered_[slot]) {
+      registered_[slot] = 1;
+      ++num_registered_;
     }
-    Unregister(v.id(), old_it->second);
   }
-  auto& lists = next.is_empty ? empty_lists_ : non_empty_lists_;
-  for (const roadnet::CellId c : next.cells) {
-    lists[static_cast<size_t>(c)].push_back(v.id());
+}
+
+void VehicleIndex::ApplyBatch(std::span<const PendingUpdate> pending) {
+  BeginBatch(pending);
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    for (const PendingUpdate& u : pending) ApplyShard(u, s);
   }
-  registration_[v.id()] = std::move(next);
+}
+
+uint32_t VehicleIndex::AppendEntry(
+    std::vector<std::vector<VehicleId>>& lists, roadnet::CellId cell,
+    VehicleId id) {
+  std::vector<VehicleId>& list = lists[static_cast<size_t>(cell)];
+  list.push_back(id);
+  return static_cast<uint32_t>(list.size() - 1);
+}
+
+void VehicleIndex::RemoveEntry(std::vector<std::vector<VehicleId>>& lists,
+                               roadnet::CellId cell, uint32_t pos,
+                               uint32_t shard) {
+  std::vector<VehicleId>& list = lists[static_cast<size_t>(cell)];
+  assert(pos < list.size());
+  const VehicleId moved = list.back();
+  list[pos] = moved;
+  list.pop_back();
+  if (static_cast<size_t>(pos) < list.size()) {
+    // Fix the moved entry's handle. Its owner is registered in this very
+    // shard (the entry lives in a cell this shard owns), so no
+    // cross-shard state is touched.
+    ShardRegistration& mr = shards_[shard].reg.at(moved);
+    const auto it =
+        std::lower_bound(mr.cells.begin(), mr.cells.end(), cell);
+    assert(it != mr.cells.end() && *it == cell);
+    mr.pos[static_cast<size_t>(it - mr.cells.begin())] = pos;
+  }
+}
+
+void VehicleIndex::ApplyShard(const PendingUpdate& u, uint32_t shard) {
+  Shard& sh = shards_[shard];
+  // In-shard slice of the new cells: shards are contiguous cell ranges
+  // and u.cells is sorted, so it is one contiguous run.
+  size_t first = 0;
+  while (first < u.cells.size() && ShardOfCell(u.cells[first]) < shard) {
+    ++first;
+  }
+  size_t last = first;
+  while (last < u.cells.size() && ShardOfCell(u.cells[last]) == shard) {
+    ++last;
+  }
+
+  const auto old_it = sh.reg.find(u.id);
+  if (old_it == sh.reg.end() && first == last) return;  // shard untouched
+
+  ShardRegistration next;
+  next.is_empty = u.is_empty;
+  next.cells.assign(u.cells.begin() + static_cast<ptrdiff_t>(first),
+                    u.cells.begin() + static_cast<ptrdiff_t>(last));
+  next.pos.resize(next.cells.size());
+
+  if (old_it == sh.reg.end()) {
+    auto& lists = u.is_empty ? empty_lists_ : non_empty_lists_;
+    for (size_t j = 0; j < next.cells.size(); ++j) {
+      next.pos[j] = AppendEntry(lists, next.cells[j], u.id);
+    }
+    sh.reg.emplace(u.id, std::move(next));
+    return;
+  }
+
+  ShardRegistration& old = old_it->second;
+  const bool kind_changed = old.is_empty != u.is_empty;
+  auto& old_lists = old.is_empty ? empty_lists_ : non_empty_lists_;
+  auto& new_lists = u.is_empty ? empty_lists_ : non_empty_lists_;
+
+  // Merge-walk the sorted old and new in-shard cell runs: entries only
+  // in the old registration are removed, only in the new one appended,
+  // and unchanged ones keep their list position (unless the vehicle
+  // switched list kinds, which moves every entry).
+  size_t i = 0;
+  size_t j = 0;
+  while (i < old.cells.size() || j < next.cells.size()) {
+    if (j == next.cells.size() ||
+        (i < old.cells.size() && old.cells[i] < next.cells[j])) {
+      RemoveEntry(old_lists, old.cells[i], old.pos[i], shard);
+      ++i;
+    } else if (i == old.cells.size() || next.cells[j] < old.cells[i]) {
+      next.pos[j] = AppendEntry(new_lists, next.cells[j], u.id);
+      ++j;
+    } else {
+      if (kind_changed) {
+        RemoveEntry(old_lists, old.cells[i], old.pos[i], shard);
+        next.pos[j] = AppendEntry(new_lists, next.cells[j], u.id);
+      } else {
+        next.pos[j] = old.pos[i];
+      }
+      ++i;
+      ++j;
+    }
+  }
+
+  if (next.cells.empty()) {
+    sh.reg.erase(old_it);
+  } else {
+    old_it->second = std::move(next);
+  }
 }
 
 void VehicleIndex::Remove(VehicleId id) {
   ++update_count_;
-  const auto it = registration_.find(id);
-  if (it == registration_.end()) return;
-  Unregister(id, it->second);
-  registration_.erase(it);
+  const size_t slot = static_cast<size_t>(id);
+  if (slot >= registered_.size() || !registered_[slot]) return;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = shards_[s];
+    const auto it = sh.reg.find(id);
+    if (it == sh.reg.end()) continue;
+    ShardRegistration& reg = it->second;
+    auto& lists = reg.is_empty ? empty_lists_ : non_empty_lists_;
+    for (size_t i = 0; i < reg.cells.size(); ++i) {
+      RemoveEntry(lists, reg.cells[i], reg.pos[i], s);
+    }
+    sh.reg.erase(it);
+  }
+  registered_[slot] = 0;
+  --num_registered_;
 }
 
 std::vector<roadnet::CellId> VehicleIndex::RegisteredCells(
     VehicleId id) const {
-  const auto it = registration_.find(id);
-  if (it == registration_.end()) return {};
-  return it->second.cells;
+  std::vector<roadnet::CellId> cells;
+  // Shards own ascending contiguous cell ranges, so concatenating the
+  // per-shard sorted runs in shard order keeps the result sorted.
+  for (const Shard& sh : shards_) {
+    const auto it = sh.reg.find(id);
+    if (it == sh.reg.end()) continue;
+    cells.insert(cells.end(), it->second.cells.begin(),
+                 it->second.cells.end());
+  }
+  return cells;
 }
 
 }  // namespace ptrider::vehicle

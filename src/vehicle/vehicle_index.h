@@ -2,6 +2,7 @@
 #define PTRIDER_VEHICLE_VEHICLE_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -9,6 +10,21 @@
 #include "vehicle/vehicle.h"
 
 namespace ptrider::vehicle {
+
+/// One vehicle's next registration, precomputed from its state by
+/// VehicleIndex::Prepare at commit time: which list kind it belongs to
+/// and the sorted, deduplicated cells it must appear in. Applying a
+/// PendingUpdate later — possibly shard-by-shard on different threads —
+/// yields exactly the lists an immediate Update(v) would have produced,
+/// which is what lets the movement commit and the batch dispatcher defer
+/// re-registration out of their sequential sections (DESIGN.md
+/// section 10).
+struct PendingUpdate {
+  VehicleId id = kInvalidVehicle;
+  bool is_empty = true;
+  /// Sorted unique cells of the next registration.
+  std::vector<roadnet::CellId> cells;
+};
 
 /// Grid-cell vehicle lists (Fig. 1(b), lists (iv) and (v)): per cell, the
 /// empty vehicles located in it and the non-empty vehicles whose trip
@@ -22,15 +38,54 @@ namespace ptrider::vehicle {
 /// The paper additionally registers cells crossed by schedule edges; that
 /// superset only affects when a vehicle is first examined, not which
 /// options exist, and is omitted here.
+///
+/// The index is sharded by grid region: cells are partitioned into
+/// `num_shards` contiguous ranges, and all mutable state (registration
+/// maps, position handles, the per-cell lists themselves) is owned by
+/// exactly one shard. ApplyShard calls for DISTINCT shards touch disjoint
+/// state and may run concurrently; calls within one shard must be
+/// serialized and issued in the same update order on every shard, which
+/// makes the resulting lists bit-identical for every shard count
+/// (DESIGN.md section 10). Removal is O(1) per cell via per-entry
+/// position handles (swap-with-back plus a handle fix for the moved
+/// entry) instead of a linear scan.
 class VehicleIndex {
  public:
-  explicit VehicleIndex(const roadnet::GridIndex& grid);
+  /// `num_shards` contiguous cell-range shards, clamped to
+  /// [1, NumCells()]. Every shard count produces identical lists; > 1
+  /// only enables concurrent ApplyShard application.
+  explicit VehicleIndex(const roadnet::GridIndex& grid,
+                        size_t num_shards = 1);
 
   /// (Re-)registers `v` according to its current state. Idempotent.
   void Update(const Vehicle& v);
   /// Removes `v` from all lists (e.g. vehicle goes offline).
   void Remove(VehicleId id);
 
+  // --- Deferred (shard-parallel) updates -----------------------------------
+  /// Computes `v`'s next registration without touching index state. The
+  /// result stays valid regardless of later index mutations; it captures
+  /// the vehicle's state at call time.
+  PendingUpdate Prepare(const Vehicle& v) const;
+
+  /// Applies a batch of prepared updates sequentially, in order.
+  /// Equivalent to calling BeginBatch(pending) followed by
+  /// ApplyShard(u, s) for every update x shard.
+  void ApplyBatch(std::span<const PendingUpdate> pending);
+
+  /// Sequential bookkeeping for a batch about to be applied via
+  /// ApplyShard: registration presence and the update counter. Call once
+  /// per batch, before any ApplyShard of it.
+  void BeginBatch(std::span<const PendingUpdate> pending);
+
+  /// Applies the part of `u` owned by `shard`: diffs the vehicle's old
+  /// in-shard registration against u's in-shard cells, removing, adding
+  /// or keeping entries (kept entries keep their list positions).
+  /// Thread-safe across DISTINCT shards; within a shard, calls must be
+  /// serialized and ordered like the sequential reference.
+  void ApplyShard(const PendingUpdate& u, uint32_t shard);
+
+  // --- Lists (Fig. 1(b) lists (iv) and (v)) --------------------------------
   const std::vector<VehicleId>& EmptyVehicles(roadnet::CellId c) const {
     return empty_lists_[static_cast<size_t>(c)];
   }
@@ -38,28 +93,53 @@ class VehicleIndex {
     return non_empty_lists_[static_cast<size_t>(c)];
   }
 
-  /// Cells `v` is currently registered in (empty when unregistered).
+  /// Cells `v` is currently registered in, ascending (empty when
+  /// unregistered).
   std::vector<roadnet::CellId> RegisteredCells(VehicleId id) const;
 
   const roadnet::GridIndex& grid() const { return *grid_; }
 
+  /// Shard owning cell `c`. Non-decreasing in `c` (shards are contiguous
+  /// cell ranges), so a sorted cell list splits into per-shard runs.
+  uint32_t ShardOfCell(roadnet::CellId c) const {
+    return shard_of_cell_[static_cast<size_t>(c)];
+  }
+  size_t num_shards() const { return shards_.size(); }
+
   /// Total number of Update/Remove operations applied (experiment E11).
   uint64_t update_count() const { return update_count_; }
   /// Number of registered vehicles.
-  size_t size() const { return registration_.size(); }
+  size_t size() const { return num_registered_; }
 
  private:
-  struct Registration {
+  /// Per-shard slice of one vehicle's registration. `pos[i]` is the
+  /// index of the vehicle's entry in cells[i]'s list — O(1) unregister.
+  struct ShardRegistration {
     bool is_empty = true;
-    std::vector<roadnet::CellId> cells;
+    std::vector<roadnet::CellId> cells;  // sorted, all owned by the shard
+    std::vector<uint32_t> pos;           // aligned with cells
+  };
+  struct Shard {
+    std::unordered_map<VehicleId, ShardRegistration> reg;
   };
 
-  void Unregister(VehicleId id, const Registration& reg);
+  /// Swap-with-back removal of `id` at `pos` in `cell`'s list, fixing
+  /// the moved entry's handle (the moved vehicle is registered in the
+  /// same shard — cells never change shards).
+  void RemoveEntry(std::vector<std::vector<VehicleId>>& lists,
+                   roadnet::CellId cell, uint32_t pos, uint32_t shard);
+  uint32_t AppendEntry(std::vector<std::vector<VehicleId>>& lists,
+                       roadnet::CellId cell, VehicleId id);
 
   const roadnet::GridIndex* grid_;
+  std::vector<uint32_t> shard_of_cell_;
   std::vector<std::vector<VehicleId>> empty_lists_;
   std::vector<std::vector<VehicleId>> non_empty_lists_;
-  std::unordered_map<VehicleId, Registration> registration_;
+  std::vector<Shard> shards_;
+  /// Presence bitmap + count (ids are dense per Fleet). Mutated only in
+  /// the sequential entry points (BeginBatch / Remove).
+  std::vector<char> registered_;
+  size_t num_registered_ = 0;
   uint64_t update_count_ = 0;
 };
 

@@ -167,6 +167,66 @@ TEST(SurgePolicyTest, MultiplierMonotoneInDemandRate) {
   EXPECT_EQ(busy.multiplier(), 1.0);
 }
 
+// Regression: the multiplier used to be recomputed only inside
+// RecordRequest, so after a demand lull every quote taken before the
+// next submission still paid the last burst's surge, and rate_per_min()
+// read the stale window. Decay is the quote-time hook: it evicts the
+// window and relaxes the multiplier without touching the demand signal.
+TEST(SurgePolicyTest, DecayRelaxesMultiplierAfterLull) {
+  SurgeOptions opts;
+  opts.window_s = 120.0;
+  opts.baseline_rate_per_min = 1.0;
+  opts.gain_per_rate = 0.2;
+  opts.max_multiplier = 3.0;
+  SurgePolicy policy(PaperModel(), opts);
+  for (double t = 0.0; t < 60.0; t += 0.5) policy.RecordRequest(t);
+  ASSERT_GT(policy.multiplier(), 1.0);
+  ASSERT_GT(policy.rate_per_min(), opts.baseline_rate_per_min);
+  const double surged = policy.multiplier();
+  const QuoteInputs q = MakeQuote(1, 0, 0.0, 900.0, 700.0);
+  EXPECT_EQ(policy.Price(q),
+            surged * PaperModel().Price(1, 900.0, 0.0, 700.0));
+
+  // An hour of silence: the quote path decays before quoting, so the
+  // rider pays the un-surged fare — pre-fix the peak multiplier stuck.
+  policy.Decay(3600.0);
+  EXPECT_EQ(policy.multiplier(), 1.0);
+  EXPECT_EQ(policy.rate_per_min(), 0.0);
+  EXPECT_EQ(policy.Price(q), PaperModel().Price(1, 900.0, 0.0, 700.0));
+
+  // Bounds were demand-free before and stay so across decay (the
+  // conservative-bound contract, DESIGN.md 4.4).
+  EXPECT_EQ(policy.MinPrice(1, 700.0), PaperModel().MinPrice(1, 700.0));
+}
+
+// Decay(t) followed by RecordRequest(t) must leave exactly the state a
+// lone RecordRequest(t) produces — the quote paths decay defensively, so
+// any divergence would break the sequential/parallel dispatch and
+// per-request/batched determinism contracts.
+TEST(SurgePolicyTest, DecayThenRecordEqualsRecordAlone) {
+  SurgeOptions opts;
+  opts.window_s = 90.0;
+  opts.baseline_rate_per_min = 0.5;
+  opts.gain_per_rate = 0.4;
+  opts.max_multiplier = 2.2;
+  SurgePolicy with_decay(PaperModel(), opts);
+  SurgePolicy record_only(PaperModel(), opts);
+  util::Rng rng(99);
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.Exponential(0.2);  // bursts and lulls
+    with_decay.Decay(t);
+    with_decay.RecordRequest(t);
+    record_only.RecordRequest(t);
+    ASSERT_EQ(with_decay.multiplier(), record_only.multiplier());
+    ASSERT_EQ(with_decay.rate_per_min(), record_only.rate_per_min());
+  }
+  // Snapshots taken after a decayed record quote identically too.
+  const QuoteInputs q = MakeQuote(2, 1, 500.0, 800.0, 400.0);
+  EXPECT_EQ(with_decay.SnapshotForQuote()->Price(q),
+            record_only.SnapshotForQuote()->Price(q));
+}
+
 TEST(SurgePolicyTest, CapRespectedUnderExtremeDemand) {
   SurgeOptions opts;
   opts.window_s = 60.0;

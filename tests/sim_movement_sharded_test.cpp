@@ -1,0 +1,165 @@
+// The region-sharded vehicle index's headline guarantee: the
+// SimulationReport is item-for-item identical across index shard counts
+// — for every move_jobs setting, dispatch mode and seed. Shards only
+// decompose the deferred commit-side re-registration into concurrent
+// per-region applications; the per-cell operation sequences are
+// shard-independent, so the lists (and everything matched off them) are
+// bit-identical (DESIGN.md section 10). Determinism is proven here, not
+// asserted — and the TSan CI job runs this file to certify the
+// concurrent shard application is race-free.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "roadnet/graph_generator.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace ptrider::sim {
+namespace {
+
+/// Field-by-field semantic equality of two simulation reports.
+/// Wall-clock aggregates and cache-state-dependent effort counters are
+/// excluded; everything a rider, operator or evaluation plot observes
+/// must be byte-identical.
+void ExpectReportsIdentical(const SimulationReport& a,
+                            const SimulationReport& b) {
+  EXPECT_EQ(a.requests_submitted, b.requests_submitted);
+  EXPECT_EQ(a.requests_assigned, b.requests_assigned);
+  EXPECT_EQ(a.requests_unserved, b.requests_unserved);
+  EXPECT_EQ(a.requests_declined, b.requests_declined);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.requests_shared, b.requests_shared);
+  EXPECT_EQ(a.revenue_total, b.revenue_total);
+  EXPECT_EQ(a.fleet_total_distance_m, b.fleet_total_distance_m);
+  EXPECT_EQ(a.fleet_occupied_distance_m, b.fleet_occupied_distance_m);
+  EXPECT_EQ(a.fleet_shared_distance_m, b.fleet_shared_distance_m);
+  EXPECT_EQ(a.simulated_seconds, b.simulated_seconds);
+
+  const auto expect_stats_eq = [](const util::RunningStats& x,
+                                  const util::RunningStats& y,
+                                  const char* name) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(x.count(), y.count());
+    EXPECT_EQ(x.sum(), y.sum());
+    EXPECT_EQ(x.mean(), y.mean());
+    EXPECT_EQ(x.min(), y.min());
+    EXPECT_EQ(x.max(), y.max());
+  };
+  expect_stats_eq(a.submit_delay_s, b.submit_delay_s, "submit_delay_s");
+  expect_stats_eq(a.options_per_request, b.options_per_request,
+                  "options_per_request");
+  expect_stats_eq(a.vehicles_examined, b.vehicles_examined,
+                  "vehicles_examined");
+  expect_stats_eq(a.pickup_wait_s, b.pickup_wait_s, "pickup_wait_s");
+  expect_stats_eq(a.detour_ratio, b.detour_ratio, "detour_ratio");
+  expect_stats_eq(a.quoted_price, b.quoted_price, "quoted_price");
+  expect_stats_eq(a.price_over_floor, b.price_over_floor,
+                  "price_over_floor");
+  expect_stats_eq(a.trip_overrun_m, b.trip_overrun_m, "trip_overrun_m");
+}
+
+struct City {
+  roadnet::RoadNetwork graph;
+  std::vector<Trip> trips;
+};
+
+City MakeCity(uint64_t trip_seed) {
+  City city;
+  roadnet::CityGridOptions gopts;
+  gopts.rows = 12;
+  gopts.cols = 12;
+  gopts.seed = 23;
+  auto g = roadnet::MakeCityGrid(gopts);
+  EXPECT_TRUE(g.ok());
+  city.graph = std::move(g).value();
+
+  HotspotWorkloadOptions wopts;
+  wopts.num_trips = 90;
+  wopts.duration_s = 1300.0;
+  wopts.seed = trip_seed;
+  auto trips = GenerateHotspotTrips(city.graph, wopts);
+  EXPECT_TRUE(trips.ok());
+  city.trips = std::move(trips).value();
+  return city;
+}
+
+SimulationReport RunCity(const City& city, int index_shards,
+                         int move_jobs, int dispatch_threads,
+                         double batch_window_s, uint64_t seed) {
+  core::Config cfg;
+  cfg.matcher = core::MatcherAlgorithm::kDualSide;
+  cfg.vehicle_capacity = 3;
+  cfg.default_max_wait_s = 330.0;
+  cfg.default_service_sigma = 0.45;
+  cfg.max_planned_pickup_s = 600.0;
+  // Surge pricing keeps the demand window load-bearing across modes.
+  cfg.pricing_policy = core::PricingPolicyKind::kSurge;
+  cfg.surge_baseline_rate_per_min = 1.0;
+  cfg.index_shards = index_shards;
+  cfg.dispatch_threads = dispatch_threads;
+  auto sys = core::PTRider::Create(city.graph, cfg);
+  EXPECT_TRUE(sys.ok());
+  EXPECT_TRUE((*sys)->InitFleetUniform(26, seed).ok());
+
+  SimulatorOptions sopts;
+  sopts.seed = seed;
+  sopts.batch_window_s = batch_window_s;
+  sopts.move_jobs = move_jobs;
+  sopts.choice.model = RiderChoiceModel::kWeightedUtility;
+  sopts.choice.accept_price_over_floor = 3.0;
+  Simulator sim(**sys, sopts);
+  auto report = sim.Run(city.trips);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+// --- The determinism matrix: shards x move_jobs x dispatch x seeds ----------
+
+class ShardedIndexDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(ShardedIndexDeterminismTest, ReportIdenticalAcrossShardCounts) {
+  const auto [dispatch_threads, seed] = GetParam();
+  const City city = MakeCity(seed + 211);
+  const SimulationReport reference =
+      RunCity(city, /*index_shards=*/1, /*move_jobs=*/1, dispatch_threads,
+              /*batch_window_s=*/4.0, seed);
+  ASSERT_GT(reference.requests_assigned, 20);
+  ASSERT_GT(reference.requests_completed, 5);
+  for (const int shards : {2, 4}) {
+    for (const int move_jobs : {1, 4}) {
+      SCOPED_TRACE("shards " + std::to_string(shards) + " move_jobs " +
+                   std::to_string(move_jobs));
+      ExpectReportsIdentical(reference,
+                             RunCity(city, shards, move_jobs,
+                                     dispatch_threads,
+                                     /*batch_window_s=*/4.0, seed));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DispatchModesAndSeeds, ShardedIndexDeterminismTest,
+    ::testing::Combine(
+        // Sequential BatchDispatcher and the 2-thread ParallelDispatcher.
+        ::testing::Values(0, 2), ::testing::Values<uint64_t>(3, 17)));
+
+// Per-request submission (no batch window) runs the exact same deferred
+// movement reindex; shard counts cannot move that report either.
+TEST(ShardedIndexDeterminismTest, PerRequestModeIdenticalAcrossShards) {
+  const City city = MakeCity(57);
+  const SimulationReport reference =
+      RunCity(city, /*index_shards=*/1, /*move_jobs=*/1,
+              /*dispatch_threads=*/0, /*batch_window_s=*/0.0, 5);
+  ASSERT_GT(reference.requests_assigned, 20);
+  ExpectReportsIdentical(
+      reference, RunCity(city, /*index_shards=*/4, /*move_jobs=*/4,
+                         /*dispatch_threads=*/0, /*batch_window_s=*/0.0,
+                         5));
+}
+
+}  // namespace
+}  // namespace ptrider::sim

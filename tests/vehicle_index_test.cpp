@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
 
 #include "core/distance_providers.h"
 #include "roadnet/distance_oracle.h"
+#include "roadnet/graph_generator.h"
 #include "roadnet/paper_example.h"
+#include "util/random.h"
 
 namespace ptrider::vehicle {
 namespace {
@@ -118,6 +123,194 @@ TEST_F(VehicleIndexTest, UpdateIsIdempotent) {
 TEST_F(VehicleIndexTest, RemoveUnknownIsNoop) {
   index_->Remove(77);
   EXPECT_EQ(index_->size(), 0u);
+}
+
+TEST_F(VehicleIndexTest, ShardMappingIsContiguousAndCoversAllShards) {
+  VehicleIndex sharded(*grid_, 4);
+  EXPECT_EQ(sharded.num_shards(), 4u);
+  uint32_t prev = 0;
+  std::vector<char> hit(4, 0);
+  for (roadnet::CellId c = 0; c < grid_->NumCells(); ++c) {
+    const uint32_t s = sharded.ShardOfCell(c);
+    ASSERT_LT(s, 4u);
+    EXPECT_GE(s, prev);  // contiguous ranges: non-decreasing in cell id
+    prev = s;
+    hit[s] = 1;
+  }
+  EXPECT_EQ(std::count(hit.begin(), hit.end(), 1), 4);
+  // Shard counts beyond the cell count clamp instead of exploding.
+  VehicleIndex tiny(*grid_, 10000);
+  EXPECT_LE(tiny.num_shards(), static_cast<size_t>(grid_->NumCells()));
+}
+
+// --- Churn under Update/Remove interleavings --------------------------------
+//
+// The registration <-> list consistency invariant, plus the sharding
+// headline: every shard count produces bit-identical lists for the same
+// operation sequence (the per-cell operation order is shard-independent,
+// DESIGN.md section 10). Exercised over random fleets of teleporting,
+// committing and vanishing vehicles across several seeds.
+
+class VehicleIndexChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VehicleIndexChurnTest, ConsistencyAndShardedEqualsUnsharded) {
+  roadnet::CityGridOptions gopts;
+  gopts.rows = 10;
+  gopts.cols = 10;
+  gopts.seed = 31;
+  auto g = roadnet::MakeCityGrid(gopts);
+  ASSERT_TRUE(g.ok());
+  const roadnet::RoadNetwork graph = std::move(g).value();
+  roadnet::GridIndexOptions grid_opts;
+  grid_opts.cells_x = 6;
+  grid_opts.cells_y = 6;
+  auto grid = roadnet::GridIndex::Build(graph, grid_opts);
+  ASSERT_TRUE(grid.ok());
+  roadnet::DistanceOracle oracle(graph);
+  core::ExactDistanceProvider dist(oracle);
+
+  const std::vector<size_t> shard_counts = {1, 2, 4, 5};
+  std::vector<VehicleIndex> indexes;
+  indexes.reserve(shard_counts.size());
+  for (const size_t s : shard_counts) indexes.emplace_back(*grid, s);
+
+  constexpr int kVehicles = 16;
+  std::vector<std::optional<Vehicle>> fleet(kVehicles);
+  const auto n_vertices =
+      static_cast<int64_t>(graph.NumVertices()) - 1;
+  util::Rng rng(GetParam());
+  RequestId next_request = 1;
+
+  // Invariant check of one index against the live fleet: every list
+  // entry is backed by a registration, lists carry no duplicates or
+  // stale ids, the list kind matches the vehicle's emptiness, and the
+  // location cell is always covered.
+  const auto check_consistency = [&](const VehicleIndex& index) {
+    std::map<VehicleId, std::vector<roadnet::CellId>> seen_empty;
+    std::map<VehicleId, std::vector<roadnet::CellId>> seen_non_empty;
+    for (roadnet::CellId c = 0; c < grid->NumCells(); ++c) {
+      for (const VehicleId id : index.EmptyVehicles(c)) {
+        seen_empty[id].push_back(c);
+      }
+      for (const VehicleId id : index.NonEmptyVehicles(c)) {
+        seen_non_empty[id].push_back(c);
+      }
+    }
+    size_t registered = 0;
+    for (VehicleId id = 0; id < kVehicles; ++id) {
+      SCOPED_TRACE("vehicle " + std::to_string(id));
+      std::vector<roadnet::CellId> cells = index.RegisteredCells(id);
+      EXPECT_TRUE(std::is_sorted(cells.begin(), cells.end()));
+      EXPECT_EQ(std::adjacent_find(cells.begin(), cells.end()),
+                cells.end());
+      if (!fleet[static_cast<size_t>(id)].has_value()) {
+        EXPECT_TRUE(cells.empty());
+        EXPECT_EQ(seen_empty.count(id), 0u);
+        EXPECT_EQ(seen_non_empty.count(id), 0u);
+        continue;
+      }
+      ++registered;
+      const Vehicle& v = *fleet[static_cast<size_t>(id)];
+      auto& mine = v.IsEmpty() ? seen_empty[id] : seen_non_empty[id];
+      auto& other = v.IsEmpty() ? seen_non_empty : seen_empty;
+      EXPECT_EQ(other.count(id), 0u) << "entry in the wrong list kind";
+      std::sort(mine.begin(), mine.end());
+      EXPECT_EQ(mine, cells) << "lists and registration disagree";
+      EXPECT_TRUE(std::binary_search(cells.begin(), cells.end(),
+                                     grid->CellOfVertex(v.location())));
+    }
+    EXPECT_EQ(index.size(), registered);
+  };
+
+  // The sharded variants must mirror the unsharded reference exactly —
+  // same entries in the same per-cell order.
+  const auto check_shard_equality = [&] {
+    for (size_t k = 1; k < indexes.size(); ++k) {
+      SCOPED_TRACE("shards " + std::to_string(shard_counts[k]));
+      for (roadnet::CellId c = 0; c < grid->NumCells(); ++c) {
+        EXPECT_EQ(indexes[k].EmptyVehicles(c),
+                  indexes[0].EmptyVehicles(c));
+        EXPECT_EQ(indexes[k].NonEmptyVehicles(c),
+                  indexes[0].NonEmptyVehicles(c));
+      }
+      EXPECT_EQ(indexes[k].size(), indexes[0].size());
+      EXPECT_EQ(indexes[k].update_count(), indexes[0].update_count());
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    const auto id =
+        static_cast<VehicleId>(rng.UniformInt(0, kVehicles - 1));
+    const int64_t op = rng.UniformInt(0, 9);
+    if (op < 2) {
+      for (VehicleIndex& index : indexes) index.Remove(id);
+      fleet[static_cast<size_t>(id)].reset();
+    } else {
+      Vehicle* v = fleet[static_cast<size_t>(id)].has_value()
+                       ? &*fleet[static_cast<size_t>(id)]
+                       : nullptr;
+      if (op < 8 || v == nullptr) {
+        // Teleport: fresh empty vehicle at a random vertex (also the
+        // empty -> non-empty -> empty kind flips).
+        fleet[static_cast<size_t>(id)].emplace(
+            id, static_cast<roadnet::VertexId>(
+                    rng.UniformInt(0, n_vertices)),
+            4);
+      } else if (v->tree().NumPendingRequests() < 3) {
+        // Commit a request: the vehicle turns (or stays) non-empty and
+        // registers its new stop cells.
+        Request r;
+        r.id = next_request++;
+        r.start = static_cast<roadnet::VertexId>(
+            rng.UniformInt(0, n_vertices));
+        r.destination = static_cast<roadnet::VertexId>(
+            rng.UniformInt(0, n_vertices));
+        if (r.start == r.destination) continue;
+        r.num_riders = 1;
+        r.max_wait_s = 1e7;
+        r.service_sigma = 20.0;
+        const roadnet::Weight pd = dist.Exact(v->location(), r.start);
+        ASSERT_NE(pd, roadnet::kInfWeight);
+        ASSERT_TRUE(v->mutable_tree()
+                        .CommitInsert(r, pd, 1.0, {0.0, 1.0}, dist)
+                        .ok());
+      }
+      for (VehicleIndex& index : indexes) {
+        index.Update(*fleet[static_cast<size_t>(id)]);
+      }
+    }
+    if (step % 40 == 0) {
+      for (const VehicleIndex& index : indexes) check_consistency(index);
+      check_shard_equality();
+    }
+  }
+  for (const VehicleIndex& index : indexes) check_consistency(index);
+  check_shard_equality();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VehicleIndexChurnTest,
+                         ::testing::Values<uint64_t>(7, 21, 1234));
+
+TEST_F(VehicleIndexTest, DeferredApplyMatchesImmediateUpdate) {
+  // Prepare-then-ApplyBatch is the deferred path the movement commit and
+  // the dispatcher use; it must land exactly where Update would.
+  VehicleIndex deferred(*grid_, 3);
+  Vehicle a(0, ex_.v(13), 3);
+  Vehicle b(1, ex_.v(5), 3);
+  std::vector<PendingUpdate> pending;
+  pending.push_back(deferred.Prepare(a));
+  pending.push_back(deferred.Prepare(b));
+  deferred.ApplyBatch(pending);
+
+  index_->Update(a);
+  index_->Update(b);
+  for (roadnet::CellId c = 0; c < grid_->NumCells(); ++c) {
+    EXPECT_EQ(deferred.EmptyVehicles(c), index_->EmptyVehicles(c));
+    EXPECT_EQ(deferred.NonEmptyVehicles(c), index_->NonEmptyVehicles(c));
+  }
+  EXPECT_EQ(deferred.size(), 2u);
+  EXPECT_EQ(deferred.update_count(), 2u);
 }
 
 TEST_F(VehicleIndexTest, ManyVehiclesPartitionByCell) {
