@@ -56,6 +56,7 @@ util::Result<std::vector<BatchItem>> BatchDispatcher::Dispatch(
       continue;
     }
     item.match = std::move(match).value();
+    if (observer_) observer_(0, r, item.match);
     const std::optional<size_t> pick = chooser(r, item.match);
     if (pick.has_value()) {
       if (*pick >= item.match.options.size()) {

@@ -28,6 +28,19 @@ struct BatchItem {
 using BatchChooser = std::function<std::optional<size_t>(
     const vehicle::Request&, const MatchResult& match)>;
 
+/// Per-request quote hook: called once per valid batch request right
+/// after its first (phase-1) match is computed — the instant a real
+/// service could return the quote to the rider, which is what the
+/// service mode's quote-latency percentiles stamp. `worker` is the
+/// 0-based matching thread (the parallel dispatcher passes its
+/// WorkerContext index; the sequential dispatcher always passes 0) and
+/// is private to one thread per Dispatch call, so observers may record
+/// into per-worker state without locks — but calls DO run concurrently
+/// across distinct workers. Commit-phase re-matches are not re-observed:
+/// the quote a rider saw is the first one.
+using MatchObserver = std::function<void(
+    size_t worker, const vehicle::Request&, const MatchResult& match)>;
+
 /// Batch-dispatch strategy interface. Every implementation realizes the
 /// paper's greedy semantics for simultaneous requests (Section 2.5):
 /// requests are committed one at a time in ascending (submit_time, id)
@@ -61,6 +74,17 @@ class Dispatcher {
   /// Convenience chooser: always take the lowest price.
   static std::optional<size_t> ChooseCheapest(const vehicle::Request&,
                                               const MatchResult& match);
+
+  /// Installs (or clears, with an empty function) the per-request quote
+  /// hook. Not part of the determinism contract: observers see
+  /// wall-clock-ordered calls and must not feed back into dispatch
+  /// decisions.
+  void SetMatchObserver(MatchObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ protected:
+  MatchObserver observer_;
 };
 
 /// Greedy handling of simultaneous requests, computed strictly one at a

@@ -148,6 +148,17 @@ util::Result<MatchResult> PTRider::SubmitRequest(
   return matcher().Match(request, MakeScheduleContext(now_s));
 }
 
+util::Result<MatchResult> PTRider::QuoteRequest(
+    const vehicle::Request& request, double now_s) {
+  PTRIDER_RETURN_IF_ERROR(ValidateRequest(request));
+  // Quote-time decay, no demand record: the quote must reflect demand
+  // current to now_s (stale surge from the last burst must never price
+  // a post-lull quote), but browsing is not an arrival — only
+  // SubmitRequest feeds the demand signal.
+  pricing_->Decay(now_s);
+  return matcher().Match(request, MakeScheduleContext(now_s));
+}
+
 util::Status PTRider::ChooseOption(const vehicle::Request& request,
                                    const Option& option, double now_s,
                                    std::vector<vehicle::PendingUpdate>*

@@ -81,6 +81,17 @@ class PTRider {
   util::Result<MatchResult> SubmitRequest(const vehicle::Request& request,
                                           double now_s);
 
+  /// Quote-only entry point (the service mode's quote endpoint): prices
+  /// the request at `now_s` like SubmitRequest would, but records NO
+  /// demand signal and commits nothing — a browsing rider is not an
+  /// arrival. Still decays the pricing policy's demand state first, so a
+  /// lull since the last submission lowers this quote instead of leaking
+  /// the last burst's stale surge into it (the same rule SubmitRequest
+  /// and the dispatchers' batch entries follow; pinned by
+  /// tests/pricing_policy_test.cpp).
+  util::Result<MatchResult> QuoteRequest(const vehicle::Request& request,
+                                         double now_s);
+
   /// The state-independent half of SubmitRequest's screening (endpoint,
   /// rider-count and constraint checks). The dispatchers run it once up
   /// front so invalid requests are reported unassigned without touching

@@ -42,6 +42,7 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
     }
     if (degenerate) {
       ++sequential_fallbacks_;
+      sequential_.SetMatchObserver(observer_);
       return sequential_.Dispatch(std::move(batch), now_s, chooser);
     }
   }
@@ -86,6 +87,7 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
             snapshot_pricing ? snapshots[i].get() : &live_policy;
         matches[i] = system_->MatchReadOnly(batch[i], now_s,
                                             context.oracle(), pricing);
+        if (observer_) observer_(context.index(), batch[i], matches[i]);
       },
       chunk);
   match_phase_seconds_ += phase_timer.ElapsedSeconds();

@@ -18,16 +18,23 @@ namespace ptrider::dispatch {
 /// the sequential dispatcher's single cache does.
 class WorkerContext {
  public:
-  explicit WorkerContext(const core::PTRider& system)
-      : oracle_(system.oracle().Clone()) {}
+  explicit WorkerContext(const core::PTRider& system, size_t index = 0)
+      : oracle_(system.oracle().Clone()), index_(index) {}
 
   roadnet::DistanceOracle& oracle() { return oracle_; }
+
+  /// This context's 0-based slot in its WorkerPool — stable for the
+  /// pool's lifetime and private to one thread per ParallelFor call, so
+  /// per-worker recording (e.g. the service's quote-latency reservoirs)
+  /// can index an array instead of taking a lock.
+  size_t index() const { return index_; }
 
   /// Exact distance queries answered by this worker (diagnostics).
   uint64_t distance_computations() const { return oracle_.computed(); }
 
  private:
   roadnet::DistanceOracle oracle_;
+  size_t index_ = 0;
 };
 
 }  // namespace ptrider::dispatch

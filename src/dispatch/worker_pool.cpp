@@ -8,7 +8,7 @@ WorkerPool::WorkerPool(const core::PTRider& system, size_t num_threads)
   // ParallelFor enlists as worker id pool_.num_workers().
   workers_.reserve(pool_.num_workers() + 1);
   for (size_t w = 0; w < pool_.num_workers() + 1; ++w) {
-    workers_.emplace_back(system);
+    workers_.emplace_back(system, w);
   }
 }
 

@@ -1,0 +1,13 @@
+#include "service/admission.h"
+
+namespace ptrider::service {
+
+std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(
+    double shed_deadline_s) {
+  if (shed_deadline_s > 0.0) {
+    return std::make_unique<DeadlineShedder>(shed_deadline_s);
+  }
+  return std::make_unique<AdmitAll>();
+}
+
+}  // namespace ptrider::service

@@ -1,0 +1,76 @@
+#ifndef PTRIDER_SERVICE_ADMISSION_H_
+#define PTRIDER_SERVICE_ADMISSION_H_
+
+#include <cstddef>
+#include <memory>
+
+namespace ptrider::service {
+
+/// What the drain-side admission decision may look at, per request, at
+/// the batch window that would dispatch it.
+struct AdmissionContext {
+  /// Seconds from the request's arrival to the instant the server would
+  /// start processing it: window queueing delay plus, in virtual-clock
+  /// runs with a service-time model, the modeled server backlog ahead of
+  /// it (DispatchService). Wall-clock runs measure the real delay.
+  double delay_s = 0.0;
+  /// Requests drained in this window (the burst the request is part of).
+  size_t drained = 0;
+};
+
+/// Admission control, stage 2 (stage 1 is the bounded ingestion queue's
+/// reject-on-full, mpsc_queue.h): decides per drained request whether to
+/// dispatch it or shed it before matching. Shedding spends ~nothing,
+/// which is the point — when offered load exceeds capacity the server
+/// degrades to serving what it can within the SLO instead of matching
+/// requests whose riders have long since given up. Implementations must
+/// be deterministic functions of the context (they sit inside the
+/// virtual-clock determinism boundary, DESIGN.md section 11).
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// True to drop the request before matching.
+  virtual bool ShouldShed(const AdmissionContext& context) const = 0;
+};
+
+/// No drain-side shedding: every queued request is dispatched, however
+/// late. The bounded queue is the only admission control — under
+/// sustained overload latency grows without bound while goodput holds,
+/// the degenerate profile bench_e19 contrasts the shedder against.
+class AdmitAll : public AdmissionPolicy {
+ public:
+  const char* name() const override { return "admit-all"; }
+  bool ShouldShed(const AdmissionContext&) const override { return false; }
+};
+
+/// Deadline-based load shedder: requests whose delay already exceeds
+/// `deadline_s` are dropped before matching. Bounds every dispatched
+/// request's start delay by the deadline, so quote/assign latency stays
+/// within deadline + service cost while goodput plateaus at capacity —
+/// graceful degradation instead of unbounded queueing.
+class DeadlineShedder : public AdmissionPolicy {
+ public:
+  explicit DeadlineShedder(double deadline_s) : deadline_s_(deadline_s) {}
+
+  const char* name() const override { return "deadline-shed"; }
+  bool ShouldShed(const AdmissionContext& context) const override {
+    return context.delay_s > deadline_s_;
+  }
+
+  double deadline_s() const { return deadline_s_; }
+
+ private:
+  double deadline_s_;
+};
+
+/// Policy for a shed deadline: 0 (or negative) selects AdmitAll,
+/// positive a DeadlineShedder — the ServiceOptions::shed_deadline_s
+/// switch.
+std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(double shed_deadline_s);
+
+}  // namespace ptrider::service
+
+#endif  // PTRIDER_SERVICE_ADMISSION_H_

@@ -1,0 +1,277 @@
+#include "service/dispatch_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/clock.h"
+#include "service/mpsc_queue.h"
+#include "sim/simulator.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace ptrider::service {
+
+namespace {
+
+sim::SimulatorOptions MakeSimOptions(const ServiceOptions& o) {
+  sim::SimulatorOptions s;
+  s.tick_s = o.tick_s;
+  s.batch_window_s = o.batch_window_s;
+  s.seed = o.seed;
+  s.choice = o.choice;
+  s.move_jobs = o.move_jobs;
+  s.verbose = false;  // The service emits its own progress lines.
+  return s;
+}
+
+}  // namespace
+
+struct DispatchService::Impl {
+  Impl(core::PTRider& system, ServiceOptions options)
+      : system(&system),
+        options(options),
+        sim(system, MakeSimOptions(options)) {}
+
+  core::PTRider* system;
+  ServiceOptions options;
+  sim::Simulator sim;
+  bool ran = false;
+};
+
+DispatchService::DispatchService(core::PTRider& system, ServiceOptions options)
+    : impl_(std::make_unique<Impl>(system, options)) {}
+
+DispatchService::~DispatchService() = default;
+
+util::Result<core::MatchResult> DispatchService::Quote(const sim::Trip& trip,
+                                                       double now_s) {
+  const core::Config& cfg = impl_->system->config();
+  vehicle::Request r;
+  // Quote requests never commit, so they consume no request id — the
+  // assignment id sequence (and with it dispatch order) is unaffected by
+  // how many price probes interleave.
+  r.id = 0;
+  r.start = trip.origin;
+  r.destination = trip.destination;
+  r.num_riders = trip.num_riders;
+  r.max_wait_s = cfg.default_max_wait_s;
+  r.service_sigma = cfg.default_service_sigma;
+  r.submit_time_s = now_s;
+  return impl_->system->QuoteRequest(r, now_s);
+}
+
+util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
+  if (impl_->ran) {
+    return util::Status::FailedPrecondition(
+        "DispatchService::Run is one-shot; construct a new service");
+  }
+  impl_->ran = true;
+  const ServiceOptions& opt = impl_->options;
+  if (opt.batch_window_s <= 0.0) {
+    return util::Status::InvalidArgument("batch window must be positive");
+  }
+  if (opt.assign_cost_s < 0.0 || opt.quote_cost_s < 0.0) {
+    return util::Status::InvalidArgument("service costs must be >= 0");
+  }
+  sim::Simulator& sim = impl_->sim;
+  PTRIDER_RETURN_IF_ERROR(sim.BeginStepping());
+
+  util::WallTimer run_timer;
+  ServiceReport report;
+  ServiceStats& stats = report.service;
+  stats.horizon_s = process.end_time_s();
+
+  RequestQueue queue(opt.queue_capacity);
+  WorkloadDriver driver(process, queue);
+  std::unique_ptr<AdmissionPolicy> admission =
+      MakeAdmissionPolicy(opt.shed_deadline_s);
+
+  const bool virt = opt.virtual_clock;
+  std::unique_ptr<ServiceClock> clock;
+  if (virt) {
+    clock = std::make_unique<VirtualClock>();
+  } else {
+    clock = std::make_unique<WallClock>(opt.wall_time_scale);
+  }
+
+  // Wall-clock mode measures quote latency where it actually becomes
+  // available: at the first phase-1 match, inside whichever dispatch
+  // worker ran it. One recorder per worker slot, no locks; merged below.
+  // The observer reads `ingest_time` (written only between dispatches,
+  // by this thread) and the shared clock — both safe during phase 1.
+  // Virtual mode records from the service-time model instead, on this
+  // thread, keeping the latency distribution deterministic.
+  std::unordered_map<vehicle::RequestId, double> ingest_time;
+  const size_t worker_slots = static_cast<size_t>(
+      std::max(1, impl_->system->config().dispatch_threads));
+  std::vector<util::Percentiles> worker_quotes(worker_slots);
+  if (!virt) {
+    ServiceClock* clk = clock.get();
+    sim.dispatcher()->SetMatchObserver(
+        [&ingest_time, &worker_quotes, clk](size_t worker,
+                                            const vehicle::Request& r,
+                                            const core::MatchResult&) {
+          auto it = ingest_time.find(r.id);
+          if (it == ingest_time.end()) return;
+          worker_quotes[worker % worker_quotes.size()].Add(clk->NowS() -
+                                                           it->second);
+        });
+  }
+
+  // Wall-clock mode: the open-loop producer runs on its own thread,
+  // pushing arrivals as their instants pass on the shared clock.
+  std::thread producer;
+  if (!virt) {
+    producer = std::thread([&driver, &clock] { driver.RunBlocking(*clock); });
+  }
+
+  const double end_time = stats.horizon_s + opt.drain_s;
+  const double speed = impl_->system->config().speed_mps;
+
+  // Virtual-clock service-time model: a single modeled server drains
+  // `assign_cost_s` of work per dispatched request. `backlog_s` is the
+  // work still owed at the last drain instant; elapsed simulated time
+  // pays it down, each admitted request adds to it. A request drained
+  // behind a backlog starts that much later — its start delay, which the
+  // deadline shedder and the latency percentiles both see. Offered rate
+  // above 1/assign_cost_s makes the backlog grow without bound: the
+  // knee.
+  double backlog_s = 0.0;
+  double last_drain_s = 0.0;
+
+  std::vector<IngestedTrip> staged;
+  std::vector<vehicle::Request> batch;
+  std::vector<double> delays;
+
+  // Same integer tick/window grid as Simulator::Run (drift-free over
+  // day-scale horizons; final tick clamped to end_time).
+  double now = 0.0;
+  int64_t next_window = 1;
+  double next_progress_log = 3600.0;
+  const int64_t total_ticks =
+      static_cast<int64_t>(std::ceil(end_time / opt.tick_s));
+
+  // One batch-window drain at simulated instant `now_s`: admission,
+  // latency stamping, dispatch, outcome accounting.
+  auto drain_and_dispatch = [&](double now_s) -> util::Status {
+    util::WallTimer phase_timer;
+    stats.queue_depth.Add(static_cast<double>(queue.size()));
+    staged.clear();
+    const size_t drained = queue.DrainTo(staged);
+    if (virt) {
+      backlog_s = std::max(0.0, backlog_s - (now_s - last_drain_s));
+    }
+    last_drain_s = now_s;
+    if (drained == 0) {
+      report.sim.match_phase_seconds += phase_timer.ElapsedSeconds();
+      return util::Status::Ok();
+    }
+
+    batch.clear();
+    delays.clear();
+    for (const IngestedTrip& in : staged) {
+      const double queue_wait = std::max(0.0, now_s - in.ingest_time_s);
+      const double delay = virt ? queue_wait + backlog_s : queue_wait;
+      AdmissionContext ctx;
+      ctx.delay_s = delay;
+      ctx.drained = drained;
+      if (admission->ShouldShed(ctx)) {
+        ++stats.shed;
+        continue;
+      }
+      vehicle::Request r = sim.MakeRequest(in.trip);
+      PTRIDER_RETURN_IF_ERROR(impl_->system->ValidateRequest(r));
+      if (virt) {
+        backlog_s += opt.assign_cost_s;
+        stats.quote_latency_s.Add(delay + opt.quote_cost_s);
+      } else {
+        ingest_time[r.id] = in.ingest_time_s;
+      }
+      batch.push_back(r);
+      delays.push_back(delay);
+    }
+
+    // Ids were issued in staged (time) order and ingest stamps are
+    // nondecreasing, so the dispatcher's (submit_time, id) commit order
+    // is the staged order: items[i] pairs with delays[i].
+    auto items = sim.DispatchBatch(std::move(batch), now_s, report.sim);
+    PTRIDER_RETURN_IF_ERROR(items.status());
+    stats.dispatched += items->size();
+    const double done_s = virt ? 0.0 : clock->NowS();
+    for (size_t i = 0; i < items->size(); ++i) {
+      const core::BatchItem& item = (*items)[i];
+      if (!virt) ingest_time.erase(item.request.id);
+      if (!item.assigned) continue;
+      ++stats.assigned;
+      if (virt) {
+        stats.assign_latency_s.Add(delays[i] + opt.assign_cost_s);
+      } else {
+        // delays[i] is the queue wait, so now_s - delays[i] recovers the
+        // ingestion instant; done_s is the post-dispatch clock read.
+        stats.assign_latency_s.Add(done_s - (now_s - delays[i]));
+      }
+    }
+    report.sim.match_phase_seconds += phase_timer.ElapsedSeconds();
+    return util::Status::Ok();
+  };
+
+  for (int64_t tick = 1; tick <= total_ticks; ++tick) {
+    const double prev = now;
+    now = std::min(static_cast<double>(tick) * opt.tick_s, end_time);
+    if (virt) {
+      driver.PumpUntil(now);
+    } else {
+      clock->SleepUntilS(now);
+    }
+    if (now + 1e-9 >= static_cast<double>(next_window) * opt.batch_window_s) {
+      PTRIDER_RETURN_IF_ERROR(drain_and_dispatch(now));
+      while (static_cast<double>(next_window) * opt.batch_window_s <=
+             now + 1e-9) {
+        ++next_window;
+      }
+    }
+    PTRIDER_RETURN_IF_ERROR(sim.AdvanceTick(prev, now, report.sim));
+    if (opt.verbose && now >= next_progress_log) {
+      PTRIDER_LOG(kInfo) << util::StrFormat(
+          "t=%.1fh offered=%llu shed=%llu assigned=%llu depth=%zu",
+          now / 3600.0, static_cast<unsigned long long>(driver.offered()),
+          static_cast<unsigned long long>(stats.rejected + stats.shed),
+          static_cast<unsigned long long>(stats.assigned), queue.size());
+      next_progress_log += 3600.0;
+    }
+  }
+
+  if (!virt && producer.joinable()) producer.join();
+  // Final partial window: anything still queued (arrivals between the
+  // last flush and end_time) gets one last dispatch, like Run's
+  // epilogue.
+  if (virt) driver.PumpUntil(end_time);
+  PTRIDER_RETURN_IF_ERROR(drain_and_dispatch(now));
+
+  if (!virt) {
+    for (const util::Percentiles& p : worker_quotes) {
+      stats.quote_latency_s.Merge(p);
+    }
+  }
+  stats.offered = driver.offered();
+  stats.ingested = queue.pushed();
+  stats.rejected = queue.rejected();
+  stats.max_queue_depth = queue.max_depth();
+
+  for (const vehicle::Vehicle& v : impl_->system->fleet().vehicles()) {
+    report.sim.fleet_total_distance_m += v.total_distance_m();
+    report.sim.fleet_occupied_distance_m += v.occupied_distance_m();
+    report.sim.fleet_shared_distance_m += v.shared_distance_m();
+  }
+  report.sim.simulated_seconds = now;
+  report.sim.wall_clock_seconds = run_timer.ElapsedSeconds();
+  stats.wall_clock_seconds = run_timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace ptrider::service

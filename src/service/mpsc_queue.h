@@ -1,0 +1,109 @@
+#ifndef PTRIDER_SERVICE_MPSC_QUEUE_H_
+#define PTRIDER_SERVICE_MPSC_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ptrider::service {
+
+/// Bounded multi-producer / single-consumer ingestion queue — the
+/// admission boundary between the open-loop workload drivers (any number
+/// of producer threads, or the service loop itself in virtual-clock
+/// mode) and the dispatch service's drain loop. Push order is FIFO per
+/// producer and globally FIFO under a single producer, which is what the
+/// virtual-clock determinism argument needs (DESIGN.md section 11).
+///
+/// Admission control, stage 1: TryPush on a full queue REJECTS the item
+/// (returns false, counted) instead of blocking or growing — an
+/// open-loop arrival process does not slow down because the server is
+/// behind, so unbounded queueing is the failure mode this type exists to
+/// prevent. Rejection is deliberately cheap feedback ("busy, retry"),
+/// distinct from the drain-side deadline shedder (admission.h).
+///
+/// Mutex-guarded rather than lock-free: producers push a few thousand
+/// times per simulated second at most, and the consumer drains in one
+/// swap per batch window — contention is negligible next to matching,
+/// and the mutex keeps the type trivially TSan-clean.
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Producer side. False (and the item dropped) when the queue is at
+  /// capacity or closed; both cases count into rejected().
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    ++pushed_;
+    if (items_.size() > max_depth_) max_depth_ = items_.size();
+    return true;
+  }
+
+  /// Producer side: no further pushes will be accepted (drivers call it
+  /// when their arrival process is exhausted; the consumer can then
+  /// treat an empty queue as final).
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+
+  /// Consumer side: appends everything queued to `out` in push order and
+  /// empties the queue. Returns the number drained.
+  size_t DrainTo(std::vector<T>& out) {
+    std::deque<T> taken;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      taken.swap(items_);
+    }
+    for (T& item : taken) out.push_back(std::move(item));
+    return taken.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+  /// Items accepted since construction.
+  uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+  /// Items refused (full or closed) since construction.
+  uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+  /// High-water mark of the queue depth.
+  size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  uint64_t pushed_ = 0;
+  uint64_t rejected_ = 0;
+  size_t max_depth_ = 0;
+};
+
+}  // namespace ptrider::service
+
+#endif  // PTRIDER_SERVICE_MPSC_QUEUE_H_

@@ -1,0 +1,63 @@
+#include "service/service_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ptrider::service {
+
+void ServiceStats::Merge(const ServiceStats& other) {
+  offered += other.offered;
+  ingested += other.ingested;
+  rejected += other.rejected;
+  shed += other.shed;
+  dispatched += other.dispatched;
+  assigned += other.assigned;
+  quote_latency_s.Merge(other.quote_latency_s);
+  assign_latency_s.Merge(other.assign_latency_s);
+  queue_depth.Merge(other.queue_depth);
+  max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
+  horizon_s = std::max(horizon_s, other.horizon_s);
+  wall_clock_seconds = std::max(wall_clock_seconds, other.wall_clock_seconds);
+}
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream os;
+  os << "=== Service statistics ===\n";
+  os << util::StrFormat(
+      "offered                  %llu (%.2f req/s over %.0fs)\n",
+      static_cast<unsigned long long>(offered), OfferedRps(), horizon_s);
+  os << util::StrFormat(
+      "admission                %llu ingested, %llu rejected (queue full), "
+      "%llu shed (deadline)\n",
+      static_cast<unsigned long long>(ingested),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(shed));
+  os << util::StrFormat(
+      "dispatched               %llu (%llu assigned)\n",
+      static_cast<unsigned long long>(dispatched),
+      static_cast<unsigned long long>(assigned));
+  os << util::StrFormat("goodput                  %.2f assigned/s\n",
+                        GoodputRps());
+  os << util::StrFormat("shed rate                %.1f%%\n",
+                        100.0 * ShedRate());
+  os << util::StrFormat("quote latency (s)        %s\n",
+                        quote_latency_s.ToString().c_str());
+  os << util::StrFormat("assign latency (s)       %s\n",
+                        assign_latency_s.ToString().c_str());
+  os << util::StrFormat(
+      "queue depth              %s (max %llu)\n", queue_depth.ToString().c_str(),
+      static_cast<unsigned long long>(max_queue_depth));
+  if (wall_clock_seconds > 0.0) {
+    os << util::StrFormat("wall clock               %.2fs\n",
+                          wall_clock_seconds);
+  }
+  return os.str();
+}
+
+std::string ServiceReport::ToString() const {
+  return service.ToString() + sim.ToString();
+}
+
+}  // namespace ptrider::service

@@ -1,0 +1,86 @@
+#ifndef PTRIDER_SERVICE_SERVICE_STATS_H_
+#define PTRIDER_SERVICE_SERVICE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/metrics.h"
+#include "util/stats.h"
+
+namespace ptrider::service {
+
+/// Service-side counters and latency distributions for one DispatchService
+/// run — the SLO view that SimulationReport (match quality, fleet motion)
+/// does not cover. Every request offered by the workload driver lands in
+/// exactly one of: rejected (queue full), shed (admission deadline),
+/// dispatched (reached the matcher).
+struct ServiceStats {
+  // --- Admission funnel -----------------------------------------------------
+  /// Requests the driver offered to the ingestion queue.
+  uint64_t offered = 0;
+  /// Accepted into the queue (stage-1 admission passed).
+  uint64_t ingested = 0;
+  /// Refused at the queue — full or closed (stage-1 reject).
+  uint64_t rejected = 0;
+  /// Drained but dropped by the admission policy before matching
+  /// (stage-2 shed).
+  uint64_t shed = 0;
+  /// Handed to the dispatcher.
+  uint64_t dispatched = 0;
+  /// Dispatched and assigned a vehicle (the goodput numerator).
+  uint64_t assigned = 0;
+
+  // --- Latency (simulation seconds; ingestion -> event) ---------------------
+  /// Ingestion to quote availability (first match result).
+  util::Percentiles quote_latency_s;
+  /// Ingestion to committed assignment; assigned requests only.
+  util::Percentiles assign_latency_s;
+  /// Queue depth sampled at each batch-window drain (before draining).
+  util::Percentiles queue_depth;
+  /// High-water mark of the ingestion queue.
+  uint64_t max_queue_depth = 0;
+
+  /// Load horizon in simulation seconds (last arrival the process could
+  /// emit); denominator for the rates below.
+  double horizon_s = 0.0;
+  /// Wall seconds the service loop ran (measurement only — excluded from
+  /// determinism comparisons, like SimulationReport::wall_clock_seconds).
+  double wall_clock_seconds = 0.0;
+
+  double OfferedRps() const {
+    return horizon_s > 0.0 ? static_cast<double>(offered) / horizon_s : 0.0;
+  }
+  /// Assignments per simulated second — the throughput that survives both
+  /// admission stages and matching. Under overload this plateaus at
+  /// capacity while p99 latency diverges: the knee bench_e19 locates.
+  double GoodputRps() const {
+    return horizon_s > 0.0 ? static_cast<double>(assigned) / horizon_s : 0.0;
+  }
+  /// Fraction of offered requests dropped by either admission stage.
+  double ShedRate() const {
+    return offered > 0
+               ? static_cast<double>(rejected + shed) / static_cast<double>(offered)
+               : 0.0;
+  }
+
+  /// Folds another stats block in (counters add, percentile reservoirs
+  /// merge via util::Percentiles::Merge; horizon/max-depth take the max).
+  /// Used to combine per-worker latency recorders in wall-clock mode.
+  void Merge(const ServiceStats& other);
+
+  std::string ToString() const;
+};
+
+/// Everything one service run produces: the simulation-side report (match
+/// quality, fleet motion — the closed-loop metrics) plus the service-side
+/// SLO stats above.
+struct ServiceReport {
+  sim::SimulationReport sim;
+  ServiceStats service;
+
+  std::string ToString() const;
+};
+
+}  // namespace ptrider::service
+
+#endif  // PTRIDER_SERVICE_SERVICE_STATS_H_

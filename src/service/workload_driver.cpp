@@ -1,0 +1,95 @@
+#include "service/workload_driver.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ptrider::service {
+
+TraceArrivals::TraceArrivals(std::vector<sim::Trip> trips,
+                             double rate_multiplier)
+    : trips_(std::move(trips)),
+      rate_multiplier_(rate_multiplier > 0.0 ? rate_multiplier : 1.0) {
+  std::stable_sort(trips_.begin(), trips_.end(),
+                   [](const sim::Trip& a, const sim::Trip& b) {
+                     return a.time_s < b.time_s;
+                   });
+  for (sim::Trip& t : trips_) t.time_s /= rate_multiplier_;
+  if (!trips_.empty()) end_time_s_ = trips_.back().time_s;
+}
+
+std::optional<sim::Trip> TraceArrivals::Next() {
+  if (next_ >= trips_.size()) return std::nullopt;
+  return trips_[next_++];
+}
+
+PoissonArrivals::PoissonArrivals(const roadnet::RoadNetwork& graph,
+                                 const PoissonArrivalOptions& options)
+    : graph_(&graph), options_(options), rng_(options.seed) {
+  if (options_.rate_per_s <= 0.0) options_.rate_per_s = 1.0;
+  if (options_.duration_s < 0.0) options_.duration_s = 0.0;
+}
+
+std::optional<sim::Trip> PoissonArrivals::Next() {
+  // Each arrival is one exponential gap after the previous; the first is
+  // a full gap past t=0 (a Poisson process has no atom at the origin).
+  next_time_s_ += rng_.Exponential(options_.rate_per_s);
+  if (next_time_s_ > options_.duration_s) return std::nullopt;
+
+  sim::Trip trip;
+  trip.time_s = next_time_s_;
+  const auto n = static_cast<int64_t>(graph_->NumVertices());
+  trip.origin = static_cast<roadnet::VertexId>(rng_.UniformInt(0, n - 1));
+  trip.destination = trip.origin;
+  while (trip.destination == trip.origin) {
+    trip.destination =
+        static_cast<roadnet::VertexId>(rng_.UniformInt(0, n - 1));
+  }
+
+  double total_weight = 0.0;
+  for (double w : options_.group_weights) total_weight += w;
+  double draw = rng_.UniformDouble(0.0, total_weight);
+  trip.num_riders = static_cast<int>(options_.group_weights.size());
+  for (size_t k = 0; k < options_.group_weights.size(); ++k) {
+    draw -= options_.group_weights[k];
+    if (draw <= 0.0) {
+      trip.num_riders = static_cast<int>(k) + 1;
+      break;
+    }
+  }
+  return trip;
+}
+
+WorkloadDriver::WorkloadDriver(ArrivalProcess& process, RequestQueue& queue)
+    : process_(&process), queue_(&queue) {}
+
+std::optional<sim::Trip> WorkloadDriver::Peek() {
+  if (!lookahead_) lookahead_ = process_->Next();
+  return lookahead_;
+}
+
+size_t WorkloadDriver::PumpUntil(double now_s) {
+  size_t offered_now = 0;
+  while (true) {
+    std::optional<sim::Trip> trip = Peek();
+    if (!trip || trip->time_s > now_s) break;
+    lookahead_.reset();
+    queue_->TryPush(IngestedTrip{*trip, trip->time_s});
+    ++offered_;
+    ++offered_now;
+  }
+  return offered_now;
+}
+
+void WorkloadDriver::RunBlocking(ServiceClock& clock) {
+  while (true) {
+    std::optional<sim::Trip> trip = Peek();
+    if (!trip) break;
+    lookahead_.reset();
+    clock.SleepUntilS(trip->time_s);
+    queue_->TryPush(IngestedTrip{*trip, clock.NowS()});
+    ++offered_;
+  }
+  queue_->Close();
+}
+
+}  // namespace ptrider::service

@@ -1,0 +1,133 @@
+#ifndef PTRIDER_SERVICE_WORKLOAD_DRIVER_H_
+#define PTRIDER_SERVICE_WORKLOAD_DRIVER_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "service/clock.h"
+#include "service/mpsc_queue.h"
+#include "sim/trip.h"
+#include "util/random.h"
+
+namespace ptrider::service {
+
+/// One request as it crosses the ingestion queue: the trip plus its
+/// ingestion timestamp (simulation seconds — the arrival instant under a
+/// virtual clock, the push instant under a wall clock). Queue-wait and
+/// latency accounting measure from here.
+struct IngestedTrip {
+  sim::Trip trip;
+  double ingest_time_s = 0.0;
+};
+
+using RequestQueue = BoundedMpscQueue<IngestedTrip>;
+
+/// An open-loop arrival process: a time-ordered stream of trips on its
+/// own schedule, decoupled from tick/processing speed — the server being
+/// slow never delays the next arrival (that coupling is exactly what the
+/// closed-loop Simulator::Run has and a production dispatcher does not).
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  virtual const char* name() const = 0;
+  /// Next trip, non-decreasing in time_s; nullopt once exhausted.
+  virtual std::optional<sim::Trip> Next() = 0;
+  /// Time of the last arrival this process can emit (the load horizon —
+  /// offered-rate denominators and service end times derive from it).
+  virtual double end_time_s() const = 0;
+};
+
+/// Replays a pre-generated, time-sorted trace (sim::GenerateHotspotTrips
+/// or sim::LoadTrips output — the paper's full-day Shanghai framing).
+/// `rate_multiplier` compresses the schedule: 2.0 divides every arrival
+/// time by two, doubling the offered rate over half the horizon — the
+/// knob bench_e19's trace-replay sweeps turn.
+class TraceArrivals : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(std::vector<sim::Trip> trips,
+                         double rate_multiplier = 1.0);
+
+  const char* name() const override { return "trace-replay"; }
+  std::optional<sim::Trip> Next() override;
+  double end_time_s() const override { return end_time_s_; }
+
+ private:
+  std::vector<sim::Trip> trips_;
+  double rate_multiplier_;
+  double end_time_s_ = 0.0;
+  size_t next_ = 0;
+};
+
+/// Homogeneous Poisson arrivals: exponential inter-arrival gaps at
+/// `rate_per_s` over `duration_s`, endpoints drawn uniformly from the
+/// road network (origin != destination), rider-group sizes from
+/// `group_weights`. The canonical open-loop stress process — offered
+/// load is one number, so sweeping it locates the throughput knee.
+struct PoissonArrivalOptions {
+  double rate_per_s = 1.0;
+  double duration_s = 600.0;
+  uint64_t seed = 2009;
+  /// P(group size = k) proportional to group_weights[k-1].
+  std::array<double, 4> group_weights = {0.70, 0.20, 0.07, 0.03};
+};
+
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  PoissonArrivals(const roadnet::RoadNetwork& graph,
+                  const PoissonArrivalOptions& options);
+
+  const char* name() const override { return "poisson"; }
+  std::optional<sim::Trip> Next() override;
+  double end_time_s() const override { return options_.duration_s; }
+
+ private:
+  const roadnet::RoadNetwork* graph_;
+  PoissonArrivalOptions options_;
+  util::Rng rng_;
+  double next_time_s_ = 0.0;
+};
+
+/// The open-loop workload driver: feeds an ArrivalProcess into the
+/// service ingestion queue on the arrival schedule. Two modes, one per
+/// side of the determinism boundary (DESIGN.md section 11):
+///
+///   * PumpUntil (virtual clock) — the service loop calls it inline each
+///     tick; every arrival due at or before `now` is pushed in arrival
+///     order with its arrival instant as the ingestion stamp.
+///     Single-threaded, deterministic ingestion order and reject
+///     decisions.
+///   * RunBlocking (wall clock) — run on a dedicated producer thread;
+///     sleeps the clock to each arrival's instant and pushes with the
+///     real (scaled) push time as the ingestion stamp. Closes the queue
+///     at exhaustion.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(ArrivalProcess& process, RequestQueue& queue);
+
+  /// Virtual-clock ingestion: pushes every arrival with time_s <= now_s.
+  /// Returns the number offered (pushed + rejected-on-full).
+  size_t PumpUntil(double now_s);
+
+  /// Wall-clock ingestion loop; blocks until the process is exhausted,
+  /// then closes the queue.
+  void RunBlocking(ServiceClock& clock);
+
+  /// Arrivals offered to the queue so far (accepted + rejected).
+  uint64_t offered() const { return offered_; }
+
+ private:
+  std::optional<sim::Trip> Peek();
+
+  ArrivalProcess* process_;
+  RequestQueue* queue_;
+  std::optional<sim::Trip> lookahead_;
+  uint64_t offered_ = 0;
+};
+
+}  // namespace ptrider::service
+
+#endif  // PTRIDER_SERVICE_WORKLOAD_DRIVER_H_

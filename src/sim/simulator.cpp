@@ -112,9 +112,14 @@ std::optional<size_t> Simulator::PickOption(const vehicle::Request& request,
   return pick;
 }
 
-util::Status Simulator::DispatchPending(double now,
-                                        SimulationReport& report) {
-  if (pending_.empty()) return util::Status::Ok();
+util::Result<std::vector<core::BatchItem>> Simulator::DispatchBatch(
+    std::vector<vehicle::Request> batch, double now,
+    SimulationReport& report) {
+  if (batch.empty()) return std::vector<core::BatchItem>{};
+  if (dispatcher_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "DispatchBatch needs BeginStepping (or a batched Run) first");
+  }
   // The chooser runs in the dispatcher's sequential commit phase, in
   // (submit_time, id) order — rng_ consumption is identical for every
   // dispatch strategy, which is what makes sequential and parallel runs
@@ -124,15 +129,49 @@ util::Status Simulator::DispatchPending(double now,
                   const core::MatchResult& match) {
         return PickOption(r, match, now);
       };
-  auto items = dispatcher_->Dispatch(std::move(pending_), now, chooser);
-  pending_.clear();
+  auto items = dispatcher_->Dispatch(std::move(batch), now, chooser);
   PTRIDER_RETURN_IF_ERROR(items.status());
   for (const core::BatchItem& item : *items) {
     PTRIDER_RETURN_IF_ERROR(RecordOutcome(
         item.request, item.match, item.assigned ? &item.chosen : nullptr,
         now, report));
   }
+  return items;
+}
+
+util::Status Simulator::DispatchPending(double now,
+                                        SimulationReport& report) {
+  if (pending_.empty()) return util::Status::Ok();
+  auto items = DispatchBatch(std::move(pending_), now, report);
+  pending_.clear();
+  return items.status();
+}
+
+util::Status Simulator::BeginStepping() {
+  if (options_.tick_s <= 0.0) {
+    return util::Status::InvalidArgument("tick must be positive");
+  }
+  if (system_->fleet().size() == 0) {
+    return util::Status::FailedPrecondition("fleet is empty");
+  }
+  if (dispatcher_ == nullptr) {
+    dispatcher_ = dispatch::CreateDispatcher(*system_);
+  }
+  if (options_.move_jobs > 1 && move_pool_ == nullptr) {
+    move_pool_ = std::make_unique<dispatch::WorkerPool>(
+        *system_, static_cast<size_t>(options_.move_jobs));
+  }
+  motions_.assign(system_->fleet().size(), Motion{});
   return util::Status::Ok();
+}
+
+util::Status Simulator::AdvanceTick(double prev, double now,
+                                    SimulationReport& report) {
+  if (now < prev) {
+    return util::Status::InvalidArgument("ticks must move forward");
+  }
+  return MovePhase(now, system_->config().speed_mps * (now - prev),
+                   report);
 }
 
 util::Status Simulator::MovePhase(double now, double budget,

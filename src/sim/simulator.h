@@ -59,6 +59,37 @@ class Simulator {
   /// aggregated statistics.
   util::Result<SimulationReport> Run(const std::vector<Trip>& trips);
 
+  // --- Service-mode stepping (src/service/dispatch_service.*) -------------
+  // The long-running dispatch service drives the same tick machinery Run
+  // does, but its requests arrive through an ingestion queue on their own
+  // open-loop schedule instead of from a pre-sorted trip vector — so it
+  // owns the outer clock loop and calls these three steps itself
+  // (DESIGN.md section 11).
+
+  /// Prepares stepping: validates options and fleet, resets motion state
+  /// and creates the dispatcher / movement pool Run would create. Call
+  /// once before MakeRequest / DispatchBatch / AdvanceTick.
+  util::Status BeginStepping();
+  /// The shared trip-to-request conversion for external submission
+  /// paths: arrival-instant stamping as in Run, ids issued in call
+  /// order (which is what makes queue-ingestion order the paper's
+  /// (submit_time, id) dispatch order).
+  vehicle::Request MakeRequest(const Trip& t) { return BuildRequest(t); }
+  /// Dispatches `batch` at `now` through the configured dispatcher and
+  /// folds every outcome into `report` exactly like one of Run's batch
+  /// windows; returns the per-request items (processing order) so the
+  /// caller can stamp per-request service latencies.
+  util::Result<std::vector<core::BatchItem>> DispatchBatch(
+      std::vector<vehicle::Request> batch, double now,
+      SimulationReport& report);
+  /// One movement tick from `prev` to `now` (fleet budget pro-rated to
+  /// the interval, exactly like Run's tick loop).
+  util::Status AdvanceTick(double prev, double now,
+                           SimulationReport& report);
+  /// The dispatcher BeginStepping created (null before); the service
+  /// installs its quote-latency MatchObserver here.
+  core::Dispatcher* dispatcher() { return dispatcher_.get(); }
+
  private:
   /// The shared trip-to-request conversion of both submission paths.
   /// Stamps the trip's true arrival instant as submit_time_s — never the

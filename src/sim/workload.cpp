@@ -100,7 +100,22 @@ util::Result<std::vector<Trip>> LoadTrips(const roadnet::RoadNetwork& graph,
                                         reader.line_number(),
                                         error.message().c_str()));
   };
+  // Real trace exports ship with a `time_s,origin,destination,riders`
+  // header row; accept it (first record only — a header further down is
+  // a malformed row and still names its line) on top of the '#' comment
+  // and blank lines CsvReader already skips.
+  const auto is_header = [](const std::vector<std::string>& row) {
+    return row.size() == 4 && util::Trim(row[0]) == "time_s" &&
+           util::Trim(row[1]) == "origin" &&
+           util::Trim(row[2]) == "destination" &&
+           util::Trim(row[3]) == "riders";
+  };
+  bool first_record = true;
   while (reader.Next(fields)) {
+    if (first_record) {
+      first_record = false;
+      if (is_header(fields)) continue;
+    }
     if (fields.size() != 4) {
       return util::Status::InvalidArgument(util::StrFormat(
           "line %zu: trip rows need 4 fields", reader.line_number()));

@@ -45,6 +45,10 @@ util::Result<std::vector<Trip>> GenerateHotspotTrips(
     const roadnet::RoadNetwork& graph, const HotspotWorkloadOptions& options);
 
 /// Saves / loads traces as CSV (`time_s,origin,destination,riders`).
+/// The loader accepts an optional `time_s,origin,destination,riders`
+/// header row plus '#' comment and blank lines, so real trace exports
+/// load unmodified; rows are validated against `graph` and returned
+/// time-sorted.
 util::Status SaveTrips(const std::vector<Trip>& trips,
                        const std::string& path);
 util::Result<std::vector<Trip>> LoadTrips(const roadnet::RoadNetwork& graph,

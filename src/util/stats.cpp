@@ -76,6 +76,65 @@ void Percentiles::Add(double x) {
   }
 }
 
+void Percentiles::Merge(const Percentiles& other) {
+  if (other.total_ == 0) return;
+  if (total_ == 0 && other.samples_.size() <= capacity_) {
+    total_ = other.total_;
+    samples_ = other.samples_;
+    sorted_ = other.sorted_;
+    return;
+  }
+  // Weighted pool: a reservoir that downsampled keeps each sample as a
+  // stand-in for total/kept stream values; exact recorders weight 1.
+  struct Weighted {
+    double value;
+    double weight;
+  };
+  std::vector<Weighted> pool;
+  pool.reserve(samples_.size() + other.samples_.size());
+  if (!samples_.empty()) {
+    const double w =
+        static_cast<double>(total_) / static_cast<double>(samples_.size());
+    for (double v : samples_) pool.push_back({v, w});
+  }
+  if (!other.samples_.empty()) {
+    const double w = static_cast<double>(other.total_) /
+                     static_cast<double>(other.samples_.size());
+    for (double v : other.samples_) pool.push_back({v, w});
+  }
+  std::sort(pool.begin(), pool.end(), [](const Weighted& a,
+                                         const Weighted& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.weight < b.weight;
+  });
+  total_ += other.total_;
+  samples_.clear();
+  if (pool.size() <= capacity_) {
+    for (const Weighted& s : pool) samples_.push_back(s.value);
+    sorted_ = true;
+    return;
+  }
+  // Deterministic compaction: walk the sorted pool once and keep the
+  // value at each of `capacity` evenly spaced cumulative-weight targets
+  // (the (j + 0.5)/capacity weighted quantiles), so a small exact
+  // recorder merged into a big downsampled one cannot crowd the result.
+  double total_weight = 0.0;
+  for (const Weighted& s : pool) total_weight += s.weight;
+  samples_.reserve(capacity_);
+  size_t idx = 0;
+  double cum = pool[0].weight;
+  for (size_t j = 0; j < capacity_; ++j) {
+    const double target = (static_cast<double>(j) + 0.5) * total_weight /
+                          static_cast<double>(capacity_);
+    while (cum < target && idx + 1 < pool.size()) {
+      ++idx;
+      cum += pool[idx].weight;
+    }
+    samples_.push_back(pool[idx].value);
+  }
+  sorted_ = true;
+}
+
 double Percentiles::Value(double p) const {
   if (samples_.empty()) return 0.0;
   if (!sorted_) {
@@ -88,6 +147,13 @@ double Percentiles::Value(double p) const {
   const size_t hi = std::min(lo + 1, samples_.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Percentiles::ToString() const {
+  std::ostringstream os;
+  os << "n=" << total_ << " p50=" << Value(50.0) << " p90=" << Value(90.0)
+     << " p99=" << Value(99.0) << " p99.9=" << Value(99.9);
+  return os.str();
 }
 
 Histogram::Histogram(double lo, double hi, size_t buckets)

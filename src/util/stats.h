@@ -42,10 +42,27 @@ class Percentiles {
   explicit Percentiles(size_t capacity = 1 << 16, uint64_t seed = 7);
 
   void Add(double x);
+  /// Folds `other`'s samples into this recorder, so per-thread latency
+  /// recorders can be combined into one distribution (the service mode's
+  /// per-worker quote recorders; RunningStats::Merge's counterpart).
+  /// RNG-free and deterministic: each retained sample is weighted by the
+  /// number of stream values it stands for (1 while exact, total/kept
+  /// once a reservoir downsampled), the weighted pools are concatenated,
+  /// and a pool past `capacity` is compacted to the capacity evenly
+  /// spaced weighted quantiles of the sorted pool. While every pool
+  /// involved stays within capacity the merge is exact — the sample
+  /// multiset is the union, so merge order cannot matter. Past capacity
+  /// the compaction is still deterministic, but different merge
+  /// groupings may compact different intermediate pools.
+  void Merge(const Percentiles& other);
   /// Percentile `p` in [0,100]; returns 0 when empty.
   double Value(double p) const;
   double Median() const { return Value(50.0); }
   size_t count() const { return total_; }
+
+  /// One-line tail summary: n, p50, p90, p99 and p99.9 (the service
+  /// SLO percentiles).
+  std::string ToString() const;
 
  private:
   size_t capacity_;

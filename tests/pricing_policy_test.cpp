@@ -393,6 +393,81 @@ void CheckMatcherEquivalence(core::PricingPolicyKind kind, uint64_t seed) {
   EXPECT_GT(compared_options, 40);  // the check saw real option sets
 }
 
+// --- Quote-path decay (service quote endpoint) -----------------------------
+
+// Regression: PTRider::QuoteRequest must decay the pricing clock to
+// `now` BEFORE pricing, exactly as SubmitRequest does. If it priced
+// first, a quote issued long after a demand burst would still carry the
+// burst's stale surge — and would disagree with an immediately repeated
+// identical quote (which would then see the decayed state).
+TEST(QuotePathTest, QuoteRequestDecaysStaleSurge) {
+  roadnet::CityGridOptions gopts;
+  gopts.rows = 10;
+  gopts.cols = 10;
+  gopts.seed = 23;
+  auto graph = roadnet::MakeCityGrid(gopts);
+  ASSERT_TRUE(graph.ok());
+
+  core::Config cfg;
+  cfg.pricing_policy = core::PricingPolicyKind::kSurge;
+  cfg.max_planned_pickup_s = 600.0;
+  // Surge engages at the test's modest burst rate.
+  cfg.surge_baseline_rate_per_min = 0.5;
+  cfg.surge_gain_per_rate = 0.2;
+  auto sys = core::PTRider::Create(*graph, cfg);
+  ASSERT_TRUE(sys.ok());
+  core::PTRider& pt = **sys;
+  ASSERT_TRUE(pt.InitFleetUniform(25, 3).ok());
+
+  // A demand burst at t ~ 0 drives the multiplier above 1.
+  util::Rng rng(41);
+  auto rv = [&]() {
+    return static_cast<roadnet::VertexId>(rng.UniformInt(
+        0, static_cast<int64_t>(graph->NumVertices()) - 1));
+  };
+  for (int i = 0; i < 30; ++i) {
+    vehicle::Request r;
+    r.id = 100 + i;
+    r.start = rv();
+    do {
+      r.destination = rv();
+    } while (r.destination == r.start);
+    r.num_riders = 1;
+    r.max_wait_s = cfg.default_max_wait_s;
+    r.service_sigma = cfg.default_service_sigma;
+    ASSERT_TRUE(pt.SubmitRequest(r, static_cast<double>(i)).ok());
+  }
+  const auto& surge = dynamic_cast<const SurgePolicy&>(pt.pricing_policy());
+  ASSERT_GT(surge.multiplier(), 1.0);
+
+  // Quote well past the surge window: the whole burst has aged out.
+  const double late = 30.0 + cfg.surge_window_s + 60.0;
+  vehicle::Request probe;
+  probe.start = 0;
+  probe.destination =
+      static_cast<roadnet::VertexId>(graph->NumVertices() - 1);
+  probe.num_riders = 1;
+  probe.max_wait_s = cfg.default_max_wait_s;
+  probe.service_sigma = cfg.default_service_sigma;
+  auto first = pt.QuoteRequest(probe, late);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // The quote path decayed the rolling window before pricing.
+  EXPECT_DOUBLE_EQ(surge.multiplier(), 1.0);
+
+  // An identical repeat sees the same (fully decayed) state:
+  // byte-identical quotes, the Decay(t);Record(t) == Record(t) family of
+  // invariants applied to the quote-only path.
+  auto second = pt.QuoteRequest(probe, late);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->options.size(), second->options.size());
+  for (size_t i = 0; i < first->options.size(); ++i) {
+    EXPECT_EQ(first->options[i].price, second->options[i].price);
+    EXPECT_EQ(first->options[i].vehicle, second->options[i].vehicle);
+  }
+  // Quote-only: no demand recorded, the multiplier stays at rest.
+  EXPECT_DOUBLE_EQ(surge.multiplier(), 1.0);
+}
+
 TEST(MatcherEquivalenceTest, PaperPolicy) {
   CheckMatcherEquivalence(core::PricingPolicyKind::kPaper, 5);
 }

@@ -1,0 +1,162 @@
+#include "service/workload_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "roadnet/graph_generator.h"
+
+namespace ptrider::service {
+namespace {
+
+roadnet::RoadNetwork TestGraph() {
+  roadnet::CityGridOptions opts;
+  opts.rows = 6;
+  opts.cols = 6;
+  opts.seed = 11;
+  auto graph = roadnet::MakeCityGrid(opts);
+  EXPECT_TRUE(graph.ok());
+  return *std::move(graph);
+}
+
+std::vector<sim::Trip> Collect(ArrivalProcess& process) {
+  std::vector<sim::Trip> trips;
+  while (auto t = process.Next()) trips.push_back(*t);
+  return trips;
+}
+
+TEST(PoissonArrivalsTest, DeterministicUnderFixedSeed) {
+  const roadnet::RoadNetwork graph = TestGraph();
+  PoissonArrivalOptions opts;
+  opts.rate_per_s = 2.0;
+  opts.duration_s = 120.0;
+  opts.seed = 99;
+  PoissonArrivals a(graph, opts);
+  PoissonArrivals b(graph, opts);
+  const auto ta = Collect(a);
+  const auto tb = Collect(b);
+  ASSERT_EQ(ta.size(), tb.size());
+  ASSERT_FALSE(ta.empty());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].time_s, tb[i].time_s);
+    EXPECT_EQ(ta[i].origin, tb[i].origin);
+    EXPECT_EQ(ta[i].destination, tb[i].destination);
+    EXPECT_EQ(ta[i].num_riders, tb[i].num_riders);
+  }
+}
+
+TEST(PoissonArrivalsTest, TimeSortedValidAndWithinHorizon) {
+  const roadnet::RoadNetwork graph = TestGraph();
+  PoissonArrivalOptions opts;
+  opts.rate_per_s = 3.0;
+  opts.duration_s = 200.0;
+  PoissonArrivals process(graph, opts);
+  const auto trips = Collect(process);
+  ASSERT_FALSE(trips.empty());
+  double prev = 0.0;
+  for (const sim::Trip& t : trips) {
+    EXPECT_GE(t.time_s, prev);
+    EXPECT_GT(t.time_s, 0.0);  // no atom at the origin
+    EXPECT_LE(t.time_s, opts.duration_s);
+    EXPECT_TRUE(graph.IsValidVertex(t.origin));
+    EXPECT_TRUE(graph.IsValidVertex(t.destination));
+    EXPECT_NE(t.origin, t.destination);
+    EXPECT_GE(t.num_riders, 1);
+    EXPECT_LE(t.num_riders, 4);
+    prev = t.time_s;
+  }
+  // Rate sanity: expect within a loose factor of rate * duration.
+  const double expected = opts.rate_per_s * opts.duration_s;
+  EXPECT_GT(static_cast<double>(trips.size()), 0.5 * expected);
+  EXPECT_LT(static_cast<double>(trips.size()), 1.5 * expected);
+}
+
+TEST(TraceArrivalsTest, ReplaysSortedAndCompressesByRateMultiplier) {
+  std::vector<sim::Trip> trace(3);
+  trace[0].time_s = 30.0;
+  trace[1].time_s = 10.0;  // out of order on purpose: replay sorts
+  trace[2].time_s = 20.0;
+  for (auto& t : trace) {
+    t.origin = 0;
+    t.destination = 1;
+  }
+  TraceArrivals process(trace, /*rate_multiplier=*/2.0);
+  EXPECT_DOUBLE_EQ(process.end_time_s(), 15.0);
+  const auto out = Collect(process);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].time_s, 5.0);
+  EXPECT_DOUBLE_EQ(out[1].time_s, 10.0);
+  EXPECT_DOUBLE_EQ(out[2].time_s, 15.0);
+}
+
+TEST(WorkloadDriverTest, PumpUntilIngestsDueArrivalsInOrder) {
+  std::vector<sim::Trip> trace(4);
+  trace[0].time_s = 1.0;
+  trace[1].time_s = 2.0;
+  trace[2].time_s = 2.5;
+  trace[3].time_s = 7.0;
+  TraceArrivals process(trace);
+  RequestQueue queue(16);
+  WorkloadDriver driver(process, queue);
+
+  EXPECT_EQ(driver.PumpUntil(0.5), 0u);
+  EXPECT_EQ(driver.PumpUntil(2.5), 3u);
+  std::vector<IngestedTrip> out;
+  queue.DrainTo(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].ingest_time_s, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].ingest_time_s, 2.0);
+  EXPECT_DOUBLE_EQ(out[2].ingest_time_s, 2.5);
+
+  // The 7.0 arrival is not due yet; a later pump delivers it.
+  EXPECT_EQ(driver.PumpUntil(10.0), 1u);
+  out.clear();
+  queue.DrainTo(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].ingest_time_s, 7.0);
+  EXPECT_EQ(driver.offered(), 4u);
+}
+
+TEST(WorkloadDriverTest, PumpCountsRejectsAsOffered) {
+  std::vector<sim::Trip> trace(5);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    trace[i].time_s = static_cast<double>(i);
+  }
+  TraceArrivals process(trace);
+  RequestQueue queue(2);
+  WorkloadDriver driver(process, queue);
+  EXPECT_EQ(driver.PumpUntil(100.0), 5u);
+  EXPECT_EQ(driver.offered(), 5u);
+  EXPECT_EQ(queue.pushed(), 2u);
+  EXPECT_EQ(queue.rejected(), 3u);
+  // The two accepted are the two earliest (arrival order).
+  std::vector<IngestedTrip> out;
+  queue.DrainTo(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].trip.time_s, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].trip.time_s, 1.0);
+}
+
+TEST(WorkloadDriverTest, RunBlockingClosesQueueAtExhaustion) {
+  std::vector<sim::Trip> trace(3);
+  trace[0].time_s = 0.01;
+  trace[1].time_s = 0.02;
+  trace[2].time_s = 0.03;
+  TraceArrivals process(trace);
+  RequestQueue queue(16);
+  WorkloadDriver driver(process, queue);
+  WallClock clock(/*time_scale=*/1000.0);  // compress to ~nothing of wall time
+  driver.RunBlocking(clock);
+  EXPECT_TRUE(queue.closed());
+  std::vector<IngestedTrip> out;
+  queue.DrainTo(out);
+  ASSERT_EQ(out.size(), 3u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    // Wall stamps: at or after the arrival instant, never before.
+    EXPECT_GE(out[i].ingest_time_s, out[i].trip.time_s);
+  }
+}
+
+}  // namespace
+}  // namespace ptrider::service

@@ -140,6 +140,68 @@ TEST(WorkloadTest, SaveAndLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(WorkloadTest, LoadAcceptsHeaderRowAndComments) {
+  const roadnet::RoadNetwork g = TestCity();
+  const std::string path = ::testing::TempDir() + "/trips_header.csv";
+  {
+    std::ofstream out(path);
+    out << "# exported trace\n"
+        << "time_s,origin,destination,riders\n"
+        << "1.5,0,1,2\n"
+        << "# mid-file comment\n"
+        << "3.0,2,3,1\n";
+  }
+  auto loaded = LoadTrips(g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_NEAR((*loaded)[0].time_s, 1.5, 1e-9);
+  EXPECT_EQ((*loaded)[0].origin, 0);
+  EXPECT_EQ((*loaded)[0].destination, 1);
+  EXPECT_EQ((*loaded)[0].num_riders, 2);
+  EXPECT_EQ((*loaded)[1].origin, 2);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTest, LoadAcceptsSpacedHeaderVariants) {
+  const roadnet::RoadNetwork g = TestCity();
+  const std::string path = ::testing::TempDir() + "/trips_header2.csv";
+  {
+    std::ofstream out(path);
+    out << " time_s , origin , destination , riders \n"
+        << "2.0,4,5,1\n";
+  }
+  auto loaded = LoadTrips(g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].origin, 4);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTest, HeaderOnlyFileLoadsEmpty) {
+  const roadnet::RoadNetwork g = TestCity();
+  const std::string path = ::testing::TempDir() + "/trips_header_only.csv";
+  {
+    std::ofstream out(path);
+    out << "time_s,origin,destination,riders\n";
+  }
+  auto loaded = LoadTrips(g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTest, HeaderAfterFirstRecordIsRejected) {
+  const roadnet::RoadNetwork g = TestCity();
+  const std::string path = ::testing::TempDir() + "/trips_header_late.csv";
+  {
+    std::ofstream out(path);
+    out << "1.0,0,1,1\n"
+        << "time_s,origin,destination,riders\n";  // data, not a header
+  }
+  EXPECT_FALSE(LoadTrips(g, path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(WorkloadTest, LoadRejectsMalformedRows) {
   const roadnet::RoadNetwork g = TestCity();
   const std::string path = ::testing::TempDir() + "/trips_bad.csv";

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "util/random.h"
 
@@ -98,6 +100,119 @@ TEST(PercentilesTest, ReservoirApproximatesUniform) {
   EXPECT_EQ(p.count(), 100000u);
   // Reservoir of 256 samples: median within a loose tolerance.
   EXPECT_NEAR(p.Median(), 0.5, 0.12);
+}
+
+TEST(PercentilesMergeTest, ExactMergeEqualsBulk) {
+  // Both pools within capacity: the merge is the exact union, so every
+  // percentile matches a single recorder fed the concatenated stream.
+  Percentiles bulk(1024);
+  Percentiles a(1024);
+  Percentiles b(1024);
+  Rng rng(3);
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.UniformDouble(0.0, 100.0);
+    bulk.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.Value(p), bulk.Value(p)) << "p=" << p;
+  }
+}
+
+TEST(PercentilesMergeTest, OrderIndependentWhileExact) {
+  // Exact merges are unions of multisets, so grouping cannot matter:
+  // (a+b)+c == (c+b)+a for every percentile.
+  std::vector<Percentiles> parts1;
+  std::vector<Percentiles> parts2;
+  for (int k = 0; k < 3; ++k) {
+    parts1.emplace_back(4096);
+    parts2.emplace_back(4096);
+  }
+  Rng rng(9);
+  for (int i = 0; i < 900; ++i) {
+    const double x = rng.Normal(10.0, 4.0);
+    parts1[static_cast<size_t>(i % 3)].Add(x);
+    parts2[static_cast<size_t>(i % 3)].Add(x);
+  }
+  Percentiles forward(4096);
+  forward.Merge(parts1[0]);
+  forward.Merge(parts1[1]);
+  forward.Merge(parts1[2]);
+  Percentiles backward(4096);
+  backward.Merge(parts2[2]);
+  backward.Merge(parts2[1]);
+  backward.Merge(parts2[0]);
+  EXPECT_EQ(forward.count(), backward.count());
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(forward.Value(p), backward.Value(p)) << "p=" << p;
+  }
+}
+
+TEST(PercentilesMergeTest, CapacityOverflowDeterministicAndClose) {
+  // Merging past capacity compacts deterministically: two identical
+  // merge sequences agree bit for bit, and the compacted distribution
+  // stays close to the exact one.
+  const auto build = [] {
+    Percentiles merged(128);
+    Rng rng(17);
+    for (int part = 0; part < 4; ++part) {
+      Percentiles p(128);
+      for (int i = 0; i < 100; ++i) p.Add(rng.UniformDouble(0.0, 1.0));
+      merged.Merge(p);
+    }
+    return merged;
+  };
+  const Percentiles m1 = build();
+  const Percentiles m2 = build();
+  EXPECT_EQ(m1.count(), 400u);
+  for (const double p : {5.0, 50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(m1.Value(p), m2.Value(p)) << "p=" << p;
+  }
+
+  Percentiles exact(1024);
+  Rng rng(17);
+  for (int i = 0; i < 400; ++i) exact.Add(rng.UniformDouble(0.0, 1.0));
+  EXPECT_NEAR(m1.Median(), exact.Median(), 0.05);
+  EXPECT_NEAR(m1.Value(95), exact.Value(95), 0.05);
+}
+
+TEST(PercentilesMergeTest, MergeWithEmptySides) {
+  Percentiles a(64);
+  Percentiles empty(64);
+  a.Add(1.0);
+  a.Add(2.0);
+  a.Merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Value(100), 2.0);
+
+  Percentiles target(64);
+  target.Merge(a);  // copy into empty
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.Median(), 1.5);
+}
+
+TEST(PercentilesMergeTest, MergeDownsamplesLargerSourceCapacity) {
+  // An empty small-capacity target merging a wide source must still end
+  // within its own capacity.
+  Percentiles small(16);
+  Percentiles wide(1024);
+  for (int i = 0; i < 500; ++i) wide.Add(static_cast<double>(i));
+  small.Merge(wide);
+  EXPECT_EQ(small.count(), 500u);
+  // Distribution shape survives the compaction.
+  EXPECT_NEAR(small.Median(), 249.5, 40.0);
+  EXPECT_GE(small.Value(100), small.Value(0));
+}
+
+TEST(PercentilesTest, ToStringNamesSloTail) {
+  Percentiles p(256);
+  for (int i = 1; i <= 1000; ++i) p.Add(static_cast<double>(i));
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("n=1000"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99.9="), std::string::npos);
 }
 
 TEST(HistogramTest, BucketsAndClamping) {
