@@ -1,0 +1,305 @@
+// E20 — Versioned mmap snapshot: city-scale startup without the
+// preprocessing bill.
+//
+// Cold-starting PTRider on a city graph costs a CSV parse + grid-index
+// build + CH preprocessing; the snapshot subsystem (src/snapshot/,
+// DESIGN.md section 12) pays that once offline and serves every
+// subsequent startup from one mmap of the file. This bench measures
+// exactly that trade on the standard 10k-vertex bench city (acceptance
+// bar: mmap load >= 50x cheaper than the cold start) and, in full mode,
+// on a >= 100k-vertex city where it also proves the loaded structures
+// are behaviorally identical: the same simulation run fresh vs loaded
+// must produce an equal SimulationReport, field for field.
+//
+// Usage: bench_e20_snapshot_load [rows cols] [--ci] [--snapshot FILE]
+//   default   100x100 city (+ a 320x320 phase with report identity),
+//             JSON to BENCH_e20.json, requires >= 50x
+//   --ci      36x36 city only, relaxed >= 5x (shared CI runners), no JSON
+//   --snapshot FILE  additionally smoke-load FILE (the CI wiring:
+//             tools/snapshot_build writes it, this proves it loads)
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ptrider.h"
+#include "roadnet/ch.h"
+#include "roadnet/graph_io.h"
+#include "roadnet/grid_index.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/system.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ptrider;
+
+struct PhaseResult {
+  int rows = 0;
+  int cols = 0;
+  size_t vertices = 0;
+  size_t edges = 0;
+  double cold_start_s = 0.0;
+  double csv_parse_s = 0.0;
+  double write_s = 0.0;
+  double load_s = 0.0;
+  double file_mib = 0.0;
+  double speedup = 0.0;
+  bool simulated = false;
+  bool report_identical = false;
+};
+
+bool ReportsEqual(const sim::SimulationReport& a,
+                  const sim::SimulationReport& b) {
+  return a.requests_submitted == b.requests_submitted &&
+         a.requests_assigned == b.requests_assigned &&
+         a.requests_unserved == b.requests_unserved &&
+         a.requests_completed == b.requests_completed &&
+         a.requests_shared == b.requests_shared &&
+         a.fleet_total_distance_m == b.fleet_total_distance_m &&
+         a.fleet_occupied_distance_m == b.fleet_occupied_distance_m &&
+         a.fleet_shared_distance_m == b.fleet_shared_distance_m &&
+         a.quoted_price.sum() == b.quoted_price.sum() &&
+         a.pickup_wait_s.sum() == b.pickup_wait_s.sum() &&
+         a.options_per_request.sum() == b.options_per_request.sum();
+}
+
+sim::SimulationReport RunSim(core::PTRider& pt,
+                             const std::vector<sim::Trip>& trips) {
+  (void)pt.InitFleetUniform(200, /*seed=*/1);
+  sim::SimulatorOptions sopts;
+  sopts.seed = 12;
+  sopts.choice.model = sim::RiderChoiceModel::kCheapest;
+  sim::Simulator simulator(pt, sopts);
+  auto report = simulator.Run(trips);
+  if (!report.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(report).value();
+}
+
+// One cold-start-vs-mmap measurement. The cold start is the full
+// production path a snapshotless process pays: parse the graph from
+// CSV, build the grid index, preprocess the contraction hierarchy.
+// `simulate` additionally runs the identity check (full mode's big
+// phase).
+int RunPhase(int rows, int cols, bool simulate, PhaseResult* out) {
+  const std::string dir = ::getenv("TMPDIR") ? ::getenv("TMPDIR") : "/tmp";
+  const std::string csv_path = dir + "/bench_e20_city.csv";
+  const std::string snap_path = dir + "/bench_e20_city.snap";
+
+  auto city = bench::MakeBenchCity(rows, cols);
+  if (!city.ok()) {
+    std::fprintf(stderr, "%s\n", city.status().ToString().c_str());
+    return 1;
+  }
+  if (auto st = roadnet::SaveGraphCsv(*city, csv_path); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  roadnet::GridIndexOptions gridopts;  // defaults, same as PTRider
+
+  // --- Cold start ----------------------------------------------------------
+  util::WallTimer cold_timer;
+  auto graph = roadnet::LoadGraphCsv(csv_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const double csv_s = cold_timer.ElapsedSeconds();
+  auto grid = roadnet::GridIndex::Build(*graph, gridopts);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "%s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  roadnet::CHIndex ch = roadnet::CHIndex::Build(*graph);
+  const double cold_s = cold_timer.ElapsedSeconds();
+  std::printf(
+      "  cold start: %.3f s (csv parse %.3f + grid %.3f + ch %.3f)\n",
+      cold_s, csv_s, grid->build_stats().build_seconds, ch.build_seconds());
+
+  // --- Snapshot write ------------------------------------------------------
+  util::WallTimer write_timer;
+  if (auto st = snapshot::WriteSnapshot(*graph, *grid, ch, snap_path);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double write_s = write_timer.ElapsedSeconds();
+
+  // --- mmap load (median of 5: the first touch pays the page cache) -------
+  std::vector<double> loads;
+  std::optional<snapshot::Snapshot> snap;
+  for (int i = 0; i < 5; ++i) {
+    auto loaded = snapshot::Snapshot::Load(snap_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    loads.push_back(loaded->info().load_seconds);
+    snap = std::move(*loaded);
+  }
+  std::sort(loads.begin(), loads.end());
+  const double load_s = loads[loads.size() / 2];
+  const double file_mib =
+      static_cast<double>(snap->info().file_bytes) / (1024.0 * 1024.0);
+  const double speedup = cold_s / load_s;
+  std::printf(
+      "  snapshot:   %.1f MiB written in %.3f s; mmap load %.2f ms "
+      "(median of 5)\n  speedup:    %.0fx over cold start\n",
+      file_mib, write_s, load_s * 1e3, speedup);
+
+  out->rows = rows;
+  out->cols = cols;
+  out->vertices = graph->NumVertices();
+  out->edges = graph->NumEdges();
+  out->cold_start_s = cold_s;
+  out->csv_parse_s = csv_s;
+  out->write_s = write_s;
+  out->load_s = load_s;
+  out->file_mib = file_mib;
+  out->speedup = speedup;
+
+  // --- Behavioral identity -------------------------------------------------
+  if (simulate) {
+    sim::HotspotWorkloadOptions wopts;
+    wopts.num_trips = 600;
+    wopts.duration_s = 3600.0;
+    wopts.seed = 42;
+    auto trips = sim::GenerateHotspotTrips(*graph, wopts);
+    if (!trips.ok()) {
+      std::fprintf(stderr, "%s\n", trips.status().ToString().c_str());
+      return 1;
+    }
+    core::Config cfg;
+    cfg.sp_algorithm = roadnet::SpAlgorithm::kContractionHierarchy;
+
+    // The fresh system adopts the structures built above (rebuilding
+    // the CH a second time would only burn bench minutes); the loaded
+    // system runs entirely off the mapped file.
+    auto shared_ch =
+        std::make_shared<const roadnet::CHIndex>(std::move(ch));
+    auto fresh = core::PTRider::Create(*graph, cfg, *grid, shared_ch);
+    if (!fresh.ok()) {
+      std::fprintf(stderr, "%s\n", fresh.status().ToString().c_str());
+      return 1;
+    }
+    const sim::SimulationReport fresh_report = RunSim(**fresh, *trips);
+    auto loaded_sys = snapshot::CreateSystem(*snap, cfg);
+    if (!loaded_sys.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   loaded_sys.status().ToString().c_str());
+      return 1;
+    }
+    const sim::SimulationReport snap_report = RunSim(**loaded_sys, *trips);
+    out->simulated = true;
+    out->report_identical = ReportsEqual(fresh_report, snap_report);
+    std::printf("  identity:   %zu trips simulated fresh vs loaded — "
+                "reports %s\n",
+                trips->size(),
+                out->report_identical ? "IDENTICAL" : "DIFFER");
+    if (!out->report_identical) return 1;
+  }
+
+  std::remove(csv_path.c_str());
+  std::remove(snap_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ci = false;
+  std::string smoke_path;
+  int rows = 0;
+  int cols = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ci") == 0) {
+      ci = true;
+    } else if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
+      smoke_path = argv[++i];
+    } else if (rows == 0) {
+      rows = std::atoi(argv[i]);
+    } else if (cols == 0) {
+      cols = std::atoi(argv[i]);
+    }
+  }
+  if (rows == 0) rows = ci ? 36 : 100;
+  if (cols == 0) cols = ci ? 36 : 100;
+
+  bench::PrintHeader("E20", "versioned mmap snapshot",
+                     "cold start vs mmap load, fresh-vs-loaded identity");
+
+  // CI wiring: prove a file written by tools/snapshot_build loads.
+  if (!smoke_path.empty()) {
+    auto smoke = snapshot::Snapshot::Load(smoke_path);
+    if (!smoke.ok()) {
+      std::fprintf(stderr, "smoke load of '%s' failed: %s\n",
+                   smoke_path.c_str(),
+                   smoke.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "smoke: '%s' (%zu vertices, %zu edges) loaded in %.2f ms\n\n",
+        smoke_path.c_str(), smoke->info().num_vertices,
+        smoke->info().num_edges, smoke->info().load_seconds * 1e3);
+  }
+
+  std::printf("phase 1: %dx%d city\n", rows, cols);
+  PhaseResult small;
+  if (RunPhase(rows, cols, /*simulate=*/false, &small) != 0) return 1;
+
+  const double min_speedup = ci ? 5.0 : 50.0;
+  if (small.speedup < min_speedup) {
+    std::printf("FAIL: %.1fx below the %.0fx acceptance bar\n",
+                small.speedup, min_speedup);
+    return 1;
+  }
+  std::printf("PASS: %.0fx >= %.0fx\n\n", small.speedup, min_speedup);
+  if (ci) return 0;
+
+  std::printf("phase 2: 320x320 city (>= 100k vertices, with identity "
+              "check)\n");
+  PhaseResult big;
+  if (RunPhase(320, 320, /*simulate=*/true, &big) != 0) return 1;
+
+  std::FILE* json = std::fopen("BENCH_e20.json", "w");
+  if (json == nullptr) return 1;
+  std::fprintf(json,
+               "{\n  \"experiment\": \"e20_snapshot_load\",\n"
+               "  \"min_speedup\": %.0f,\n  \"phases\": [",
+               min_speedup);
+  const PhaseResult* phases[] = {&small, &big};
+  for (size_t i = 0; i < 2; ++i) {
+    const PhaseResult& p = *phases[i];
+    std::fprintf(
+        json,
+        "%s\n    {\"rows\": %d, \"cols\": %d, \"vertices\": %zu, "
+        "\"edges\": %zu,\n     \"cold_start_s\": %.3f, "
+        "\"csv_parse_s\": %.3f, \"snapshot_write_s\": %.3f,\n     "
+        "\"mmap_load_s\": %.5f, \"file_mib\": %.1f, \"speedup\": %.0f"
+        "%s}",
+        i == 0 ? "" : ",", p.rows, p.cols, p.vertices, p.edges,
+        p.cold_start_s, p.csv_parse_s, p.write_s, p.load_s, p.file_mib,
+        p.speedup,
+        p.simulated ? (p.report_identical
+                           ? ", \"report_identical\": true"
+                           : ", \"report_identical\": false")
+                    : "");
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nWrote BENCH_e20.json\n");
+  return 0;
+}

@@ -8,6 +8,7 @@
 //             [--jobs N] [--batch-window S] [--move-jobs N]
 //             [--index-shards N]
 //             [--sp-algo dijkstra|bidirectional|astar|ch]
+//             [--snapshot FILE]
 // Defaults: 150 taxis, 2000 trips, 4 hours, sequential per-request
 // dispatch. `--jobs N` matches arrivals in parallel on N worker threads
 // (src/dispatch/), which implies batched arrivals; `--batch-window S`
@@ -20,17 +21,25 @@
 // clone). Results are identical for every `--jobs` / `--move-jobs` /
 // `--index-shards` value — only the wall clock moves — and for every
 // `--sp-algo` except `bidirectional`, whose half-path sums can differ
-// in the last float bit (DESIGN.md section 7).
+// in the last float bit (DESIGN.md section 7). `--snapshot FILE` skips
+// city generation and all index preprocessing by memory-mapping a file
+// written by tools/snapshot_build — same simulation results, startup in
+// milliseconds (DESIGN.md section 12).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/ptrider.h"
 #include "roadnet/graph_generator.h"
 #include "sim/simulator.h"
 #include "sim/workload.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/system.h"
 #include "util/logging.h"
 
 int main(int argc, char** argv) {
@@ -41,9 +50,18 @@ int main(int argc, char** argv) {
   int move_jobs = 1;
   int index_shards = 1;
   double batch_window_s = 0.0;
+  std::string snapshot_path;
   roadnet::SpAlgorithm sp_algo = roadnet::SpAlgorithm::kAStar;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--snapshot") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--snapshot needs a value\n");
+        return 1;
+      }
+      snapshot_path = argv[++i];
+      continue;
+    }
     const bool is_jobs = std::strcmp(argv[i], "--jobs") == 0;
     const bool is_move_jobs = std::strcmp(argv[i], "--move-jobs") == 0;
     const bool is_shards = std::strcmp(argv[i], "--index-shards") == 0;
@@ -98,29 +116,63 @@ int main(int argc, char** argv) {
       positional.size() > 2 ? std::strtod(positional[2], nullptr) : 4.0;
   if (jobs > 0 && batch_window_s <= 0.0) batch_window_s = 2.0;
 
-  roadnet::CityGridOptions city;
-  city.rows = 40;
-  city.cols = 40;
-  city.spacing_m = 250.0;
-  city.seed = 20090529;  // the trace's date, for flavor
-  auto graph = roadnet::MakeCityGrid(city);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("City: %s\n", graph->DebugString().c_str());
-
   core::Config cfg;  // defaults: 48 km/h, capacity 3, w = 5 min
   cfg.matcher = core::MatcherAlgorithm::kDualSide;
   cfg.dispatch_threads = jobs;
   cfg.index_shards = index_shards;
   cfg.sp_algorithm = sp_algo;
-  auto system = core::PTRider::Create(*graph, cfg);
-  if (!system.ok()) {
-    std::fprintf(stderr, "%s\n", system.status().ToString().c_str());
-    return 1;
+  cfg.snapshot_path = snapshot_path;
+
+  // The snapshot (when given) owns the graph and index memory; it must
+  // stay alive for the system's whole lifetime.
+  std::optional<snapshot::Snapshot> snap;
+  util::Result<roadnet::RoadNetwork> generated =
+      util::Status::Internal("no in-memory graph");
+  const roadnet::RoadNetwork* net = nullptr;
+  std::unique_ptr<core::PTRider> system;
+  if (!cfg.snapshot_path.empty()) {
+    auto loaded = snapshot::Snapshot::Load(cfg.snapshot_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    snap = std::move(*loaded);
+    net = &snap->graph();
+    std::printf("City: %s\n", net->DebugString().c_str());
+    std::printf(
+        "Snapshot: '%s' (%.1f MiB) — graph + grid + CH mapped in "
+        "%.1f ms\n",
+        cfg.snapshot_path.c_str(),
+        static_cast<double>(snap->info().file_bytes) / (1024.0 * 1024.0),
+        snap->info().load_seconds * 1e3);
+    auto created = snapshot::CreateSystem(*snap, cfg);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    system = std::move(*created);
+  } else {
+    roadnet::CityGridOptions city;
+    city.rows = 40;
+    city.cols = 40;
+    city.spacing_m = 250.0;
+    city.seed = 20090529;  // the trace's date, for flavor
+    generated = roadnet::MakeCityGrid(city);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    net = &*generated;
+    std::printf("City: %s\n", net->DebugString().c_str());
+    auto created = core::PTRider::Create(*net, cfg);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    system = std::move(*created);
   }
-  core::PTRider& pt = **system;
+  core::PTRider& pt = *system;
   std::printf("Index: %s\n", pt.grid().DebugString().c_str());
   std::printf("SP engine: %s", roadnet::SpAlgorithmName(sp_algo));
   if (const roadnet::CHIndex* ch = pt.oracle().ch_index()) {
@@ -136,7 +188,7 @@ int main(int argc, char** argv) {
   workload.num_trips = trips;
   workload.duration_s = hours * 3600.0;
   workload.seed = 42;
-  auto trace = sim::GenerateHotspotTrips(*graph, workload);
+  auto trace = sim::GenerateHotspotTrips(*net, workload);
   if (!trace.ok()) {
     std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
     return 1;

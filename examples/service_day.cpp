@@ -9,18 +9,27 @@
 //             [--wall-clock] [--virtual-clock] [--jobs N] [--move-jobs N]
 //             [--queue-cap N] [--deadline S] [--assign-cost S]
 //             [--quote-cost S] [--window S] [--speedup X] [--verbose]
+//             [--snapshot FILE]
 // Default: 100 taxis, 600 requests/min for 20 minutes on a 30x30 city,
 // virtual clock (deterministic; --wall-clock runs it live instead, with
-// --speedup simulated seconds per wall second).
+// --speedup simulated seconds per wall second). `--snapshot FILE` serves
+// from a prebuilt tools/snapshot_build file instead of generating the
+// city — the restart path for a long-running server (DESIGN.md
+// section 12).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "core/ptrider.h"
 #include "roadnet/graph_generator.h"
 #include "service/dispatch_service.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/system.h"
 
 int main(int argc, char** argv) {
   using namespace ptrider;
@@ -36,6 +45,7 @@ int main(int argc, char** argv) {
   opts.quote_cost_s = 0.005;
   opts.drain_s = 300.0;
   int dispatch_jobs = 2;
+  std::string snapshot_path;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -65,6 +75,12 @@ int main(int argc, char** argv) {
       opts.wall_time_scale = next();
     } else if (arg == "--verbose") {
       opts.verbose = true;
+    } else if (arg == "--snapshot") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--snapshot needs a value\n");
+        return 1;
+      }
+      snapshot_path = argv[++i];
     } else if (positional == 0) {
       taxis = std::strtoul(arg.c_str(), nullptr, 10);
       ++positional;
@@ -77,24 +93,57 @@ int main(int argc, char** argv) {
     }
   }
 
-  roadnet::CityGridOptions city;
-  city.rows = 30;
-  city.cols = 30;
-  city.seed = 42;
-  auto graph = roadnet::MakeCityGrid(city);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-
   core::Config config;
   config.dispatch_threads = dispatch_jobs;
-  auto system = core::PTRider::Create(*graph, config);
-  if (!system.ok()) {
-    std::fprintf(stderr, "%s\n", system.status().ToString().c_str());
-    return 1;
+  config.snapshot_path = snapshot_path;
+
+  // A loaded snapshot owns the graph and index memory, so it must
+  // outlive the server.
+  std::optional<snapshot::Snapshot> snap;
+  util::Result<roadnet::RoadNetwork> generated =
+      util::Status::Internal("no in-memory graph");
+  const roadnet::RoadNetwork* net = nullptr;
+  std::unique_ptr<core::PTRider> system;
+  if (!config.snapshot_path.empty()) {
+    auto loaded = snapshot::Snapshot::Load(config.snapshot_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    snap = std::move(*loaded);
+    net = &snap->graph();
+    std::printf("snapshot: '%s' (%.1f MiB) — graph + grid + CH mapped "
+                "in %.1f ms\n",
+                config.snapshot_path.c_str(),
+                static_cast<double>(snap->info().file_bytes) /
+                    (1024.0 * 1024.0),
+                snap->info().load_seconds * 1e3);
+    auto created = snapshot::CreateSystem(*snap, config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    system = std::move(*created);
+  } else {
+    roadnet::CityGridOptions city;
+    city.rows = 30;
+    city.cols = 30;
+    city.seed = 42;
+    generated = roadnet::MakeCityGrid(city);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    net = &*generated;
+    auto created = core::PTRider::Create(*net, config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    system = std::move(*created);
   }
-  if (auto st = (*system)->InitFleetUniform(taxis, /*seed=*/3); !st.ok()) {
+  if (auto st = system->InitFleetUniform(taxis, /*seed=*/3); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
@@ -103,7 +152,7 @@ int main(int argc, char** argv) {
   arrivals.rate_per_s = rate_per_min / 60.0;
   arrivals.duration_s = minutes * 60.0;
   arrivals.seed = 2009;
-  service::PoissonArrivals process(*graph, arrivals);
+  service::PoissonArrivals process(*net, arrivals);
 
   std::printf(
       "service_day: %zu taxis, %.0f req/min for %.0f min, window %.1fs, "
@@ -111,13 +160,13 @@ int main(int argc, char** argv) {
       taxis, rate_per_min, minutes, opts.batch_window_s, opts.queue_capacity,
       opts.shed_deadline_s, opts.virtual_clock ? "virtual" : "wall");
 
-  service::DispatchService server(**system, opts);
+  service::DispatchService server(*system, opts);
 
   // A quote-only probe against the idle fleet: the service's stateless
   // price endpoint (decays surge to `now`, records no demand).
   sim::Trip probe;
   probe.origin = 0;
-  probe.destination = static_cast<roadnet::VertexId>(graph->NumVertices() / 2);
+  probe.destination = static_cast<roadnet::VertexId>(net->NumVertices() / 2);
   probe.num_riders = 1;
   if (auto quote = server.Quote(probe, 0.0); quote.ok()) {
     std::printf("quote probe: %zu options, direct %.0fm\n",

@@ -1,6 +1,8 @@
 #ifndef PTRIDER_CORE_CONFIG_H_
 #define PTRIDER_CORE_CONFIG_H_
 
+#include <string>
+
 #include "roadnet/sp_algorithm.h"
 #include "util/status.h"
 
@@ -86,6 +88,12 @@ struct Config {
   /// index is shared read-only by every dispatch/movement worker's
   /// oracle clone.
   roadnet::SpAlgorithm sp_algorithm = roadnet::SpAlgorithm::kAStar;
+
+  /// Path to a prebuilt snapshot file (tools/snapshot_build; loaded via
+  /// snapshot::Snapshot). Empty = build graph and indexes in memory.
+  /// Consumed by the example/service entry points — core never touches
+  /// the filesystem itself.
+  std::string snapshot_path;
 
   // --- Matching ------------------------------------------------------------
   MatcherAlgorithm matcher = MatcherAlgorithm::kDualSide;

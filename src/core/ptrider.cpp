@@ -20,11 +20,12 @@ roadnet::DistanceOracleOptions OracleOptions(const Config& config) {
 
 PTRider::PTRider(const roadnet::RoadNetwork& graph, Config config,
                  roadnet::GridIndex grid,
-                 std::unique_ptr<pricing::PricingPolicy> pricing)
+                 std::unique_ptr<pricing::PricingPolicy> pricing,
+                 std::shared_ptr<const roadnet::CHIndex> shared_ch)
     : graph_(&graph),
       config_(config),
       grid_(std::move(grid)),
-      oracle_(graph, OracleOptions(config)),
+      oracle_(graph, OracleOptions(config), std::move(shared_ch)),
       vehicle_index_(grid_, static_cast<size_t>(config.index_shards)),
       pricing_(std::move(pricing)) {
   match_context_.graph = graph_;
@@ -48,8 +49,30 @@ util::Result<std::unique_ptr<PTRider>> PTRider::Create(
   PTRIDER_ASSIGN_OR_RETURN(std::unique_ptr<pricing::PricingPolicy> pricing,
                            pricing::CreatePricingPolicy(config));
   // make_unique cannot reach the private constructor.
+  return std::unique_ptr<PTRider>(new PTRider(
+      graph, config, std::move(grid), std::move(pricing), nullptr));
+}
+
+util::Result<std::unique_ptr<PTRider>> PTRider::Create(
+    const roadnet::RoadNetwork& graph, Config config,
+    roadnet::GridIndex grid,
+    std::shared_ptr<const roadnet::CHIndex> shared_ch) {
+  PTRIDER_RETURN_IF_ERROR(config.Validate());
+  if (&grid.graph() != &graph) {
+    return util::Status::InvalidArgument(
+        "prebuilt grid index was not built over the given graph");
+  }
+  if (shared_ch != nullptr &&
+      shared_ch->NumVertices() != graph.NumVertices()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "prebuilt CH index covers %zu vertices, graph has %zu",
+        shared_ch->NumVertices(), graph.NumVertices()));
+  }
+  PTRIDER_ASSIGN_OR_RETURN(std::unique_ptr<pricing::PricingPolicy> pricing,
+                           pricing::CreatePricingPolicy(config));
   return std::unique_ptr<PTRider>(
-      new PTRider(graph, config, std::move(grid), std::move(pricing)));
+      new PTRider(graph, config, std::move(grid), std::move(pricing),
+                  std::move(shared_ch)));
 }
 
 Matcher& PTRider::matcher() {

@@ -66,6 +66,21 @@ class PTRider {
       const roadnet::RoadNetwork& graph, Config config,
       roadnet::GridIndexOptions grid_options = {});
 
+  /// Builds the system around ALREADY-BUILT indexes — the snapshot path
+  /// (snapshot::CreateSystem): `grid` must have been built over `graph`,
+  /// and `shared_ch` (optional; consulted only under
+  /// sp_algorithm == kContractionHierarchy, rebuilt fresh when null
+  /// there) over the same vertex set. Nothing is preprocessed here, so
+  /// startup cost is whatever the caller paid — for a memory-mapped
+  /// snapshot, effectively zero. The caller keeps the backing memory of
+  /// both indexes (and `graph`) alive for the system's lifetime; a
+  /// snapshot-loaded grid is a cheap view-copy whose arrays live in the
+  /// mapping.
+  static util::Result<std::unique_ptr<PTRider>> Create(
+      const roadnet::RoadNetwork& graph, Config config,
+      roadnet::GridIndex grid,
+      std::shared_ptr<const roadnet::CHIndex> shared_ch);
+
   PTRider(const PTRider&) = delete;
   PTRider& operator=(const PTRider&) = delete;
 
@@ -205,7 +220,8 @@ class PTRider {
  private:
   PTRider(const roadnet::RoadNetwork& graph, Config config,
           roadnet::GridIndex grid,
-          std::unique_ptr<pricing::PricingPolicy> pricing);
+          std::unique_ptr<pricing::PricingPolicy> pricing,
+          std::shared_ptr<const roadnet::CHIndex> shared_ch);
 
   const roadnet::RoadNetwork* graph_;
   Config config_;

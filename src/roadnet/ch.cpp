@@ -256,36 +256,39 @@ CHIndex CHIndex::Build(const RoadNetwork& graph) {
   builder.Run();
 
   const size_t n = graph.NumVertices();
-  index.rank_ = builder.ranks();
-  index.up_offsets_.assign(n + 1, 0);
-  index.down_offsets_.assign(n + 1, 0);
+  std::vector<size_t> up_offsets(n + 1, 0);
+  std::vector<size_t> down_offsets(n + 1, 0);
   for (size_t v = 0; v < n; ++v) {
-    index.up_offsets_[v + 1] =
-        index.up_offsets_[v] + builder.frozen_up(v).size();
-    index.down_offsets_[v + 1] =
-        index.down_offsets_[v] + builder.frozen_down(v).size();
+    up_offsets[v + 1] = up_offsets[v] + builder.frozen_up(v).size();
+    down_offsets[v + 1] = down_offsets[v] + builder.frozen_down(v).size();
   }
-  index.up_edges_.reserve(index.up_offsets_[n]);
-  index.down_edges_.reserve(index.down_offsets_[n]);
+  std::vector<Edge> up_edges;
+  std::vector<Edge> down_edges;
+  up_edges.reserve(up_offsets[n]);
+  down_edges.reserve(down_offsets[n]);
   for (size_t v = 0; v < n; ++v) {
     for (const DynEdge& e : builder.frozen_up(v)) {
-      index.up_edges_.push_back({e.other, e.weight, e.middle});
+      up_edges.push_back({e.other, e.weight, e.middle});
       index.num_shortcuts_ += e.middle != kInvalidVertex;
     }
     for (const DynEdge& e : builder.frozen_down(v)) {
-      index.down_edges_.push_back({e.other, e.weight, e.middle});
+      down_edges.push_back({e.other, e.weight, e.middle});
       index.num_shortcuts_ += e.middle != kInvalidVertex;
     }
   }
+  index.rank_ = builder.ranks();
+  index.up_offsets_ = std::move(up_offsets);
+  index.down_offsets_ = std::move(down_offsets);
+  index.up_edges_ = std::move(up_edges);
+  index.down_edges_ = std::move(down_edges);
   index.build_seconds_ = timer.ElapsedSeconds();
   return index;
 }
 
 size_t CHIndex::MemoryBytes() const {
-  return rank_.capacity() * sizeof(uint32_t) +
-         (up_offsets_.capacity() + down_offsets_.capacity()) *
-             sizeof(size_t) +
-         (up_edges_.capacity() + down_edges_.capacity()) * sizeof(Edge);
+  return rank_.size() * sizeof(uint32_t) +
+         (up_offsets_.size() + down_offsets_.size()) * sizeof(size_t) +
+         (up_edges_.size() + down_edges_.size()) * sizeof(Edge);
 }
 
 CHQuery::CHQuery(const CHIndex& index) : index_(&index) {
@@ -316,7 +319,29 @@ Weight CHQuery::Distance(VertexId source, VertexId target) {
     return kInfWeight;
   }
   if (source == target) return 0.0;
+  const VertexId meet = RunSearch(source, target);
+  if (meet == kInvalidVertex) return kInfWeight;
+  return UnpackSum(source, target, meet);
+}
 
+Weight CHQuery::DistanceWithPath(VertexId source, VertexId target,
+                                 std::vector<VertexId>& path) {
+  path.clear();
+  const size_t n = index_->NumVertices();
+  if (source < 0 || target < 0 || static_cast<size_t>(source) >= n ||
+      static_cast<size_t>(target) >= n) {
+    return kInfWeight;
+  }
+  if (source == target) {
+    path.push_back(source);
+    return 0.0;
+  }
+  const VertexId meet = RunSearch(source, target);
+  if (meet == kInvalidVertex) return kInfWeight;
+  return UnpackSum(source, target, meet, &path);
+}
+
+VertexId CHQuery::RunSearch(VertexId source, VertexId target) {
   if (++generation_ == 0) {
     std::fill(fwd_.version.begin(), fwd_.version.end(), 0);
     std::fill(bwd_.version.begin(), bwd_.version.end(), 0);
@@ -405,12 +430,11 @@ Weight CHQuery::Distance(VertexId source, VertexId target) {
     }
   }
 
-  if (meet == kInvalidVertex) return kInfWeight;
-  return UnpackSum(source, target, meet);
+  return meet;
 }
 
 Weight CHQuery::UnpackSum(VertexId source, VertexId target,
-                          VertexId meet) {
+                          VertexId meet, std::vector<VertexId>* path) {
   // CH edges along source..meet..target, in path order. The three
   // buffers are member scratch — no allocation on the query path.
   std::vector<Seg>& chain = unpack_chain_;
@@ -433,13 +457,17 @@ Weight CHQuery::UnpackSum(VertexId source, VertexId target,
 
   // Expand shortcuts depth-first, left to right, summing original edge
   // weights in exactly the order a Dijkstra relaxation would have.
+  // Original edges emerge in path order, so the optional vertex trace is
+  // simply `source` plus every consumed edge's head.
   Weight sum = 0.0;
+  if (path != nullptr) path->push_back(source);
   stack.assign(chain.rbegin(), chain.rend());
   while (!stack.empty()) {
     const Seg seg = stack.back();
     stack.pop_back();
     if (seg.middle == kInvalidVertex) {
       sum += seg.weight;
+      if (path != nullptr) path->push_back(seg.to);
       continue;
     }
     // Both component edges were frozen at `middle`'s contraction: the

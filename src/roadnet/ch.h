@@ -7,6 +7,7 @@
 
 #include "roadnet/graph.h"
 #include "roadnet/types.h"
+#include "util/array_ref.h"
 
 namespace ptrider::roadnet {
 
@@ -70,13 +71,19 @@ class CHIndex {
   size_t MemoryBytes() const;
 
  private:
+  friend class ::ptrider::snapshot::SnapshotAccess;
+
   CHIndex() = default;
 
-  std::vector<uint32_t> rank_;
-  std::vector<size_t> up_offsets_;    // size NumVertices()+1
-  std::vector<size_t> down_offsets_;  // size NumVertices()+1
-  std::vector<Edge> up_edges_;
-  std::vector<Edge> down_edges_;
+  // Owned when preprocessed in this process; zero-copy views into the
+  // mapping when loaded from a snapshot (src/snapshot/). Loaded indexes
+  // answer queries bit-identically to freshly built ones: Build is
+  // deterministic and these arrays are its entire output state.
+  util::ArrayRef<uint32_t> rank_;
+  util::ArrayRef<size_t> up_offsets_;    // size NumVertices()+1
+  util::ArrayRef<size_t> down_offsets_;  // size NumVertices()+1
+  util::ArrayRef<Edge> up_edges_;
+  util::ArrayRef<Edge> down_edges_;
   size_t num_shortcuts_ = 0;
   double build_seconds_ = 0.0;
 };
@@ -97,6 +104,16 @@ class CHQuery {
   /// generated networks; DESIGN.md section 7.4 — rounding-tied paths on
   /// coarse-weight graphs can differ in the last ULP).
   Weight Distance(VertexId source, VertexId target);
+
+  /// Like Distance, but also unpacks the up-down path into the original
+  /// vertex sequence `source..target` (inclusive) in `path`. The vertex
+  /// order and the returned weight are exactly what DijkstraEngine's
+  /// search tree would produce whenever shortest paths are unique beyond
+  /// float rounding (same condition as Distance's bit-identity; every
+  /// shortcut stores the vertex it bypasses, so unpacking recovers the
+  /// full original-edge walk). `path` is cleared when unreachable.
+  Weight DistanceWithPath(VertexId source, VertexId target,
+                          std::vector<VertexId>& path);
 
   // --- Statistics (cumulative across queries) -----------------------------
   uint64_t total_pops() const { return total_pops_; }
@@ -127,9 +144,17 @@ class CHQuery {
   };
 
   void Touch(Side& side, VertexId v);
+  /// Shared search core of Distance / DistanceWithPath: runs the
+  /// bidirectional upward search and returns the meeting vertex
+  /// (kInvalidVertex when unreachable). Parent arrays are left ready for
+  /// UnpackSum.
+  VertexId RunSearch(VertexId source, VertexId target);
   /// Left-associated sum of the original-edge weights along the unpacked
   /// s -> meet -> t path (the value Dijkstra would have accumulated).
-  Weight UnpackSum(VertexId source, VertexId target, VertexId meet);
+  /// When `path` is non-null it receives the original vertex sequence
+  /// source..target in path order.
+  Weight UnpackSum(VertexId source, VertexId target, VertexId meet,
+                   std::vector<VertexId>* path = nullptr);
 
   const CHIndex* index_;
   Side fwd_;

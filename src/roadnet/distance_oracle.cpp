@@ -98,8 +98,19 @@ util::Result<std::vector<VertexId>> DistanceOracle::ShortestPath(
   }
   if (u == v) return std::vector<VertexId>{u};
   ++computed_;
-  // Path extraction always uses A* (exact given geometric lower bounds;
-  // plain Dijkstra otherwise) regardless of the distance algorithm.
+  // kContractionHierarchy unpacks the path from the CH shortcuts (far
+  // fewer settles than any unidirectional search on large networks);
+  // every other algorithm extracts with A* (exact given geometric lower
+  // bounds; plain Dijkstra otherwise).
+  if (options_.algorithm == SpAlgorithm::kContractionHierarchy) {
+    std::vector<VertexId> path;
+    const Weight d = ch_query_->DistanceWithPath(u, v, path);
+    if (d == kInfWeight) {
+      return util::Status::NotFound(util::StrFormat(
+          "no path from vertex %d to vertex %d", u, v));
+    }
+    return path;
+  }
   if (!astar_) astar_ = std::make_unique<AStarEngine>(*graph_);
   const Weight d = astar_->Distance(u, v);
   if (d == kInfWeight) {

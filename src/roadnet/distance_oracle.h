@@ -37,6 +37,16 @@ class DistanceOracle {
   explicit DistanceOracle(const RoadNetwork& graph,
                           DistanceOracleOptions options = {});
 
+  /// Constructs the oracle around an already-built CH index instead of
+  /// preprocessing one — the snapshot path (src/snapshot/): the mapped,
+  /// read-only index a snapshot load produced is adopted here exactly
+  /// like a clone adopts the first oracle's index. `shared_ch` must have
+  /// been built (or saved) from `graph`; it is only consulted when
+  /// `options.algorithm == kContractionHierarchy`, and clones of this
+  /// oracle share it like any other precomputed table.
+  DistanceOracle(const RoadNetwork& graph, DistanceOracleOptions options,
+                 std::shared_ptr<const CHIndex> shared_ch);
+
   /// The "one oracle per thread" contract made explicit: returns an
   /// independent oracle over the same (immutable, shared) road network
   /// with the same algorithm/options. Per-query scratch — search-engine
@@ -61,7 +71,11 @@ class DistanceOracle {
   /// Exact shortest path as a vertex sequence (u..v inclusive); error when
   /// unreachable. Paths are not cached; each call counts as one query and
   /// one computed search (trivial u == v paths count as query only,
-  /// mirroring Distance's accounting).
+  /// mirroring Distance's accounting). Under kContractionHierarchy the
+  /// path is unpacked from the CH shortcuts (no A* fallback), which
+  /// returns the identical vertex sequence whenever shortest paths are
+  /// unique beyond float rounding (DESIGN.md section 7.4) — and costs
+  /// orders of magnitude fewer settles on large networks.
   util::Result<std::vector<VertexId>> ShortestPath(VertexId u, VertexId v);
 
   const RoadNetwork& graph() const { return *graph_; }
@@ -83,9 +97,6 @@ class DistanceOracle {
     return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
            static_cast<uint32_t>(v);
   }
-
-  DistanceOracle(const RoadNetwork& graph, DistanceOracleOptions options,
-                 std::shared_ptr<const CHIndex> shared_ch);
 
   Weight ComputeDistance(VertexId u, VertexId v);
 

@@ -71,7 +71,7 @@ util::Result<RoadNetwork> GraphBuilder::Build() {
     return util::Status::FailedPrecondition("graph has no vertices");
   }
   RoadNetwork g;
-  g.coords_ = std::move(coords_);
+  std::vector<util::Point> coords = std::move(coords_);
   coords_.clear();
 
   std::sort(raw_edges_.begin(), raw_edges_.end(),
@@ -80,35 +80,38 @@ util::Result<RoadNetwork> GraphBuilder::Build() {
               return a.to < b.to;
             });
 
-  const size_t n = g.coords_.size();
-  g.offsets_.assign(n + 1, 0);
+  const size_t n = coords.size();
+  std::vector<size_t> offsets(n + 1, 0);
   for (const RawEdge& e : raw_edges_) {
-    ++g.offsets_[static_cast<size_t>(e.from) + 1];
+    ++offsets[static_cast<size_t>(e.from) + 1];
   }
-  for (size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
-  g.edges_.resize(raw_edges_.size());
+  for (size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  std::vector<Edge> edges(raw_edges_.size());
   {
-    std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
     for (const RawEdge& e : raw_edges_) {
-      g.edges_[cursor[static_cast<size_t>(e.from)]++] = {e.to, e.weight};
+      edges[cursor[static_cast<size_t>(e.from)]++] = {e.to, e.weight};
     }
   }
 
-  for (const util::Point& p : g.coords_) g.bounds_.Extend(p);
+  for (const util::Point& p : coords) g.bounds_.Extend(p);
 
   // An edge shorter than its straight-line length invalidates geometric
   // lower bounds for the whole network (tolerate tiny FP slack).
   g.geo_lb_valid_ = true;
   for (const RawEdge& e : raw_edges_) {
     const double straight =
-        util::EuclideanDistance(g.coords_[static_cast<size_t>(e.from)],
-                                g.coords_[static_cast<size_t>(e.to)]);
+        util::EuclideanDistance(coords[static_cast<size_t>(e.from)],
+                                coords[static_cast<size_t>(e.to)]);
     if (e.weight < straight * (1.0 - 1e-9)) {
       g.geo_lb_valid_ = false;
       break;
     }
   }
   raw_edges_.clear();
+  g.coords_ = std::move(coords);
+  g.offsets_ = std::move(offsets);
+  g.edges_ = std::move(edges);
   return g;
 }
 

@@ -6,8 +6,13 @@
 #include <vector>
 
 #include "roadnet/types.h"
+#include "util/array_ref.h"
 #include "util/geo.h"
 #include "util/status.h"
+
+namespace ptrider::snapshot {
+class SnapshotAccess;
+}  // namespace ptrider::snapshot
 
 namespace ptrider::roadnet {
 
@@ -58,10 +63,15 @@ class RoadNetwork {
 
  private:
   friend class GraphBuilder;
+  /// Snapshot persistence (src/snapshot/): serializes these arrays and
+  /// reconstitutes them as zero-copy views over a memory-mapped file.
+  friend class ::ptrider::snapshot::SnapshotAccess;
 
-  std::vector<size_t> offsets_;  // size NumVertices()+1
-  std::vector<Edge> edges_;
-  std::vector<util::Point> coords_;
+  // Owned when built in memory; views into the mapping when loaded from
+  // a snapshot (util::ArrayRef documents the lifetime contract).
+  util::ArrayRef<size_t> offsets_;  // size NumVertices()+1
+  util::ArrayRef<Edge> edges_;
+  util::ArrayRef<util::Point> coords_;
   util::BoundingBox bounds_;
   bool geo_lb_valid_ = false;
 };

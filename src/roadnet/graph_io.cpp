@@ -35,9 +35,32 @@ util::Status SaveGraphCsv(const RoadNetwork& graph,
 util::Result<RoadNetwork> LoadGraphCsv(const std::string& path) {
   util::CsvReader reader(path);
   PTRIDER_RETURN_IF_ERROR(reader.status());
-  GraphBuilder builder;
+  // Parse failures name the offending line (same contract as
+  // sim::LoadTrips) — a million-row export is useless to debug from
+  // "not an integer" alone.
+  const auto at_line = [&reader](const util::Status& error) {
+    return util::Status(error.code(),
+                        util::StrFormat("line %zu: %s",
+                                        reader.line_number(),
+                                        error.message().c_str()));
+  };
+  // One streaming pass. Converted exports often emit vertices out of
+  // id order, so V rows land in an id-indexed buffer (duplicates are
+  // rejected immediately; gaps only at EOF, when the full id range is
+  // known). Edge rows buffer too — they may precede their endpoints'
+  // V rows — and keep their line number so endpoint/weight errors from
+  // GraphBuilder still point into the file.
+  struct PendingEdge {
+    VertexId from;
+    VertexId to;
+    Weight weight;
+    size_t line;
+  };
+  std::vector<util::Point> coords;
+  std::vector<char> seen;
+  std::vector<PendingEdge> pending_edges;
+  size_t num_seen = 0;
   std::vector<std::string> fields;
-  int64_t expected_next_vertex = 0;
   while (reader.Next(fields)) {
     if (fields.empty()) continue;
     const std::string& kind = fields[0];
@@ -46,35 +69,67 @@ util::Result<RoadNetwork> LoadGraphCsv(const std::string& path) {
         return util::Status::InvalidArgument(util::StrFormat(
             "line %zu: vertex row needs 4 fields", reader.line_number()));
       }
-      PTRIDER_ASSIGN_OR_RETURN(const int64_t id, util::ParseInt(fields[1]));
-      if (id != expected_next_vertex) {
+      const auto id = util::ParseInt(fields[1]);
+      if (!id.ok()) return at_line(id.status());
+      if (*id < 0 || *id >= (int64_t{1} << 31)) {
         return util::Status::InvalidArgument(util::StrFormat(
-            "line %zu: vertex ids must be dense and ascending (expected "
-            "%lld, got %lld)",
-            reader.line_number(),
-            static_cast<long long>(expected_next_vertex),
-            static_cast<long long>(id)));
+            "line %zu: vertex id %lld out of range", reader.line_number(),
+            static_cast<long long>(*id)));
       }
-      PTRIDER_ASSIGN_OR_RETURN(const double x, util::ParseDouble(fields[2]));
-      PTRIDER_ASSIGN_OR_RETURN(const double y, util::ParseDouble(fields[3]));
-      builder.AddVertex({x, y});
-      ++expected_next_vertex;
+      const auto x = util::ParseDouble(fields[2]);
+      if (!x.ok()) return at_line(x.status());
+      const auto y = util::ParseDouble(fields[3]);
+      if (!y.ok()) return at_line(y.status());
+      const size_t idx = static_cast<size_t>(*id);
+      if (idx >= coords.size()) {
+        coords.resize(idx + 1);
+        seen.resize(idx + 1, 0);
+      }
+      if (seen[idx]) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "line %zu: duplicate vertex id %lld", reader.line_number(),
+            static_cast<long long>(*id)));
+      }
+      seen[idx] = 1;
+      ++num_seen;
+      coords[idx] = {*x, *y};
     } else if (kind == "E") {
       if (fields.size() != 4) {
         return util::Status::InvalidArgument(util::StrFormat(
             "line %zu: edge row needs 4 fields", reader.line_number()));
       }
-      PTRIDER_ASSIGN_OR_RETURN(const int64_t from,
-                               util::ParseInt(fields[1]));
-      PTRIDER_ASSIGN_OR_RETURN(const int64_t to, util::ParseInt(fields[2]));
-      PTRIDER_ASSIGN_OR_RETURN(const double w, util::ParseDouble(fields[3]));
-      PTRIDER_RETURN_IF_ERROR(builder.AddEdge(static_cast<VertexId>(from),
-                                              static_cast<VertexId>(to),
-                                              w));
+      const auto from = util::ParseInt(fields[1]);
+      if (!from.ok()) return at_line(from.status());
+      const auto to = util::ParseInt(fields[2]);
+      if (!to.ok()) return at_line(to.status());
+      const auto w = util::ParseDouble(fields[3]);
+      if (!w.ok()) return at_line(w.status());
+      pending_edges.push_back({static_cast<VertexId>(*from),
+                               static_cast<VertexId>(*to), *w,
+                               reader.line_number()});
     } else {
       return util::Status::InvalidArgument(util::StrFormat(
           "line %zu: unknown row kind '%s'", reader.line_number(),
           kind.c_str()));
+    }
+  }
+  if (num_seen != coords.size()) {
+    for (size_t idx = 0; idx < seen.size(); ++idx) {
+      if (!seen[idx]) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "vertex ids must be dense 0..%zu: id %zu never defined",
+            coords.size() - 1, idx));
+      }
+    }
+  }
+  GraphBuilder builder;
+  for (const util::Point& p : coords) builder.AddVertex(p);
+  for (const PendingEdge& e : pending_edges) {
+    const util::Status added = builder.AddEdge(e.from, e.to, e.weight);
+    if (!added.ok()) {
+      return util::Status(added.code(),
+                          util::StrFormat("line %zu: %s", e.line,
+                                          added.message().c_str()));
     }
   }
   return builder.Build();

@@ -15,7 +15,10 @@ namespace ptrider::roadnet {
 util::Status SaveGraphCsv(const RoadNetwork& graph, const std::string& path);
 
 /// Loads a network saved by `SaveGraphCsv` (or hand-written / converted
-/// from public OSM extracts in the same schema).
+/// from public OSM extracts in the same schema). Streams the file in one
+/// pass; V rows may appear in any order and interleave with E rows, but
+/// ids must be dense 0..n-1 with no duplicates. All parse and validation
+/// errors name the offending line.
 util::Result<RoadNetwork> LoadGraphCsv(const std::string& path);
 
 }  // namespace ptrider::roadnet

@@ -48,13 +48,11 @@ util::Status GridIndex::BuildImpl(const RoadNetwork& graph) {
   BuildSortedCellLists();
 
   build_stats_.build_seconds = timer.ElapsedSeconds();
-  size_t borders = 0;
   size_t non_empty = 0;
   for (CellId c = 0; c < NumCells(); ++c) {
-    borders += border_vertices_[c].size();
-    if (!cell_vertices_[c].empty()) ++non_empty;
+    if (!Vertices(c).empty()) ++non_empty;
   }
-  build_stats_.border_vertex_count = borders;
+  build_stats_.border_vertex_count = bv_data_.size();
   build_stats_.non_empty_cells = non_empty;
   build_stats_.approx_memory_bytes = EstimateMemory();
   return util::Status::Ok();
@@ -79,48 +77,72 @@ util::Point GridIndex::CellCenter(CellId c) const {
 
 void GridIndex::AssignCells() {
   const size_t n = graph_->NumVertices();
-  cell_of_vertex_.resize(n);
-  cell_vertices_.assign(NumCells(), {});
+  const size_t m = NumCells();
+  std::vector<CellId> cell_of_vertex(n);
+  std::vector<size_t> offsets(m + 1, 0);
   for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
     const CellId c = CellOfPoint(graph_->Coord(v));
-    cell_of_vertex_[v] = c;
-    cell_vertices_[c].push_back(v);
+    cell_of_vertex[v] = c;
+    ++offsets[static_cast<size_t>(c) + 1];
   }
+  for (size_t i = 1; i <= m; ++i) offsets[i] += offsets[i - 1];
+  std::vector<VertexId> data(n);
+  {
+    std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+    // Vertices visited in id order, so each cell's list stays sorted.
+    for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+      data[cursor[static_cast<size_t>(cell_of_vertex[v])]++] = v;
+    }
+  }
+  cell_of_vertex_ = std::move(cell_of_vertex);
+  cv_offsets_ = std::move(offsets);
+  cv_data_ = std::move(data);
 }
 
 void GridIndex::FindBorderVertices() {
   const size_t n = graph_->NumVertices();
-  is_border_.assign(n, 0);
-  border_vertices_.assign(NumCells(), {});
+  const size_t m = NumCells();
+  std::vector<char> is_border(n, 0);
   for (VertexId u = 0; u < static_cast<VertexId>(n); ++u) {
     for (const Edge& e : graph_->OutEdges(u)) {
       if (cell_of_vertex_[u] != cell_of_vertex_[e.to]) {
-        is_border_[u] = 1;
-        is_border_[e.to] = 1;
+        is_border[u] = 1;
+        is_border[e.to] = 1;
       }
     }
   }
+  std::vector<size_t> offsets(m + 1, 0);
   for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
-    if (is_border_[v]) border_vertices_[cell_of_vertex_[v]].push_back(v);
+    if (is_border[v]) ++offsets[cell_of_vertex_[v] + 1];
   }
-  // BV lists stay sorted (vertices visited in id order) — required by the
-  // binary search in VertexBorderDistances/UpperBound.
+  for (size_t i = 1; i <= m; ++i) offsets[i] += offsets[i - 1];
+  std::vector<VertexId> data(offsets[m]);
+  {
+    std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+    // BV lists stay sorted (vertices visited in id order) — required by
+    // the binary search in VertexBorderDistances/UpperBound.
+    for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+      if (is_border[v]) data[cursor[cell_of_vertex_[v]]++] = v;
+    }
+  }
+  bv_offsets_ = std::move(offsets);
+  bv_data_ = std::move(data);
 }
 
 void GridIndex::ComputeVertexBorderDistances() {
   const size_t n = graph_->NumVertices();
-  vertex_min_.assign(n, kInfWeight);
-  vbd_offsets_.assign(n + 1, 0);
+  std::vector<Weight> vertex_min(n, kInfWeight);
+  std::vector<size_t> offsets(n + 1, 0);
   for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
-    vbd_offsets_[static_cast<size_t>(v) + 1] =
-        border_vertices_[cell_of_vertex_[v]].size();
+    offsets[static_cast<size_t>(v) + 1] =
+        BorderVertices(cell_of_vertex_[v]).size();
   }
-  for (size_t i = 1; i <= n; ++i) vbd_offsets_[i] += vbd_offsets_[i - 1];
-  vbd_.assign(vbd_offsets_[n], BorderDistance{});
+  for (size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  std::vector<BorderDistance> vbd(offsets[n], BorderDistance{});
 
   DijkstraEngine engine(*graph_);
   for (CellId c = 0; c < NumCells(); ++c) {
-    const std::vector<VertexId>& bvs = border_vertices_[c];
+    const std::span<const VertexId> bvs = BorderVertices(c);
     if (bvs.empty()) continue;
     auto in_cell = [this, c](VertexId v) {
       return cell_of_vertex_[v] == c;
@@ -136,8 +158,8 @@ void GridIndex::ComputeVertexBorderDistances() {
       DijkstraEngine::RunOptions opts;
       opts.filter = in_cell;
       engine.Run(sources, opts);
-      for (VertexId v : cell_vertices_[c]) {
-        vertex_min_[v] = engine.DistanceTo(v);
+      for (VertexId v : Vertices(c)) {
+        vertex_min[v] = engine.DistanceTo(v);
       }
     }
     // Full per-border in-cell distance lists (upper-bound components).
@@ -145,26 +167,30 @@ void GridIndex::ComputeVertexBorderDistances() {
       DijkstraEngine::RunOptions opts;
       opts.filter = in_cell;
       engine.RunFrom(bvs[bi], opts);
-      for (VertexId v : cell_vertices_[c]) {
-        vbd_[vbd_offsets_[v] + bi] = {bvs[bi], engine.DistanceTo(v)};
+      for (VertexId v : Vertices(c)) {
+        vbd[offsets[v] + bi] = {bvs[bi], engine.DistanceTo(v)};
       }
     }
   }
+  vertex_min_ = std::move(vertex_min);
+  vbd_offsets_ = std::move(offsets);
+  vbd_ = std::move(vbd);
 }
 
 void GridIndex::ComputeCellPairLowerBounds() {
   const CellId m = NumCells();
-  lb_matrix_.assign(static_cast<size_t>(m) * m, kInfWeight);
+  std::vector<Weight> lb_matrix(static_cast<size_t>(m) * m, kInfWeight);
+  std::vector<WitnessPair> witnesses;
   if (options_.store_witnesses) {
-    witnesses_.assign(static_cast<size_t>(m) * m, WitnessPair{});
+    witnesses.assign(static_cast<size_t>(m) * m, WitnessPair{});
   }
   for (CellId c = 0; c < m; ++c) {
-    lb_matrix_[static_cast<size_t>(c) * m + c] = 0.0;
+    lb_matrix[static_cast<size_t>(c) * m + c] = 0.0;
   }
 
   DijkstraEngine engine(*graph_);
   for (CellId c = 0; c < m; ++c) {
-    const std::vector<VertexId>& bvs = border_vertices_[c];
+    const std::span<const VertexId> bvs = BorderVertices(c);
     if (bvs.empty()) continue;
     std::vector<std::pair<VertexId, Weight>> sources;
     sources.reserve(bvs.size());
@@ -174,31 +200,34 @@ void GridIndex::ComputeCellPairLowerBounds() {
       if (c2 == c) continue;
       Weight best = kInfWeight;
       WitnessPair witness;
-      for (VertexId y : border_vertices_[c2]) {
+      for (VertexId y : BorderVertices(c2)) {
         const Weight d = engine.DistanceTo(y);
         if (d < best) {
           best = d;
           witness = {engine.SourceOf(y), y};
         }
       }
-      if (best < lb_matrix_[static_cast<size_t>(c) * m + c2]) {
-        lb_matrix_[static_cast<size_t>(c) * m + c2] = best;
+      if (best < lb_matrix[static_cast<size_t>(c) * m + c2]) {
+        lb_matrix[static_cast<size_t>(c) * m + c2] = best;
         if (options_.store_witnesses) {
-          witnesses_[static_cast<size_t>(c) * m + c2] = witness;
+          witnesses[static_cast<size_t>(c) * m + c2] = witness;
         }
       }
     }
   }
+  lb_matrix_ = std::move(lb_matrix);
+  witnesses_ = std::move(witnesses);
 }
 
 void GridIndex::BuildSortedCellLists() {
   const CellId m = NumCells();
-  sorted_cells_.assign(m, {});
+  std::vector<size_t> offsets(static_cast<size_t>(m) + 1, 0);
+  std::vector<CellNeighbor> data;
+  std::vector<CellNeighbor> list;
   for (CellId c = 0; c < m; ++c) {
-    std::vector<CellNeighbor>& list = sorted_cells_[c];
-    list.reserve(build_stats_.non_empty_cells);
+    list.clear();
     for (CellId c2 = 0; c2 < m; ++c2) {
-      if (c2 == c || cell_vertices_[c2].empty()) continue;
+      if (c2 == c || Vertices(c2).empty()) continue;
       const Weight lb = lb_matrix_[static_cast<size_t>(c) * m + c2];
       if (lb == kInfWeight) continue;  // unreachable cell
       list.push_back({c2, lb});
@@ -210,7 +239,11 @@ void GridIndex::BuildSortedCellLists() {
                 }
                 return a.cell < b.cell;
               });
+    data.insert(data.end(), list.begin(), list.end());
+    offsets[static_cast<size_t>(c) + 1] = data.size();
   }
+  sc_offsets_ = std::move(offsets);
+  sc_data_ = std::move(data);
 }
 
 std::span<const BorderDistance> GridIndex::VertexBorderDistances(
@@ -253,7 +286,7 @@ Weight GridIndex::UpperBound(VertexId u, VertexId v) const {
 
   auto in_cell_distance = [this](VertexId from, VertexId border,
                                  CellId cell) -> Weight {
-    const std::vector<VertexId>& bvs = border_vertices_[cell];
+    const std::span<const VertexId> bvs = BorderVertices(cell);
     const auto it = std::lower_bound(bvs.begin(), bvs.end(), border);
     if (it == bvs.end() || *it != border) return kInfWeight;
     const size_t bi = static_cast<size_t>(it - bvs.begin());
@@ -300,16 +333,15 @@ std::vector<CellId> GridIndex::CellsOfPath(
 size_t GridIndex::EstimateMemory() const {
   size_t bytes = 0;
   bytes += cell_of_vertex_.size() * sizeof(CellId);
-  for (const auto& v : cell_vertices_) bytes += v.size() * sizeof(VertexId);
-  for (const auto& v : border_vertices_) {
-    bytes += v.size() * sizeof(VertexId);
-  }
+  bytes += (cv_data_.size() + bv_data_.size()) * sizeof(VertexId);
+  bytes += (cv_offsets_.size() + bv_offsets_.size() + sc_offsets_.size()) *
+           sizeof(size_t);
   bytes += vertex_min_.size() * sizeof(Weight);
   bytes += vbd_.size() * sizeof(BorderDistance);
   bytes += vbd_offsets_.size() * sizeof(size_t);
   bytes += lb_matrix_.size() * sizeof(Weight);
   bytes += witnesses_.size() * sizeof(WitnessPair);
-  for (const auto& v : sorted_cells_) bytes += v.size() * sizeof(CellNeighbor);
+  bytes += sc_data_.size() * sizeof(CellNeighbor);
   return bytes;
 }
 

@@ -7,6 +7,7 @@
 
 #include "roadnet/graph.h"
 #include "roadnet/types.h"
+#include "util/array_ref.h"
 #include "util/geo.h"
 #include "util/status.h"
 
@@ -74,15 +75,21 @@ class GridIndex {
   util::Point CellCenter(CellId c) const;
 
   // --- Per-cell lists (Fig. 1(b)) ----------------------------------------
-  const std::vector<VertexId>& Vertices(CellId c) const {
-    return cell_vertices_[c];
+  // CSR-stored (offsets + one flat array per list kind) so a snapshot
+  // can map them zero-copy; spans are as cheap as the references the
+  // nested-vector representation used to return.
+  std::span<const VertexId> Vertices(CellId c) const {
+    return {cv_data_.data() + cv_offsets_[c],
+            cv_data_.data() + cv_offsets_[static_cast<size_t>(c) + 1]};
   }
-  const std::vector<VertexId>& BorderVertices(CellId c) const {
-    return border_vertices_[c];
+  std::span<const VertexId> BorderVertices(CellId c) const {
+    return {bv_data_.data() + bv_offsets_[c],
+            bv_data_.data() + bv_offsets_[static_cast<size_t>(c) + 1]};
   }
   /// Ascending-lower-bound list of other non-empty cells.
-  const std::vector<CellNeighbor>& SortedCellList(CellId c) const {
-    return sorted_cells_[c];
+  std::span<const CellNeighbor> SortedCellList(CellId c) const {
+    return {sc_data_.data() + sc_offsets_[c],
+            sc_data_.data() + sc_offsets_[static_cast<size_t>(c) + 1]};
   }
 
   /// In-cell distances from `v` to the border vertices of its cell,
@@ -126,6 +133,8 @@ class GridIndex {
   std::string DebugString() const;
 
  private:
+  friend class ::ptrider::snapshot::SnapshotAccess;
+
   GridIndex() = default;
 
   util::Status BuildImpl(const RoadNetwork& graph);
@@ -141,19 +150,24 @@ class GridIndex {
   double cell_width_ = 1.0;
   double cell_height_ = 1.0;
 
-  std::vector<CellId> cell_of_vertex_;
-  std::vector<std::vector<VertexId>> cell_vertices_;
-  std::vector<std::vector<VertexId>> border_vertices_;
-  std::vector<char> is_border_;
+  // Every array is owned after Build and a zero-copy view into the
+  // mapping after a snapshot load (util::ArrayRef); the three per-cell
+  // lists are CSR pairs for exactly that reason.
+  util::ArrayRef<CellId> cell_of_vertex_;
+  util::ArrayRef<size_t> cv_offsets_;  // size NumCells()+1
+  util::ArrayRef<VertexId> cv_data_;
+  util::ArrayRef<size_t> bv_offsets_;  // size NumCells()+1
+  util::ArrayRef<VertexId> bv_data_;
 
-  std::vector<Weight> vertex_min_;
+  util::ArrayRef<Weight> vertex_min_;
   // CSR of per-vertex border distances, aligned with the cell's BV list.
-  std::vector<size_t> vbd_offsets_;
-  std::vector<BorderDistance> vbd_;
+  util::ArrayRef<size_t> vbd_offsets_;  // size NumVertices()+1
+  util::ArrayRef<BorderDistance> vbd_;
 
-  std::vector<Weight> lb_matrix_;        // NumCells()^2, row-major
-  std::vector<WitnessPair> witnesses_;   // same shape when stored
-  std::vector<std::vector<CellNeighbor>> sorted_cells_;
+  util::ArrayRef<Weight> lb_matrix_;       // NumCells()^2, row-major
+  util::ArrayRef<WitnessPair> witnesses_;  // same shape when stored
+  util::ArrayRef<size_t> sc_offsets_;      // size NumCells()+1
+  util::ArrayRef<CellNeighbor> sc_data_;
 
   BuildStats build_stats_;
 };

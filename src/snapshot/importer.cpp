@@ -1,0 +1,277 @@
+#include "snapshot/importer.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "roadnet/graph_io.h"
+#include "util/geo.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace ptrider::snapshot {
+namespace {
+
+util::Status ParseError(const std::string& path, size_t line,
+                        const std::string& what) {
+  return util::Status::InvalidArgument(util::StrFormat(
+      "%s line %zu: %s", path.c_str(), line, what.c_str()));
+}
+
+// Token parsers over a raw char cursor: the arc/coordinate lines are
+// the hot path (tens of millions on continental DIMACS files), so they
+// avoid istringstream entirely. Both skip leading whitespace (strtol /
+// strtod semantics) and advance the cursor past the token.
+bool NextLong(const char*& p, long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(p, &end, 10);
+  if (end == p || errno == ERANGE) return false;
+  p = end;
+  *out = v;
+  return true;
+}
+
+bool NextDouble(const char*& p, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(p, &end);
+  if (end == p || errno == ERANGE) return false;
+  p = end;
+  *out = v;
+  return true;
+}
+
+/// Parses a DIMACS `.co` file into a 0-based coordinate array (file ids
+/// are 1-based). `seen` marks which ids had a `v` line.
+util::Status LoadCoords(const std::string& path,
+                        std::vector<util::Point>& coords,
+                        std::vector<char>& seen) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::IoError(
+        util::StrFormat("cannot open '%s'", path.c_str()));
+  }
+  long long declared = -1;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    switch (line[0]) {
+      case 'c':
+        break;
+      case 'p': {
+        // "p aux sp co <n>" — the vertex count is the last token.
+        std::istringstream ss(line);
+        std::string token;
+        std::string last;
+        while (ss >> token) last = token;
+        char* end = nullptr;
+        declared = std::strtoll(last.c_str(), &end, 10);
+        if (end == last.c_str() || *end != '\0' || declared < 1) {
+          return ParseError(path, lineno, "malformed problem line");
+        }
+        coords.assign(static_cast<size_t>(declared), util::Point{});
+        seen.assign(static_cast<size_t>(declared), 0);
+        break;
+      }
+      case 'v': {
+        const char* p = line.c_str() + 1;
+        long long id = 0;
+        double x = 0.0;
+        double y = 0.0;
+        if (!NextLong(p, &id) || !NextDouble(p, &x) ||
+            !NextDouble(p, &y)) {
+          return ParseError(path, lineno,
+                            "malformed coordinate line "
+                            "(want: v <id> <x> <y>)");
+        }
+        if (declared < 0) {
+          return ParseError(path, lineno,
+                            "coordinate line before problem line");
+        }
+        if (id < 1 || id > declared) {
+          return ParseError(
+              path, lineno,
+              util::StrFormat("vertex id %lld out of range 1..%lld",
+                              id, declared));
+        }
+        const size_t idx = static_cast<size_t>(id - 1);
+        if (seen[idx]) {
+          return ParseError(
+              path, lineno,
+              util::StrFormat("duplicate coordinates for vertex %lld",
+                              id));
+        }
+        seen[idx] = 1;
+        coords[idx] = {x, y};
+        break;
+      }
+      default:
+        return ParseError(path, lineno,
+                          util::StrFormat("unknown line kind '%c'",
+                                          line[0]));
+    }
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s: no coordinates for vertex %zu", path.c_str(), i + 1));
+    }
+  }
+  return util::Status::Ok();
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t len = std::strlen(suffix);
+  return s.size() >= len &&
+         s.compare(s.size() - len, len, suffix) == 0;
+}
+
+}  // namespace
+
+util::Result<roadnet::RoadNetwork> LoadDimacsGraph(
+    const std::string& gr_path, const std::string& co_path,
+    ImportStats* stats) {
+  util::WallTimer timer;
+  std::vector<util::Point> coords;
+  std::vector<char> seen;
+  const bool have_coords = !co_path.empty();
+  if (have_coords) {
+    PTRIDER_RETURN_IF_ERROR(LoadCoords(co_path, coords, seen));
+  }
+
+  std::ifstream in(gr_path);
+  if (!in) {
+    return util::Status::IoError(
+        util::StrFormat("cannot open '%s'", gr_path.c_str()));
+  }
+  roadnet::GraphBuilder builder;
+  long long n = -1;
+  long long m = -1;
+  size_t self_loops = 0;
+  size_t arcs = 0;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    switch (line[0]) {
+      case 'c':
+        break;
+      case 'p': {
+        if (n >= 0) {
+          return ParseError(gr_path, lineno, "second problem line");
+        }
+        std::istringstream ss(line);
+        std::string tag;
+        std::string kind;
+        ss >> tag >> kind >> n >> m;
+        if (!ss || kind != "sp" || n < 1 || m < 0) {
+          return ParseError(gr_path, lineno,
+                            "malformed problem line "
+                            "(want: p sp <vertices> <arcs>)");
+        }
+        if (have_coords) {
+          if (static_cast<long long>(coords.size()) != n) {
+            return util::Status::InvalidArgument(util::StrFormat(
+                "%s declares %lld vertices but %s has coordinates for "
+                "%zu",
+                gr_path.c_str(), n, co_path.c_str(), coords.size()));
+          }
+        } else {
+          coords.assign(static_cast<size_t>(n), util::Point{});
+        }
+        for (const util::Point& p : coords) builder.AddVertex(p);
+        break;
+      }
+      case 'a': {
+        if (n < 0) {
+          return ParseError(gr_path, lineno,
+                            "arc line before problem line");
+        }
+        const char* p = line.c_str() + 1;
+        long long u = 0;
+        long long v = 0;
+        double w = 0.0;
+        if (!NextLong(p, &u) || !NextLong(p, &v) || !NextDouble(p, &w)) {
+          return ParseError(gr_path, lineno,
+                            "malformed arc line "
+                            "(want: a <tail> <head> <weight>)");
+        }
+        if (u < 1 || u > n || v < 1 || v > n) {
+          return ParseError(
+              gr_path, lineno,
+              util::StrFormat("arc endpoint out of range 1..%lld", n));
+        }
+        if (u == v) {
+          ++self_loops;
+          break;
+        }
+        const util::Status added = builder.AddEdge(
+            static_cast<roadnet::VertexId>(u - 1),
+            static_cast<roadnet::VertexId>(v - 1), w);
+        if (!added.ok()) {
+          return util::Status(
+              added.code(),
+              util::StrFormat("%s line %zu: %s", gr_path.c_str(),
+                              lineno, added.message().c_str()));
+        }
+        ++arcs;
+        break;
+      }
+      default:
+        return ParseError(gr_path, lineno,
+                          util::StrFormat("unknown line kind '%c'",
+                                          line[0]));
+    }
+  }
+  if (n < 0) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s has no problem line", gr_path.c_str()));
+  }
+  // Arc-count mismatch is how a truncated download shows up.
+  if (static_cast<long long>(arcs + self_loops) != m) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s declares %lld arcs but contains %zu (truncated file?)",
+        gr_path.c_str(), m, arcs + self_loops));
+  }
+  PTRIDER_ASSIGN_OR_RETURN(roadnet::RoadNetwork graph, builder.Build());
+  if (stats != nullptr) {
+    stats->num_vertices = graph.NumVertices();
+    stats->num_edges = graph.NumEdges();
+    stats->skipped_self_loops = self_loops;
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return graph;
+}
+
+util::Result<roadnet::RoadNetwork> LoadAnyGraph(const std::string& path,
+                                                ImportStats* stats) {
+  if (EndsWith(path, ".gr")) {
+    std::string co_path = path.substr(0, path.size() - 3) + ".co";
+    if (!std::ifstream(co_path).good()) co_path.clear();
+    return LoadDimacsGraph(path, co_path, stats);
+  }
+  if (EndsWith(path, ".csv")) {
+    util::WallTimer timer;
+    PTRIDER_ASSIGN_OR_RETURN(roadnet::RoadNetwork graph,
+                             roadnet::LoadGraphCsv(path));
+    if (stats != nullptr) {
+      stats->num_vertices = graph.NumVertices();
+      stats->num_edges = graph.NumEdges();
+      stats->skipped_self_loops = 0;
+      stats->seconds = timer.ElapsedSeconds();
+    }
+    return graph;
+  }
+  return util::Status::InvalidArgument(util::StrFormat(
+      "unrecognized graph file extension in '%s' (want .gr or .csv)",
+      path.c_str()));
+}
+
+}  // namespace ptrider::snapshot

@@ -1,0 +1,40 @@
+#ifndef PTRIDER_SNAPSHOT_IMPORTER_H_
+#define PTRIDER_SNAPSHOT_IMPORTER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "roadnet/graph.h"
+#include "util/status.h"
+
+namespace ptrider::snapshot {
+
+struct ImportStats {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  /// Arc lines dropped because head == tail (common in raw OSM
+  /// conversions; the road network model has no use for them).
+  size_t skipped_self_loops = 0;
+  double seconds = 0.0;
+};
+
+/// Streaming importer for DIMACS 9th-challenge graphs: `gr_path` is the
+/// arc file (`p sp <n> <m>` then `a <u> <v> <w>` lines, 1-based ids)
+/// and `co_path` the optional coordinate file (`v <id> <x> <y>` lines;
+/// pass "" to place every vertex at the origin — exact search still
+/// works, geometric bounds degrade to 0). One pass per file, memory
+/// proportional to the graph: million-vertex networks import without
+/// quadratic work. Parse errors name file and line.
+util::Result<roadnet::RoadNetwork> LoadDimacsGraph(
+    const std::string& gr_path, const std::string& co_path,
+    ImportStats* stats = nullptr);
+
+/// Loads a road network by extension: `.gr` selects the DIMACS importer
+/// (coordinates from the sibling `.co` file when it exists), `.csv` the
+/// SaveGraphCsv schema (roadnet/graph_io.h).
+util::Result<roadnet::RoadNetwork> LoadAnyGraph(
+    const std::string& path, ImportStats* stats = nullptr);
+
+}  // namespace ptrider::snapshot
+
+#endif  // PTRIDER_SNAPSHOT_IMPORTER_H_

@@ -1,0 +1,56 @@
+#include "snapshot/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace ptrider::snapshot {
+
+util::Result<MmapFile> MmapFile::OpenReadOnly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::Status::IoError(util::StrFormat(
+        "open '%s': %s", path.c_str(), std::strerror(errno)));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return util::Status::IoError(util::StrFormat(
+        "stat '%s': %s", path.c_str(), std::strerror(err)));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return util::Status::IoError(
+        util::StrFormat("'%s' is empty", path.c_str()));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is
+  // no longer needed either way.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return util::Status::IoError(util::StrFormat(
+        "mmap '%s': %s", path.c_str(), std::strerror(errno)));
+  }
+  MmapFile file;
+  file.addr_ = addr;
+  file.size_ = size;
+  return file;
+}
+
+void MmapFile::Reset() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+    addr_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace ptrider::snapshot

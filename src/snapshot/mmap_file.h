@@ -1,0 +1,60 @@
+#ifndef PTRIDER_SNAPSHOT_MMAP_FILE_H_
+#define PTRIDER_SNAPSHOT_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace ptrider::snapshot {
+
+/// Read-only memory mapping of a whole file (RAII over POSIX mmap).
+/// The mapping is PROT_READ / MAP_SHARED: every process (and every
+/// thread) mapping the same snapshot shares one copy of the physical
+/// pages through the page cache, which is the sharing argument of
+/// DESIGN.md section 12. Movable, not copyable; unmaps on destruction.
+class MmapFile {
+ public:
+  MmapFile() = default;
+
+  /// Maps `path` read-only. Fails with IoError for missing, unreadable
+  /// or empty files.
+  static util::Result<MmapFile> OpenReadOnly(const std::string& path);
+
+  ~MmapFile() { Reset(); }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  MmapFile(MmapFile&& other) noexcept
+      : addr_(other.addr_), size_(other.size_) {
+    other.addr_ = nullptr;
+    other.size_ = 0;
+  }
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      addr_ = other.addr_;
+      size_ = other.size_;
+      other.addr_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  const unsigned char* data() const {
+    return static_cast<const unsigned char*>(addr_);
+  }
+  size_t size() const { return size_; }
+  bool mapped() const { return addr_ != nullptr; }
+
+ private:
+  void Reset();
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ptrider::snapshot
+
+#endif  // PTRIDER_SNAPSHOT_MMAP_FILE_H_

@@ -1,0 +1,84 @@
+#ifndef PTRIDER_SNAPSHOT_SNAPSHOT_H_
+#define PTRIDER_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "roadnet/ch.h"
+#include "roadnet/graph.h"
+#include "roadnet/grid_index.h"
+#include "snapshot/mmap_file.h"
+#include "snapshot/snapshot_access.h"
+#include "util/status.h"
+
+namespace ptrider::snapshot {
+
+/// Writes a versioned, checksummed snapshot of a road network plus its
+/// built grid and CH indexes (the format of snapshot/format.h). The
+/// grid must have been built over `graph` and the CH index over the
+/// same vertex set. Identical inputs produce byte-identical files.
+util::Status WriteSnapshot(const roadnet::RoadNetwork& graph,
+                           const roadnet::GridIndex& grid,
+                           const roadnet::CHIndex& ch,
+                           const std::string& path);
+
+/// What Load observed; exposed for banners and benches.
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint64_t file_bytes = 0;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  /// Wall time of Load: map + validate + checksum + wire views. The
+  /// arrays themselves are never copied.
+  double load_seconds = 0.0;
+};
+
+/// A memory-mapped snapshot: the road network, grid index and CH index
+/// reconstituted as zero-copy views over the mapping. Load validates
+/// magic / endianness / version / record ABI / truncation / checksum
+/// and fails with a util::Status rather than trusting a byte.
+///
+/// Lifetime: all three structures view the mapping, and the grid also
+/// points at the graph, so the trio lives in one shared heap block with
+/// stable addresses. Copying a Snapshot shares that block. ch() hands
+/// out the CHIndex through the aliasing shared_ptr constructor — every
+/// holder (each dispatch/movement/service worker's oracle clone) keeps
+/// the entire mapping alive, which is exactly the
+/// `shared_ptr<const CHIndex>` contract DistanceOracle::Clone already
+/// has for in-memory indexes. Systems built over graph()/grid() must
+/// not outlive every Snapshot copy + ch() holder.
+class Snapshot {
+ public:
+  static util::Result<Snapshot> Load(const std::string& path);
+
+  const roadnet::RoadNetwork& graph() const { return state_->graph; }
+  const roadnet::GridIndex& grid() const { return state_->grid; }
+
+  /// The loaded CH index, lifetime-tied to the mapping (aliasing
+  /// shared_ptr). Answers bit-identically to a freshly built index:
+  /// CHIndex::Build is deterministic and the snapshot stores its entire
+  /// output state (DESIGN.md section 12).
+  std::shared_ptr<const roadnet::CHIndex> ch() const {
+    return std::shared_ptr<const roadnet::CHIndex>(state_, &state_->ch);
+  }
+
+  const SnapshotInfo& info() const { return info_; }
+
+ private:
+  struct State {
+    MmapFile mapping;
+    roadnet::RoadNetwork graph;
+    roadnet::GridIndex grid = SnapshotAccess::NewGrid();
+    roadnet::CHIndex ch = SnapshotAccess::NewCH();
+  };
+
+  Snapshot() = default;
+
+  std::shared_ptr<State> state_;
+  SnapshotInfo info_;
+};
+
+}  // namespace ptrider::snapshot
+
+#endif  // PTRIDER_SNAPSHOT_SNAPSHOT_H_

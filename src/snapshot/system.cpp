@@ -1,0 +1,20 @@
+#include "snapshot/system.h"
+
+#include <utility>
+
+#include "roadnet/sp_algorithm.h"
+
+namespace ptrider::snapshot {
+
+util::Result<std::unique_ptr<core::PTRider>> CreateSystem(
+    const Snapshot& snapshot, core::Config config) {
+  std::shared_ptr<const roadnet::CHIndex> ch;
+  if (config.sp_algorithm ==
+      roadnet::SpAlgorithm::kContractionHierarchy) {
+    ch = snapshot.ch();  // keeps the mapping alive through the oracle
+  }
+  return core::PTRider::Create(snapshot.graph(), std::move(config),
+                               snapshot.grid(), std::move(ch));
+}
+
+}  // namespace ptrider::snapshot

@@ -1,0 +1,22 @@
+#ifndef PTRIDER_SNAPSHOT_SYSTEM_H_
+#define PTRIDER_SNAPSHOT_SYSTEM_H_
+
+#include <memory>
+
+#include "core/ptrider.h"
+#include "snapshot/snapshot.h"
+
+namespace ptrider::snapshot {
+
+/// Builds a PTRider system over a loaded snapshot: the mapped graph and
+/// grid back the system directly (view-copies, nothing rebuilt), and
+/// under sp_algorithm == kContractionHierarchy the mapped CH index is
+/// adopted through the oracle's shared_ptr clone contract — every
+/// dispatch/movement/service worker's oracle clone then queries the one
+/// mapping. The snapshot must outlive the returned system.
+util::Result<std::unique_ptr<core::PTRider>> CreateSystem(
+    const Snapshot& snapshot, core::Config config);
+
+}  // namespace ptrider::snapshot
+
+#endif  // PTRIDER_SNAPSHOT_SYSTEM_H_

@@ -1,0 +1,96 @@
+#ifndef PTRIDER_UTIL_ARRAY_REF_H_
+#define PTRIDER_UTIL_ARRAY_REF_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ptrider::util {
+
+/// Contiguous read-only array that either OWNS its elements (a vector,
+/// the result of an in-memory build) or VIEWS someone else's memory (a
+/// section of a memory-mapped snapshot; src/snapshot/). The read API is
+/// identical either way, so index structures built offline and loaded
+/// zero-copy share one code path with structures built at startup.
+///
+/// A view never outlives its backing store by contract: snapshot-loaded
+/// structures keep the mapping alive through snapshot::Snapshot
+/// (DESIGN.md section 12). Copying an owning ref deep-copies the
+/// elements; copying a view copies the (pointer, size) pair only —
+/// which is what makes snapshot-loaded GridIndex instances cheap to
+/// hand to PTRider by value.
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+
+  /// Owning: adopts `v`.
+  ArrayRef(std::vector<T> v)  // NOLINT(runtime/explicit)
+      : owned_(std::move(v)), data_(owned_.data()), size_(owned_.size()) {}
+
+  /// Non-owning view over `[data, data + size)`.
+  static ArrayRef View(const T* data, size_t size) {
+    ArrayRef ref;
+    ref.data_ = data;
+    ref.size_ = size;
+    return ref;
+  }
+
+  ArrayRef(const ArrayRef& other) { *this = other; }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this == &other) return *this;
+    owned_ = other.owned_;
+    if (other.is_view()) {
+      data_ = other.data_;
+    } else {
+      data_ = owned_.data();
+    }
+    size_ = other.size_;
+    return *this;
+  }
+
+  ArrayRef(ArrayRef&& other) noexcept { *this = std::move(other); }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this == &other) return *this;
+    const bool view = other.is_view();
+    owned_ = std::move(other.owned_);
+    data_ = view ? other.data_ : owned_.data();
+    size_ = other.size_;
+    other.owned_.clear();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    return *this;
+  }
+
+  ArrayRef& operator=(std::vector<T> v) {
+    owned_ = std::move(v);
+    data_ = owned_.data();
+    size_ = owned_.size();
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  /// True when this ref does not own its elements.
+  bool is_view() const { return data_ != nullptr && owned_.data() != data_; }
+
+  /// Heap bytes held by this ref itself (0 for views — the mapping is
+  /// accounted by its owner).
+  size_t owned_bytes() const { return owned_.capacity() * sizeof(T); }
+
+ private:
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ptrider::util
+
+#endif  // PTRIDER_UTIL_ARRAY_REF_H_

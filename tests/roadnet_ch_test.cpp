@@ -191,5 +191,86 @@ TEST(CHQueryTest, SearchIsFarSmallerThanFullDijkstra) {
   EXPECT_EQ(ch.total_pops(), 0u);
 }
 
+// Checks that `path` is a real walk in `g` from u to v whose edges
+// re-sum (left to right, like DijkstraEngine) to exactly `distance`.
+void ExpectValidPath(const RoadNetwork& g, const std::vector<VertexId>& path,
+                     VertexId u, VertexId v, Weight distance) {
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), u);
+  EXPECT_EQ(path.back(), v);
+  Weight sum = 0.0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const Weight w = g.EdgeWeight(path[i], path[i + 1]);
+    ASSERT_NE(w, kInfWeight)
+        << "path uses nonexistent edge " << path[i] << " -> "
+        << path[i + 1];
+    sum += w;
+  }
+  EXPECT_EQ(sum, distance);
+}
+
+TEST(CHPathTest, UnpackedPathsMatchDijkstraBitExactly) {
+  // DistanceWithPath expands every shortcut into original edges; the
+  // expanded walk must re-sum to the Dijkstra distance with zero ULP
+  // error (that re-summation IS the returned distance).
+  CityGridOptions opts;
+  opts.rows = 13;
+  opts.cols = 12;
+  opts.seed = 271;
+  auto g = MakeCityGrid(opts);
+  ASSERT_TRUE(g.ok());
+  const CHIndex index = CHIndex::Build(*g);
+  CHQuery ch(index);
+  DijkstraEngine dij(*g);
+  util::Rng rng(31);
+  for (int i = 0; i < 150; ++i) {
+    const auto u = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g->NumVertices()) - 1));
+    const auto v = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(g->NumVertices()) - 1));
+    std::vector<VertexId> path;
+    const Weight d = ch.DistanceWithPath(u, v, path);
+    EXPECT_EQ(d, dij.Distance(u, v)) << u << " -> " << v;
+    ExpectValidPath(*g, path, u, v, d);
+  }
+  // Trivial query: a single-vertex path at distance zero.
+  std::vector<VertexId> self;
+  EXPECT_EQ(ch.DistanceWithPath(3, 3, self), 0.0);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0], 3);
+}
+
+TEST(CHPathTest, OracleShortestPathServedByCh) {
+  // Under sp_algorithm=ch the oracle's ShortestPath is answered by the
+  // hierarchy itself (shortcut unpacking), not by an A* fallback — so
+  // it must work, and agree with Dijkstra, on a network whose geometric
+  // lower bound is unusable (all-origin coordinates disable A*'s
+  // heuristic entirely).
+  GraphBuilder builder;
+  for (int i = 0; i < 6; ++i) builder.AddVertex({0.0, 0.0});
+  ASSERT_TRUE(builder.AddUndirectedEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(builder.AddUndirectedEdge(1, 2, 2.5).ok());
+  ASSERT_TRUE(builder.AddUndirectedEdge(2, 3, 1.0).ok());
+  ASSERT_TRUE(builder.AddUndirectedEdge(0, 4, 1.5).ok());
+  ASSERT_TRUE(builder.AddUndirectedEdge(4, 3, 5.5).ok());
+  // Vertex 5 is isolated: no path to or from it.
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+
+  DistanceOracleOptions oopts;
+  oopts.algorithm = SpAlgorithm::kContractionHierarchy;
+  DistanceOracle oracle(*g, oopts);
+  DijkstraEngine dij(*g);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = 0; v < 5; ++v) {
+      auto path = oracle.ShortestPath(u, v);
+      ASSERT_TRUE(path.ok()) << path.status().ToString();
+      ExpectValidPath(*g, *path, u, v, dij.Distance(u, v));
+    }
+  }
+  // Unreachable pairs surface as NotFound, same as every other engine.
+  EXPECT_FALSE(oracle.ShortestPath(0, 5).ok());
+}
+
 }  // namespace
 }  // namespace ptrider::roadnet

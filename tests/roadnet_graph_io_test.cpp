@@ -71,6 +71,70 @@ TEST(GraphIoTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadGraphCsv("/nonexistent/road.csv").ok());
 }
 
+TEST(GraphIoTest, LoadAcceptsOutOfOrderVertexRows) {
+  // The loader streams rows in one pass; V rows may appear in any order
+  // (and after E rows) as long as the ids end up dense.
+  const std::string path = TempPath("graph_unordered.csv");
+  {
+    std::ofstream out(path);
+    out << "E,2,0,7.5\n"
+        << "V,2,2.0,0.0\n"
+        << "V,0,0.0,0.0\n"
+        << "V,1,1.0,0.0\n"
+        << "E,0,1,4.0\n";
+  }
+  auto loaded = LoadGraphCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumVertices(), 3u);
+  EXPECT_EQ(loaded->NumEdges(), 2u);
+  EXPECT_NEAR(loaded->Coord(2).x, 2.0, 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsDuplicateVertexWithLineNumber) {
+  const std::string path = TempPath("graph_dup.csv");
+  {
+    std::ofstream out(path);
+    out << "V,0,0.0,0.0\nV,1,1.0,0.0\nV,1,2.0,0.0\n";
+  }
+  auto loaded = LoadGraphCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("duplicate"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsGapInVertexIds) {
+  const std::string path = TempPath("graph_gap.csv");
+  {
+    std::ofstream out(path);
+    out << "V,0,0.0,0.0\nV,2,2.0,0.0\n";  // id 1 never defined
+  }
+  auto loaded = LoadGraphCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("dense"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadReportsLineNumberForBadEdge) {
+  const std::string path = TempPath("graph_badedge.csv");
+  {
+    std::ofstream out(path);
+    out << "V,0,0.0,0.0\n"
+        << "V,1,1.0,0.0\n"
+        << "E,0,1,1.0\n"
+        << "E,0,1,-3.0\n";  // negative weight, line 4
+  }
+  auto loaded = LoadGraphCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 4"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
 TEST(GraphIoTest, FleetHelpers) {
   const PaperExampleNetwork ex = MakePaperExampleNetwork();
   util::Rng rng(4);

@@ -1,0 +1,188 @@
+// DIMACS 9th-challenge importer (src/snapshot/importer.*): .gr/.co
+// parsing, 1-based -> 0-based id translation, self-loop skipping,
+// line-numbered rejection of malformed and truncated files, and the
+// extension dispatch of LoadAnyGraph.
+
+#include "snapshot/importer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "roadnet/dijkstra.h"
+#include "roadnet/graph_io.h"
+#include "roadnet/paper_example.h"
+
+namespace ptrider::snapshot {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const char* content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+// A 4-vertex diamond: 1 -> {2, 3} -> 4, plus one self-loop to skip.
+constexpr char kDiamondGr[] =
+    "c tiny test network\n"
+    "p sp 4 7\n"
+    "a 1 2 10\n"
+    "a 1 3 12\n"
+    "a 2 4 5\n"
+    "a 3 4 2\n"
+    "a 4 1 30\n"
+    "a 2 2 99\n"
+    "\n"
+    "a 1 4 40\n";
+
+constexpr char kDiamondCo[] =
+    "c coordinates\n"
+    "p aux sp co 4\n"
+    "v 1 0.0 0.0\n"
+    "v 2 10.0 1.0\n"
+    "v 3 10.0 -1.0\n"
+    "v 4 20.0 0.0\n";
+
+TEST(DimacsImportTest, LoadsGraphAndCoordinates) {
+  const std::string gr = TempPath("diamond.gr");
+  const std::string co = TempPath("diamond.co");
+  WriteFile(gr, kDiamondGr);
+  WriteFile(co, kDiamondCo);
+
+  ImportStats stats;
+  auto graph = LoadDimacsGraph(gr, co, &stats);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->NumVertices(), 4u);
+  EXPECT_EQ(graph->NumEdges(), 6u);  // 7 arcs minus the self-loop
+  EXPECT_EQ(stats.num_vertices, 4u);
+  EXPECT_EQ(stats.num_edges, 6u);
+  EXPECT_EQ(stats.skipped_self_loops, 1u);
+  // 1-based file ids land at 0-based vertices with their coordinates.
+  EXPECT_DOUBLE_EQ(graph->Coord(1).x, 10.0);
+  EXPECT_DOUBLE_EQ(graph->Coord(1).y, 1.0);
+  // Shortest 0 -> 3 goes via vertex 2: 12 + 2 < 10 + 5 < 40.
+  roadnet::DijkstraEngine dij(*graph);
+  EXPECT_DOUBLE_EQ(dij.Distance(0, 3), 14.0);
+
+  std::remove(gr.c_str());
+  std::remove(co.c_str());
+}
+
+TEST(DimacsImportTest, MissingCoordinateFileMeansOriginCoords) {
+  const std::string gr = TempPath("no_co.gr");
+  WriteFile(gr, "p sp 2 1\na 1 2 3.5\n");
+  auto graph = LoadDimacsGraph(gr, /*co_path=*/"", nullptr);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->NumVertices(), 2u);
+  EXPECT_DOUBLE_EQ(graph->Coord(1).x, 0.0);
+  // All-origin coordinates trivially satisfy the geometric lower bound.
+  EXPECT_TRUE(graph->GeometricLowerBoundValid());
+  std::remove(gr.c_str());
+}
+
+TEST(DimacsImportTest, RejectsTruncatedArcList) {
+  const std::string gr = TempPath("truncated.gr");
+  WriteFile(gr, "p sp 3 5\na 1 2 1\na 2 3 1\n");  // declares 5, has 2
+  auto graph = LoadDimacsGraph(gr, "", nullptr);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("truncated"),
+            std::string::npos)
+      << graph.status().ToString();
+  std::remove(gr.c_str());
+}
+
+TEST(DimacsImportTest, RejectsMalformedLinesWithLineNumbers) {
+  const std::string gr = TempPath("bad.gr");
+
+  WriteFile(gr, "p sp 3 1\na 1 9 1\n");  // endpoint out of range
+  auto out_of_range = LoadDimacsGraph(gr, "", nullptr);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_NE(out_of_range.status().message().find("line 2"),
+            std::string::npos)
+      << out_of_range.status().ToString();
+
+  WriteFile(gr, "a 1 2 1\n");  // arc before problem line
+  EXPECT_FALSE(LoadDimacsGraph(gr, "", nullptr).ok());
+
+  WriteFile(gr, "p sp 2 1\na 1 2\n");  // missing weight
+  EXPECT_FALSE(LoadDimacsGraph(gr, "", nullptr).ok());
+
+  WriteFile(gr, "p sp 2 1\na 1 2 -4\n");  // negative weight
+  auto negative = LoadDimacsGraph(gr, "", nullptr);
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.status().message().find("line 2"),
+            std::string::npos);
+
+  WriteFile(gr, "q sp 2 1\n");  // unknown line kind
+  EXPECT_FALSE(LoadDimacsGraph(gr, "", nullptr).ok());
+
+  WriteFile(gr, "p sp 2 1\np sp 2 1\na 1 2 1\n");  // second problem line
+  EXPECT_FALSE(LoadDimacsGraph(gr, "", nullptr).ok());
+
+  std::remove(gr.c_str());
+}
+
+TEST(DimacsImportTest, RejectsBadCoordinateFiles) {
+  const std::string gr = TempPath("co_bad.gr");
+  const std::string co = TempPath("co_bad.co");
+  WriteFile(gr, "p sp 2 1\na 1 2 1\n");
+
+  WriteFile(co, "p aux sp co 2\nv 1 0 0\nv 1 1 1\n");  // duplicate
+  auto dup = LoadDimacsGraph(gr, co, nullptr);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+
+  WriteFile(co, "p aux sp co 2\nv 1 0 0\n");  // vertex 2 missing
+  EXPECT_FALSE(LoadDimacsGraph(gr, co, nullptr).ok());
+
+  WriteFile(co, "p aux sp co 3\nv 1 0 0\nv 2 1 0\nv 3 2 0\n");
+  auto mismatch = LoadDimacsGraph(gr, co, nullptr);  // 3 coords, n = 2
+  ASSERT_FALSE(mismatch.ok());
+
+  WriteFile(co, "v 1 0 0\n");  // coordinate before problem line
+  EXPECT_FALSE(LoadDimacsGraph(gr, co, nullptr).ok());
+
+  std::remove(gr.c_str());
+  std::remove(co.c_str());
+}
+
+TEST(LoadAnyGraphTest, DispatchesByExtension) {
+  // .gr with a sibling .co picks up the coordinates automatically.
+  const std::string gr = TempPath("any.gr");
+  const std::string co = TempPath("any.co");
+  WriteFile(gr, kDiamondGr);
+  WriteFile(co, kDiamondCo);
+  auto from_gr = LoadAnyGraph(gr, nullptr);
+  ASSERT_TRUE(from_gr.ok()) << from_gr.status().ToString();
+  EXPECT_DOUBLE_EQ(from_gr->Coord(3).x, 20.0);
+  std::remove(co.c_str());
+
+  // Without the sibling, coordinates default to the origin.
+  auto no_co = LoadAnyGraph(gr, nullptr);
+  ASSERT_TRUE(no_co.ok()) << no_co.status().ToString();
+  EXPECT_DOUBLE_EQ(no_co->Coord(3).x, 0.0);
+  std::remove(gr.c_str());
+
+  // .csv routes through LoadGraphCsv.
+  const roadnet::PaperExampleNetwork ex =
+      roadnet::MakePaperExampleNetwork();
+  const std::string csv = TempPath("any.csv");
+  ASSERT_TRUE(roadnet::SaveGraphCsv(ex.graph, csv).ok());
+  ImportStats stats;
+  auto from_csv = LoadAnyGraph(csv, &stats);
+  ASSERT_TRUE(from_csv.ok()) << from_csv.status().ToString();
+  EXPECT_EQ(from_csv->NumVertices(), ex.graph.NumVertices());
+  EXPECT_EQ(stats.num_vertices, ex.graph.NumVertices());
+  std::remove(csv.c_str());
+
+  // Anything else is rejected up front.
+  EXPECT_FALSE(LoadAnyGraph("network.osm.pbf", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace ptrider::snapshot

@@ -1,0 +1,155 @@
+// Offline snapshot builder: pay graph import + grid build + CH
+// preprocessing once, serve every subsequent startup from the mmap'd
+// result (src/snapshot/; DESIGN.md section 12).
+//
+// Usage:
+//   snapshot_build --out city.snap --city 100 100 [--seed N]
+//   snapshot_build --out usa.snap  --graph road.gr  [--grid 64 64]
+//   snapshot_build --out town.snap --graph town.csv [--grid 32 32]
+//
+// `--city R C` generates the standard synthetic city grid (R x C
+// intersections, 250 m spacing); `--graph` imports a DIMACS `.gr` file
+// (coordinates from the sibling `.co` when present) or a CSV network in
+// the SaveGraphCsv schema. `--grid X Y` sets the grid-index resolution
+// (default 32 32). The written file loads with snapshot::Snapshot::Load
+// and `--snapshot` in example_city_day / example_service_day.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "roadnet/ch.h"
+#include "roadnet/graph_generator.h"
+#include "roadnet/grid_index.h"
+#include "snapshot/importer.h"
+#include "snapshot/snapshot.h"
+#include "util/timer.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --out <file> (--city <rows> <cols> [--seed N] | "
+      "--graph <file.gr|file.csv>) [--grid <cells_x> <cells_y>]\n",
+      argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ptrider;
+
+  std::string out_path;
+  std::string graph_path;
+  int city_rows = 0;
+  int city_cols = 0;
+  uint64_t seed = 7;
+  roadnet::GridIndexOptions grid_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](int count) {
+      if (i + count >= argc) {
+        std::fprintf(stderr, "%s needs %d value(s)\n", argv[i], count);
+        std::exit(1);
+      }
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      need(1);
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--graph") == 0) {
+      need(1);
+      graph_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--city") == 0) {
+      need(2);
+      city_rows = std::atoi(argv[++i]);
+      city_cols = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      need(1);
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--grid") == 0) {
+      need(2);
+      grid_options.cells_x = std::atoi(argv[++i]);
+      grid_options.cells_y = std::atoi(argv[++i]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  const bool have_city = city_rows > 0 && city_cols > 0;
+  if (out_path.empty() || (have_city == !graph_path.empty())) {
+    return Usage(argv[0]);
+  }
+
+  // --- Acquire the graph ---------------------------------------------------
+  util::WallTimer total;
+  util::Result<roadnet::RoadNetwork> graph =
+      util::Status::Internal("unreachable");
+  if (have_city) {
+    roadnet::CityGridOptions city;
+    city.rows = city_rows;
+    city.cols = city_cols;
+    city.spacing_m = 250.0;
+    city.seed = seed;
+    util::WallTimer timer;
+    graph = roadnet::MakeCityGrid(city);
+    if (graph.ok()) {
+      std::printf("generated %dx%d city in %.2f s\n", city_rows,
+                  city_cols, timer.ElapsedSeconds());
+    }
+  } else {
+    snapshot::ImportStats stats;
+    graph = snapshot::LoadAnyGraph(graph_path, &stats);
+    if (graph.ok()) {
+      std::printf(
+          "imported '%s' in %.2f s (%zu self-loop arcs dropped)\n",
+          graph_path.c_str(), stats.seconds, stats.skipped_self_loops);
+    }
+  }
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph: %zu vertices, %zu directed edges\n",
+              graph->NumVertices(), graph->NumEdges());
+
+  // --- Build the indexes ---------------------------------------------------
+  auto grid = roadnet::GridIndex::Build(*graph, grid_options);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "grid build: %s\n",
+                 grid.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("grid:  %s\n", grid->DebugString().c_str());
+
+  util::WallTimer ch_timer;
+  const roadnet::CHIndex ch = roadnet::CHIndex::Build(*graph);
+  std::printf("ch:    %zu shortcuts, %.1f MiB, built in %.2f s\n",
+              ch.num_shortcuts(),
+              static_cast<double>(ch.MemoryBytes()) / (1024.0 * 1024.0),
+              ch_timer.ElapsedSeconds());
+
+  // --- Serialize -----------------------------------------------------------
+  util::WallTimer write_timer;
+  const util::Status written =
+      snapshot::WriteSnapshot(*graph, *grid, ch, out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "write: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  auto verify = snapshot::Snapshot::Load(out_path);
+  if (!verify.ok()) {
+    std::fprintf(stderr, "verification load failed: %s\n",
+                 verify.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote '%s': %.1f MiB in %.2f s (verification load: %.0f ms)\n"
+      "total %.2f s\n",
+      out_path.c_str(),
+      static_cast<double>(verify->info().file_bytes) / (1024.0 * 1024.0),
+      write_timer.ElapsedSeconds(), verify->info().load_seconds * 1e3,
+      total.ElapsedSeconds());
+  return 0;
+}
