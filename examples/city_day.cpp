@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
     }
   }
   const size_t taxis =
-      positional.size() > 0 ? std::strtoul(positional[0], nullptr, 10) : 150;
+      !positional.empty() ? std::strtoul(positional[0], nullptr, 10) : 150;
   const size_t trips =
       positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10) : 2000;
   const double hours =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace ptrider::dispatch {
 
@@ -14,10 +15,10 @@ ThreadPool::ThreadPool(size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     stopping_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -29,15 +30,15 @@ void ThreadPool::Submit(std::function<void(size_t)> task) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  const util::MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(
@@ -68,21 +69,21 @@ void ThreadPool::ParallelFor(
 }
 
 void ThreadPool::WorkerLoop(size_t worker_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    task_ready_.wait(lock,
-                     [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // only reachable when stopping
+    while (!stopping_ && queue_.empty()) task_ready_.Wait(mu_);
+    if (queue_.empty()) break;  // only reachable when stopping
     std::function<void(size_t)> task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
-    lock.unlock();
+    mu_.Unlock();
     task(worker_id);
     task = nullptr;  // release captures before signalling completion
-    lock.lock();
+    mu_.Lock();
     --active_;
-    if (queue_.empty() && active_ == 0) all_done_.notify_all();
+    if (queue_.empty() && active_ == 0) all_done_.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 }  // namespace ptrider::dispatch

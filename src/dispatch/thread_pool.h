@@ -1,13 +1,14 @@
 #ifndef PTRIDER_DISPATCH_THREAD_POOL_H_
 #define PTRIDER_DISPATCH_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
+#include <thread>  // lint: allow(raw-thread)
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ptrider::dispatch {
 
@@ -22,6 +23,11 @@ namespace ptrider::dispatch {
 /// Wait()s for completion (the library is exception-free; tasks must not
 /// throw). Workers live for the lifetime of the pool, so per-batch use
 /// pays queue hand-off, not thread start-up.
+///
+/// Locking contract (machine-checked under clang, DESIGN.md section 13):
+/// queue_, active_ and stopping_ are GUARDED_BY(mu_); both condition
+/// variables pair with mu_. workers_ is written only in the constructor
+/// and joined in the destructor, so it needs no guard.
 class ThreadPool {
  public:
   /// Starts `num_workers` workers. A pool of zero workers is legal and
@@ -40,11 +46,11 @@ class ThreadPool {
   /// Enqueues `task`; some worker eventually runs task(worker_id). On a
   /// zero-worker pool the task runs synchronously on the caller (as
   /// worker 0) — there is no one else to hand it to.
-  void Submit(std::function<void(size_t worker)> task);
+  void Submit(std::function<void(size_t worker)> task) EXCLUDES(mu_);
 
   /// Blocks the calling thread until every submitted task has finished
   /// (queue empty and no task mid-execution).
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Runs fn(index, worker) for every index in [0, n), work-stealing
   /// index ranges off a shared counter so uneven per-index cost still
@@ -61,18 +67,18 @@ class ThreadPool {
   void ParallelFor(size_t n,
                    const std::function<void(size_t index, size_t worker)>&
                        fn,
-                   size_t chunk = 1);
+                   size_t chunk = 1) EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(size_t worker_id);
+  void WorkerLoop(size_t worker_id) EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void(size_t)>> queue_;
-  size_t active_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  util::Mutex mu_;
+  util::CondVar task_ready_;
+  util::CondVar all_done_;
+  std::deque<std::function<void(size_t)>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // lint: allow(raw-thread)
 };
 
 }  // namespace ptrider::dispatch

@@ -1,5 +1,6 @@
 #include "roadnet/graph_io.h"
 
+#include <filesystem>
 #include <vector>
 
 #include "util/csv.h"
@@ -61,6 +62,18 @@ util::Result<RoadNetwork> LoadGraphCsv(const std::string& path) {
   std::vector<PendingEdge> pending_edges;
   size_t num_seen = 0;
   std::vector<std::string> fields;
+  // Allocation guard: ids must be dense 0..n-1, so a valid id implies at
+  // least id+1 V rows behind it — and the shortest possible V row
+  // ("V,0,0,0" + newline) is 8 bytes. An id beyond file_size/4 (half
+  // that, to be safe about exotic line endings) cannot possibly be
+  // backed by enough rows; rejecting it up front keeps a one-line
+  // hostile file from demanding gigabytes before the dense check at EOF
+  // would catch it.
+  std::error_code size_ec;
+  const uintmax_t file_bytes = std::filesystem::file_size(path, size_ec);
+  const size_t max_plausible_id =
+      size_ec ? static_cast<size_t>(-1)
+              : static_cast<size_t>(file_bytes / 4);
   while (reader.Next(fields)) {
     if (fields.empty()) continue;
     const std::string& kind = fields[0];
@@ -75,6 +88,13 @@ util::Result<RoadNetwork> LoadGraphCsv(const std::string& path) {
         return util::Status::InvalidArgument(util::StrFormat(
             "line %zu: vertex id %lld out of range", reader.line_number(),
             static_cast<long long>(*id)));
+      }
+      if (static_cast<uint64_t>(*id) > max_plausible_id) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "line %zu: vertex id %lld implies more V rows than the "
+            "%llu-byte file can hold (ids must be dense 0..n-1)",
+            reader.line_number(), static_cast<long long>(*id),
+            static_cast<unsigned long long>(file_bytes)));
       }
       const auto x = util::ParseDouble(fields[2]);
       if (!x.ok()) return at_line(x.status());

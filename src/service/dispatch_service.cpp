@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "service/clock.h"
 #include "service/mpsc_queue.h"
+#include "service/workload_driver.h"
 #include "sim/simulator.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -32,10 +33,8 @@ sim::SimulatorOptions MakeSimOptions(const ServiceOptions& o) {
 }  // namespace
 
 struct DispatchService::Impl {
-  Impl(core::PTRider& system, ServiceOptions options)
-      : system(&system),
-        options(options),
-        sim(system, MakeSimOptions(options)) {}
+  Impl(core::PTRider& sys, ServiceOptions opts)
+      : system(&sys), options(opts), sim(sys, MakeSimOptions(opts)) {}
 
   core::PTRider* system;
   ServiceOptions options;
@@ -125,13 +124,12 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
 
   // Wall-clock mode: the open-loop producer runs on its own thread,
   // pushing arrivals as their instants pass on the shared clock.
-  std::thread producer;
+  std::unique_ptr<ProducerThread> producer;
   if (!virt) {
-    producer = std::thread([&driver, &clock] { driver.RunBlocking(*clock); });
+    producer = std::make_unique<ProducerThread>(driver, *clock);
   }
 
   const double end_time = stats.horizon_s + opt.drain_s;
-  const double speed = impl_->system->config().speed_mps;
 
   // Virtual-clock service-time model: a single modeled server drains
   // `assign_cost_s` of work per dispatched request. `backlog_s` is the
@@ -237,16 +235,17 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
     }
     PTRIDER_RETURN_IF_ERROR(sim.AdvanceTick(prev, now, report.sim));
     if (opt.verbose && now >= next_progress_log) {
+      const RequestQueue::Counters qc = queue.counters();
       PTRIDER_LOG(kInfo) << util::StrFormat(
           "t=%.1fh offered=%llu shed=%llu assigned=%llu depth=%zu",
-          now / 3600.0, static_cast<unsigned long long>(driver.offered()),
+          now / 3600.0, static_cast<unsigned long long>(qc.pushed + qc.rejected),
           static_cast<unsigned long long>(stats.rejected + stats.shed),
-          static_cast<unsigned long long>(stats.assigned), queue.size());
+          static_cast<unsigned long long>(stats.assigned), qc.size);
       next_progress_log += 3600.0;
     }
   }
 
-  if (!virt && producer.joinable()) producer.join();
+  if (producer != nullptr) producer->Join();
   // Final partial window: anything still queued (arrivals between the
   // last flush and end_time) gets one last dispatch, like Run's
   // epilogue.
@@ -258,10 +257,12 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
       stats.quote_latency_s.Merge(p);
     }
   }
+  // The producer (if any) has joined: one consistent counter snapshot.
+  const RequestQueue::Counters qc = queue.counters();
   stats.offered = driver.offered();
-  stats.ingested = queue.pushed();
-  stats.rejected = queue.rejected();
-  stats.max_queue_depth = queue.max_depth();
+  stats.ingested = qc.pushed;
+  stats.rejected = qc.rejected;
+  stats.max_queue_depth = qc.max_depth;
 
   for (const vehicle::Vehicle& v : impl_->system->fleet().vehicles()) {
     report.sim.fleet_total_distance_m += v.total_distance_m();

@@ -4,9 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ptrider::service {
 
@@ -27,17 +29,32 @@ namespace ptrider::service {
 /// Mutex-guarded rather than lock-free: producers push a few thousand
 /// times per simulated second at most, and the consumer drains in one
 /// swap per batch window — contention is negligible next to matching,
-/// and the mutex keeps the type trivially TSan-clean.
+/// and the mutex keeps the type trivially TSan-clean. Every field the
+/// mutex protects is GUARDED_BY(mu_), so the discipline is additionally
+/// compile-checked under clang (DESIGN.md section 13).
 template <typename T>
 class BoundedMpscQueue {
  public:
+  /// One consistent read of every counter, taken under a single lock
+  /// acquisition — callers polling several stats (the service epilogue,
+  /// progress banners) should use this instead of stringing the
+  /// per-field accessors together, which would take one lock each and
+  /// could interleave with a producer between reads.
+  struct Counters {
+    size_t size = 0;
+    bool closed = false;
+    uint64_t pushed = 0;
+    uint64_t rejected = 0;
+    size_t max_depth = 0;
+  };
+
   explicit BoundedMpscQueue(size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
   /// Producer side. False (and the item dropped) when the queue is at
   /// capacity or closed; both cases count into rejected().
-  bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryPush(T item) EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     if (closed_ || items_.size() >= capacity_) {
       ++rejected_;
       return false;
@@ -51,57 +68,70 @@ class BoundedMpscQueue {
   /// Producer side: no further pushes will be accepted (drivers call it
   /// when their arrival process is exhausted; the consumer can then
   /// treat an empty queue as final).
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Close() EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     closed_ = true;
   }
 
   /// Consumer side: appends everything queued to `out` in push order and
-  /// empties the queue. Returns the number drained.
-  size_t DrainTo(std::vector<T>& out) {
+  /// empties the queue. Returns the number drained. The lock covers only
+  /// the swap; the per-item moves into `out` happen outside it.
+  size_t DrainTo(std::vector<T>& out) EXCLUDES(mu_) {
     std::deque<T> taken;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       taken.swap(items_);
     }
     for (T& item : taken) out.push_back(std::move(item));
     return taken.size();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  /// All counters in one lock acquisition.
+  Counters counters() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
+    Counters c;
+    c.size = items_.size();
+    c.closed = closed_;
+    c.pushed = pushed_;
+    c.rejected = rejected_;
+    c.max_depth = max_depth_;
+    return c;
+  }
+
+  bool closed() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return closed_;
   }
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return items_.size();
   }
   size_t capacity() const { return capacity_; }
 
   /// Items accepted since construction.
-  uint64_t pushed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t pushed() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return pushed_;
   }
   /// Items refused (full or closed) since construction.
-  uint64_t rejected() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t rejected() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return rejected_;
   }
   /// High-water mark of the queue depth.
-  size_t max_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t max_depth() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return max_depth_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  uint64_t pushed_ = 0;
-  uint64_t rejected_ = 0;
-  size_t max_depth_ = 0;
+  mutable util::Mutex mu_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  uint64_t pushed_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ GUARDED_BY(mu_) = 0;
+  size_t max_depth_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ptrider::service

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <thread>  // lint: allow(raw-thread)
 #include <vector>
 
 #include "roadnet/graph.h"
@@ -126,6 +127,38 @@ class WorkloadDriver {
   RequestQueue* queue_;
   std::optional<sim::Trip> lookahead_;
   uint64_t offered_ = 0;
+};
+
+/// RAII producer thread for wall-clock mode: runs
+/// `driver.RunBlocking(clock)` on a dedicated thread, joining in Join()
+/// or the destructor. This is the only sanctioned way to put a
+/// WorkloadDriver on its own thread — raw std::thread is banned outside
+/// dispatch::ThreadPool and this file (ptrider_lint rule `raw-thread`),
+/// so every thread in the system is owned by a type whose join
+/// discipline is in one audited place.
+///
+/// The driver and clock must outlive the ProducerThread. `driver` must
+/// not be touched (PumpUntil, offered()) until after Join(): RunBlocking
+/// mutates the driver's cursor without locks, by design — the wall-clock
+/// side of the determinism boundary (DESIGN.md section 11).
+class ProducerThread {
+ public:
+  ProducerThread(WorkloadDriver& driver, ServiceClock& clock)
+      : thread_([&driver, &clock] { driver.RunBlocking(clock); }) {}
+
+  ~ProducerThread() { Join(); }
+
+  ProducerThread(const ProducerThread&) = delete;
+  ProducerThread& operator=(const ProducerThread&) = delete;
+
+  /// Blocks until the arrival process is exhausted and the queue closed.
+  /// Idempotent.
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::thread thread_;  // lint: allow(raw-thread)
 };
 
 }  // namespace ptrider::service

@@ -151,7 +151,7 @@ util::Status Simulator::BeginStepping() {
   if (options_.tick_s <= 0.0) {
     return util::Status::InvalidArgument("tick must be positive");
   }
-  if (system_->fleet().size() == 0) {
+  if (system_->fleet().empty()) {
     return util::Status::FailedPrecondition("fleet is empty");
   }
   if (dispatcher_ == nullptr) {
@@ -349,7 +349,7 @@ util::Result<SimulationReport> Simulator::Run(
       return util::Status::InvalidArgument("trips must be time-sorted");
     }
   }
-  if (system_->fleet().size() == 0) {
+  if (system_->fleet().empty()) {
     return util::Status::FailedPrecondition("fleet is empty");
   }
 

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ptrider::util {
 namespace {
@@ -11,13 +13,13 @@ namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 
 /// Serializes sink invocations (and sink swaps) so concurrent threads
-/// emit whole lines, never interleaved fragments.
-std::mutex& SinkMutex() {
-  static std::mutex mu;
-  return mu;
-}
+/// emit whole lines, never interleaved fragments. Constant-initialized
+/// (util::Mutex wraps nothing but a std::mutex), so it is usable from
+/// any static initialization order.
+Mutex g_sink_mu;
 
-LogSink g_sink = nullptr;  // nullptr = default stderr sink; guarded by SinkMutex()
+/// nullptr = default stderr sink.
+LogSink g_sink GUARDED_BY(g_sink_mu) = nullptr;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -56,7 +58,7 @@ bool LogLevelEnabled(LogLevel level) {
 }
 
 LogSink SetLogSink(LogSink sink) {
-  const std::lock_guard<std::mutex> lock(SinkMutex());
+  const MutexLock lock(g_sink_mu);
   LogSink previous = g_sink;
   g_sink = sink;
   return previous;
@@ -74,7 +76,7 @@ LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
     const std::string line = stream_.str();
-    const std::lock_guard<std::mutex> lock(SinkMutex());
+    const MutexLock lock(g_sink_mu);
     if (g_sink != nullptr) {
       g_sink(level_, line.c_str());
     } else {

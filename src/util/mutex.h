@@ -1,0 +1,80 @@
+#ifndef PTRIDER_UTIL_MUTEX_H_
+#define PTRIDER_UTIL_MUTEX_H_
+
+#include <condition_variable>  // lint: allow(raw-mutex)
+#include <mutex>               // lint: allow(raw-mutex)
+
+#include "util/thread_annotations.h"
+
+namespace ptrider::util {
+
+/// The repo's only mutex. A thin wrapper over std::mutex that carries
+/// the Clang capability attributes (util/thread_annotations.h), so state
+/// it protects can be declared GUARDED_BY(mu_) and misuse fails the
+/// clang CI build under -Werror=thread-safety. Zero overhead: every
+/// method is an inline forward to the std primitive.
+///
+/// Bare std::mutex / std::lock_guard / std::condition_variable are
+/// banned outside this header by the `raw-mutex` rule of
+/// tools/ptrider_lint — a mutex the analysis cannot see is a mutex whose
+/// discipline nobody checks.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // lint: allow(raw-mutex)
+};
+
+/// RAII lock for util::Mutex (the std::lock_guard shape, annotated as a
+/// scoped capability so the analysis knows the critical section's extent).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex. Wait() requires the
+/// mutex — passing one you do not hold is a compile error under clang,
+/// not a runtime surprise. Spurious wakeups are possible, as with the
+/// std type: always wait in a predicate loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning. The native-handle juggling below is invisible to the
+  /// analysis, which sees only the REQUIRES contract: held on entry,
+  /// held on return.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_,  // lint: allow(raw-mutex)
+                                        std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // still locked; ownership stays with the caller
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // lint: allow(raw-mutex)
+};
+
+}  // namespace ptrider::util
+
+#endif  // PTRIDER_UTIL_MUTEX_H_

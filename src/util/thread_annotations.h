@@ -1,0 +1,69 @@
+#ifndef PTRIDER_UTIL_THREAD_ANNOTATIONS_H_
+#define PTRIDER_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety (capability) annotations, in the Abseil style.
+//
+// Under clang these expand to attributes that make lock discipline a
+// *compile-time* property: a field declared GUARDED_BY(mu_) cannot be
+// read or written unless the compiler can prove mu_ is held, a function
+// marked REQUIRES(mu_) cannot be called without it, and the build fails
+// under -Werror=thread-safety (the CI `lint` job) instead of relying on
+// TSan happening to catch the interleaving at runtime. Under every
+// other compiler they expand to nothing, so GCC builds are unaffected.
+//
+// Repo rules (DESIGN.md section 13):
+//   * every mutex in src/ is a util::Mutex (util/mutex.h), never a bare
+//     std::mutex — enforced by the `raw-mutex` rule of tools/ptrider_lint;
+//   * every field a mutex protects carries GUARDED_BY(mu_);
+//   * functions called with a lock held are annotated REQUIRES(mu_);
+//   * tests/thread_safety_negative/ asserts the annotations still fail
+//     the build when violated, so they cannot silently rot.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PTRIDER_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PTRIDER_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability ("mutex" in diagnostics).
+#define CAPABILITY(x) PTRIDER_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY PTRIDER_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field/variable may only be accessed while holding capability `x`.
+#define GUARDED_BY(x) PTRIDER_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding capability `x`.
+#define PT_GUARDED_BY(x) PTRIDER_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Caller must hold the capabilities before calling (and keeps them).
+#define REQUIRES(...) \
+  PTRIDER_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capabilities (deadlock prevention).
+#define EXCLUDES(...) PTRIDER_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define ACQUIRE(...) \
+  PTRIDER_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define RELEASE(...) \
+  PTRIDER_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  PTRIDER_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function returns a reference to the capability named by the argument
+/// (lets accessors participate in the analysis).
+#define RETURN_CAPABILITY(x) PTRIDER_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the definition is deliberately outside the analysis
+/// (e.g. code that juggles native handles). Use sparingly; every use is
+/// a hole in the compile-time proof.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PTRIDER_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // PTRIDER_UTIL_THREAD_ANNOTATIONS_H_

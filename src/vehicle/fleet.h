@@ -28,6 +28,7 @@ class Fleet {
                 size_t max_branches = 0);
 
   size_t size() const { return vehicles_.size(); }
+  bool empty() const { return vehicles_.empty(); }
   bool IsValid(VehicleId id) const {
     return id >= 0 && static_cast<size_t>(id) < vehicles_.size();
   }

@@ -114,8 +114,8 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, PaperMatchTest,
                          ::testing::Values(MatcherAlgorithm::kNaive,
                                            MatcherAlgorithm::kSingleSide,
                                            MatcherAlgorithm::kDualSide),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
                              case MatcherAlgorithm::kNaive:
                                return "Naive";
                              case MatcherAlgorithm::kSingleSide:

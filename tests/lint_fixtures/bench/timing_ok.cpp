@@ -1,0 +1,18 @@
+// Fixture for the wall-clock bench exemption: benches measure wall
+// time, that is their job. Rand and raw threads stay banned even here.
+
+#include <chrono>
+
+namespace fixture {
+
+double BenchTimer() {
+  const auto t0 = std::chrono::high_resolution_clock::now();  // allowed
+  const auto t1 = std::chrono::steady_clock::now();           // allowed
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+int NoRandInBenchesEither() {
+  return rand();  // expect: raw-rand
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture for the raw-thread allowlist: dispatch/thread_pool.* owns
+// worker threads (the real pool's join discipline lives there).
+
+#ifndef FIXTURE_DISPATCH_THREAD_POOL_H_
+#define FIXTURE_DISPATCH_THREAD_POOL_H_
+
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+class Pool {
+  std::vector<std::thread> workers_;  // allowed here
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_DISPATCH_THREAD_POOL_H_

@@ -1,0 +1,20 @@
+// Fixture: src/roadnet is NOT a report-feeding directory — internal
+// hash iteration (e.g. during index construction, where the result is
+// re-sorted before use) is allowed there. The other rules still apply
+// tree-wide.
+
+#include <unordered_set>
+
+namespace fixture {
+
+int CountAll(const std::unordered_set<int>& ids) {
+  int n = 0;
+  for (int id : ids) n += (id != 0) ? 1 : 0;  // allowed: out of scope
+  return n;
+}
+
+int StillNoLibcRand() {
+  return rand();  // expect: raw-rand
+}
+
+}  // namespace fixture

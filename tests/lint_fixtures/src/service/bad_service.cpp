@@ -1,0 +1,16 @@
+// Fixture: service/ code outside clock.h gets no wall-clock exemption —
+// only the clock abstraction may read machine time, everything else
+// must go through ServiceClock so virtual-clock runs stay bit-identical.
+
+#include <chrono>
+
+namespace fixture {
+
+double SneakyDirectRead() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now()  // expect: wall-clock
+                 .time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

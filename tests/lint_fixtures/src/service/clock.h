@@ -1,0 +1,19 @@
+// Fixture for the wall-clock allowlist: src/service/clock.h is the
+// sanctioned wall-time source (the real WallClock lives there).
+
+#ifndef FIXTURE_SERVICE_CLOCK_H_
+#define FIXTURE_SERVICE_CLOCK_H_
+
+#include <chrono>
+
+namespace fixture {
+
+inline double WallNow() {
+  using Clock = std::chrono::steady_clock;   // allowed here
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture
+
+#endif  // FIXTURE_SERVICE_CLOCK_H_

@@ -1,0 +1,66 @@
+// Fixture: every determinism rule fires in a report-feeding directory.
+// Expectation markers name the lines the linter must flag — the
+// self-test fails on any missing OR extra finding.
+
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int SeedlessDraw() {
+  std::srand(42);                           // expect: raw-rand
+  return rand();                            // expect: raw-rand
+}
+
+unsigned HardwareEntropy() {
+  std::random_device rd;                    // expect: raw-rand
+  return rd();
+}
+
+double WallStamp() {
+  const auto t0 = std::chrono::steady_clock::now();   // expect: wall-clock
+  const auto t1 = std::chrono::system_clock::now();   // expect: wall-clock
+  (void)t0;
+  (void)t1;
+  return 0.0;
+}
+
+void SpawnUnowned() {
+  std::thread t([] {});                     // expect: raw-thread
+  t.join();
+}
+
+unsigned OkStaticMember() {
+  // Naming the type for its static member starts no thread: allowed.
+  return std::thread::hardware_concurrency();
+}
+
+struct Metrics {
+  std::unordered_map<int, double> by_vehicle;
+  std::unordered_set<int> seen;
+
+  double Total() const {
+    double total = 0.0;
+    for (const auto& kv : by_vehicle) {     // expect: unordered-iter
+      total += kv.second;
+    }
+    for (int id : seen) {                   // expect: unordered-iter
+      total += id;
+    }
+    return total;
+  }
+
+  bool Lookups() const {
+    // find/count/insert are order-free: not flagged.
+    return by_vehicle.find(3) != by_vehicle.end() && seen.count(7) != 0;
+  }
+};
+
+void BareLocking() {
+  std::mutex mu;                            // expect: raw-mutex
+  std::lock_guard<std::mutex> lock(mu);     // expect: raw-mutex
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: the `// lint: allow(<rule>)` escape hatch silences exactly
+// the named rule on exactly that line, and nothing else.
+
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+int JustifiedEscape() {
+  // Hypothetical interop with a C library that demands srand:
+  std::srand(7);  // lint: allow(raw-rand)
+  return 0;
+}
+
+int WrongRuleNamed() {
+  return rand();  // lint: allow(wall-clock) -- expect: raw-rand
+}
+
+double EscapedIteration(const std::unordered_map<int, double>& weights) {
+  double s = 0.0;
+  // Summation is order-free in exact arithmetic only; this fixture
+  // pretends a proof exists:
+  for (const auto& kv : weights) s += kv.second;  // lint: allow(unordered-iter)
+  return s;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: iterating a hash member declared in the sibling header.
+
+#include "header_member.h"
+
+namespace fixture {
+
+void Ledger::Add(int id, double amount) { amounts_[id] += amount; }
+
+double Ledger::Total() const {
+  double total = 0.0;
+  for (const auto& kv : amounts_) {  // expect: unordered-iter
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace fixture

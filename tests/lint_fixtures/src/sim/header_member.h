@@ -1,0 +1,23 @@
+// Fixture header: the unordered member is declared here but iterated in
+// the sibling .cpp — the linter folds sibling-header declarations into
+// the .cpp's name set.
+
+#ifndef FIXTURE_HEADER_MEMBER_H_
+#define FIXTURE_HEADER_MEMBER_H_
+
+#include <unordered_map>
+
+namespace fixture {
+
+class Ledger {
+ public:
+  double Total() const;
+  void Add(int id, double amount);
+
+ private:
+  std::unordered_map<int, double> amounts_;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_HEADER_MEMBER_H_

@@ -1,0 +1,22 @@
+// Fixture: rule tokens inside comments and string literals never fire.
+// A linter that flags its own documentation is unusable.
+
+#include <string>
+
+namespace fixture {
+
+// Doc comments routinely *name* the banned things: std::mutex,
+// std::thread, rand(), std::chrono::steady_clock, unordered_map
+// iteration — none of these may produce findings.
+
+/* Block comments too: srand(123); std::random_device rd;
+   for (auto& kv : some_unordered_map) {} */
+
+std::string Diagnostics() {
+  std::string msg = "do not call rand() or srand() here";
+  msg += "std::mutex is banned; so is std::chrono::system_clock";
+  msg += "std::thread t; t.detach();";
+  return msg;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture for the raw-mutex allowlist: src/util/mutex.h is the wrapper
+// itself — the only file where the std primitives may appear.
+
+#ifndef FIXTURE_UTIL_MUTEX_H_
+#define FIXTURE_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Wrapper {
+  std::mutex mu_;                 // allowed here, and only here
+  std::condition_variable cv_;    // allowed here, and only here
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_UTIL_MUTEX_H_

@@ -1,0 +1,19 @@
+// Fixture for the raw-rand allowlist: src/util/random.h is the one
+// place libc/std randomness primitives may appear (the real file
+// documents why SplitMix64/xoshiro replace them).
+
+#ifndef FIXTURE_UTIL_RANDOM_H_
+#define FIXTURE_UTIL_RANDOM_H_
+
+#include <cstdlib>
+
+namespace fixture {
+
+inline int LegacyComparisonOnly() {
+  std::srand(1);     // allowed here, and only here
+  return rand();     // allowed here, and only here
+}
+
+}  // namespace fixture
+
+#endif  // FIXTURE_UTIL_RANDOM_H_

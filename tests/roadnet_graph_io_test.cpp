@@ -119,6 +119,26 @@ TEST(GraphIoTest, LoadRejectsGapInVertexIds) {
   std::remove(path.c_str());
 }
 
+TEST(GraphIoTest, LoadRejectsIdTooLargeForFileWithoutAllocating) {
+  // A one-line file declaring a huge (but < 2^31) vertex id used to
+  // resize the coordinate buffer to id+1 entries — gigabytes demanded
+  // by tens of bytes — before the dense-ids check at EOF could reject
+  // it. Ids must now be plausible against the file size up front (a
+  // dense file needs at least ~8 bytes of V row per id). Found by
+  // tools/fuzz_snapshot_load.
+  const std::string path = TempPath("graph_hugeid.csv");
+  {
+    std::ofstream out(path);
+    out << "V,2000000000,0.0,0.0\n";
+  }
+  auto loaded = LoadGraphCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("file can hold"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
 TEST(GraphIoTest, LoadReportsLineNumberForBadEdge) {
   const std::string path = TempPath("graph_badedge.csv");
   {

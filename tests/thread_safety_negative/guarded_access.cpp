@@ -1,0 +1,74 @@
+// Positive control for the negative-compile test: every sanctioned
+// locking pattern in the codebase, written against util::Mutex, must
+// compile clean under -Wthread-safety -Werror=thread-safety. If this
+// file stops compiling, the annotations in util/mutex.h are wrong (and
+// the failure of the sibling unguarded_access.cpp proves nothing).
+
+#include <deque>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+using ptrider::util::CondVar;
+using ptrider::util::Mutex;
+using ptrider::util::MutexLock;
+
+struct Counter {
+  mutable Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+// RAII pattern (the common case: MutexLock scopes the critical section).
+int ScopedRead(const Counter& c) {
+  const MutexLock lock(c.mu);
+  return c.value;
+}
+
+// REQUIRES pattern (helper called with the lock already held).
+void BumpLocked(Counter& c) REQUIRES(c.mu) { ++c.value; }
+
+void ScopedBump(Counter& c) {
+  const MutexLock lock(c.mu);
+  BumpLocked(c);
+}
+
+// Manual Lock/Unlock + CondVar::Wait in a predicate loop — the
+// ThreadPool::WorkerLoop shape.
+struct Queue {
+  Mutex mu;
+  CondVar ready;
+  std::deque<int> items GUARDED_BY(mu);
+  bool stopping GUARDED_BY(mu) = false;
+};
+
+int BlockingPop(Queue& q) {
+  q.mu.Lock();
+  while (!q.stopping && q.items.empty()) q.ready.Wait(q.mu);
+  int item = -1;
+  if (!q.items.empty()) {
+    item = q.items.front();
+    q.items.pop_front();
+  }
+  q.mu.Unlock();
+  return item;
+}
+
+void Push(Queue& q, int item) {
+  {
+    const MutexLock lock(q.mu);
+    q.items.push_back(item);
+  }
+  q.ready.NotifyOne();
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  ScopedBump(c);
+  Queue q;
+  Push(q, ScopedRead(c));
+  return BlockingPop(q) == 0 ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Negative-compile check for the Clang thread-safety annotations
+# (ISSUE 8 / DESIGN.md section 13). Asserts both directions:
+#   * guarded_access.cpp   (every sanctioned locking pattern) compiles;
+#   * unguarded_access.cpp (GUARDED_BY field touched without the lock)
+#     is REJECTED, with a thread-safety diagnostic — not some unrelated
+#     error.
+# Exits 77 (ctest SKIP_RETURN_CODE) under non-clang compilers, where the
+# annotations are deliberate no-ops.
+#
+# usage: run_negative_compile.sh <cxx> <src_include_root> <fixture_dir>
+
+set -u
+CXX="$1"
+SRC="$2"
+DIR="$3"
+
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "SKIP: annotations are no-ops under $("$CXX" --version | head -1)"
+  exit 77
+fi
+
+FLAGS="-std=c++20 -fsyntax-only -I$SRC -Wthread-safety -Werror=thread-safety"
+
+if ! "$CXX" $FLAGS "$DIR/guarded_access.cpp"; then
+  echo "FAIL: guarded_access.cpp (the positive control) did not compile —"
+  echo "      the util/mutex.h annotations themselves are broken"
+  exit 1
+fi
+
+ERRLOG="$(mktemp)"
+trap 'rm -f "$ERRLOG"' EXIT
+if "$CXX" $FLAGS "$DIR/unguarded_access.cpp" 2>"$ERRLOG"; then
+  echo "FAIL: unguarded GUARDED_BY access compiled clean — the"
+  echo "      thread-safety annotations have silently rotted"
+  exit 1
+fi
+if ! grep -q "thread-safety" "$ERRLOG"; then
+  cat "$ERRLOG"
+  echo "FAIL: unguarded_access.cpp was rejected, but not by the"
+  echo "      thread-safety analysis (see diagnostics above)"
+  exit 1
+fi
+
+echo "PASS: annotations enforce GUARDED_BY at compile time"
+exit 0

@@ -1,0 +1,31 @@
+// Negative fixture: reading and writing a GUARDED_BY field without the
+// mutex MUST fail to compile under -Werror=thread-safety. The ctest
+// script asserts this file is rejected (and that the sibling
+// guarded_access.cpp is accepted) — if it ever compiles clean, the
+// annotation macros have rotted into no-ops under the CI compiler.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  ptrider::util::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+int ReadWithoutLock(Counter& c) {
+  return c.value;  // -Wthread-safety: reading without holding c.mu
+}
+
+void WriteWithoutLock(Counter& c) {
+  ++c.value;  // -Wthread-safety: writing without holding c.mu
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  WriteWithoutLock(c);
+  return ReadWithoutLock(c);
+}

@@ -6,19 +6,21 @@
 
 #include <gtest/gtest.h>
 
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace ptrider::util {
 namespace {
 
-std::mutex g_capture_mu;
-std::vector<std::string> g_captured;  // guarded by g_capture_mu
+Mutex g_capture_mu;
+std::vector<std::string> g_captured GUARDED_BY(g_capture_mu);
 
 void CaptureSink(LogLevel, const char* line) {
-  const std::lock_guard<std::mutex> lock(g_capture_mu);
+  const MutexLock lock(g_capture_mu);
   g_captured.emplace_back(line);
 }
 
@@ -26,7 +28,7 @@ class LoggingTest : public ::testing::Test {
  protected:
   LoggingTest() : old_level_(GetLogLevel()) {
     {
-      const std::lock_guard<std::mutex> lock(g_capture_mu);
+      const MutexLock lock(g_capture_mu);
       g_captured.clear();
     }
     SetLogLevel(LogLevel::kDebug);
@@ -43,7 +45,7 @@ class LoggingTest : public ::testing::Test {
 
 TEST_F(LoggingTest, EmitsOneCompleteLinePerMessage) {
   PTRIDER_LOG(kInfo) << "hello " << 42;
-  const std::lock_guard<std::mutex> lock(g_capture_mu);
+  const MutexLock lock(g_capture_mu);
   ASSERT_EQ(g_captured.size(), 1u);
   EXPECT_NE(g_captured[0].find("hello 42\n"), std::string::npos);
   EXPECT_NE(g_captured[0].find("[I "), std::string::npos);
@@ -53,7 +55,7 @@ TEST_F(LoggingTest, RespectsMinimumLevel) {
   SetLogLevel(LogLevel::kError);
   PTRIDER_LOG(kWarning) << "dropped";
   PTRIDER_LOG(kError) << "kept";
-  const std::lock_guard<std::mutex> lock(g_capture_mu);
+  const MutexLock lock(g_capture_mu);
   ASSERT_EQ(g_captured.size(), 1u);
   EXPECT_NE(g_captured[0].find("kept"), std::string::npos);
 }
@@ -71,7 +73,7 @@ TEST_F(LoggingTest, ConcurrentWritersNeverInterleave) {
   }
   for (std::thread& th : threads) th.join();
 
-  const std::lock_guard<std::mutex> lock(g_capture_mu);
+  const MutexLock lock(g_capture_mu);
   ASSERT_EQ(g_captured.size(),
             static_cast<size_t>(kThreads) * kLines);
   for (const std::string& line : g_captured) {
