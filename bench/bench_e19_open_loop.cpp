@@ -138,9 +138,9 @@ int main(int argc, char** argv) {
       "workload: Poisson arrivals over %.0fs, %zu taxis, window 2.0s, "
       "assign-cost %.3fs (capacity %.0f req/s), deadline %.0fs\n\n",
       duration_s, taxis, kAssignCost, 1.0 / kAssignCost, kDeadline);
-  std::printf("%8s %9s %9s %7s %8s %8s %8s %8s %8s %8s\n", "rate/s",
-              "goodput/s", "shed%", "depth", "q-p50", "q-p99", "q-p999",
-              "a-p50", "a-p99", "a-p999");
+  std::printf("%8s %9s %9s %11s %7s %8s %8s %8s %8s %8s %8s\n", "rate/s",
+              "goodput/s", "shed%", "shed(d/z)", "depth", "q-p50", "q-p99",
+              "q-p999", "a-p50", "a-p99", "a-p999");
 
   std::vector<StepResult> steps;
   for (double rate : rates) {
@@ -155,9 +155,13 @@ int main(int argc, char** argv) {
     step.signature = ServiceSignature(*report);
     steps.push_back(step);
     const service::ServiceStats& s = step.stats;
+    char shed_breakdown[32];
+    std::snprintf(shed_breakdown, sizeof(shed_breakdown), "%llu/%llu",
+                  static_cast<unsigned long long>(s.shed_deadline),
+                  static_cast<unsigned long long>(s.shed_zone));
     std::printf(
-        "%8.0f %9.2f %8.1f%% %7llu %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
-        rate, s.GoodputRps(), 100.0 * s.ShedRate(),
+        "%8.0f %9.2f %8.1f%% %11s %7llu %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+        rate, s.GoodputRps(), 100.0 * s.ShedRate(), shed_breakdown,
         static_cast<unsigned long long>(s.max_queue_depth),
         s.quote_latency_s.Value(50), s.quote_latency_s.Value(99),
         s.quote_latency_s.Value(99.9), s.assign_latency_s.Value(50),
@@ -218,7 +222,9 @@ int main(int argc, char** argv) {
         json,
         "%s\n    {\"rate_rps\": %.1f, \"offered\": %llu, "
         "\"goodput_rps\": %.3f, \"shed_rate\": %.4f, "
-        "\"rejected\": %llu, \"shed\": %llu, \"assigned\": %llu, "
+        "\"rejected\": %llu, \"shed\": %llu, "
+        "\"shed_deadline\": %llu, \"shed_zone\": %llu, "
+        "\"assigned\": %llu, "
         "\"max_queue_depth\": %llu, "
         "\"quote_p50_s\": %.4f, \"quote_p99_s\": %.4f, "
         "\"quote_p999_s\": %.4f, "
@@ -228,6 +234,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.offered), s.GoodputRps(),
         s.ShedRate(), static_cast<unsigned long long>(s.rejected),
         static_cast<unsigned long long>(s.shed),
+        static_cast<unsigned long long>(s.shed_deadline),
+        static_cast<unsigned long long>(s.shed_zone),
         static_cast<unsigned long long>(s.assigned),
         static_cast<unsigned long long>(s.max_queue_depth),
         s.quote_latency_s.Value(50), s.quote_latency_s.Value(99),

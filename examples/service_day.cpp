@@ -10,6 +10,16 @@
 //             [--queue-cap N] [--deadline S] [--assign-cost S]
 //             [--quote-cost S] [--window S] [--speedup X] [--verbose]
 //             [--snapshot FILE]
+//             [--ladder] [--ladder-target S] [--zones N] [--retries N]
+//             [--storm] [--storm-seed N] [--burst-rate R]
+//
+// Overload resilience (DESIGN.md section 14): `--ladder` turns on the
+// graceful-degradation ladder (degrade matching effort before shedding),
+// `--zones N` adds per-grid-zone fair-share admission, `--retries N`
+// bounded ingestion backpressure, and `--storm` injects a deterministic
+// fault schedule (arrival burst at --burst-rate extra req/s, cost spike,
+// worker stall, capacity squeeze, malformed/expired requests) seeded by
+// --storm-seed.
 // Default: 100 taxis, 600 requests/min for 20 minutes on a 30x30 city,
 // virtual clock (deterministic; --wall-clock runs it live instead, with
 // --speedup simulated seconds per wall second). `--snapshot FILE` serves
@@ -28,6 +38,7 @@
 #include "core/ptrider.h"
 #include "roadnet/graph_generator.h"
 #include "service/dispatch_service.h"
+#include "service/fault_injector.h"
 #include "snapshot/snapshot.h"
 #include "snapshot/system.h"
 
@@ -46,6 +57,9 @@ int main(int argc, char** argv) {
   opts.drain_s = 300.0;
   int dispatch_jobs = 2;
   std::string snapshot_path;
+  bool storm = false;
+  uint64_t storm_seed = 4242;
+  double burst_rate_per_s = 0.0;  // 0: 2x the base rate
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -75,6 +89,20 @@ int main(int argc, char** argv) {
       opts.wall_time_scale = next();
     } else if (arg == "--verbose") {
       opts.verbose = true;
+    } else if (arg == "--ladder") {
+      opts.ladder.enabled = true;
+    } else if (arg == "--ladder-target") {
+      opts.ladder.target_delay_s = next();
+    } else if (arg == "--zones") {
+      opts.zone_admission.zones = static_cast<size_t>(next());
+    } else if (arg == "--retries") {
+      opts.ingest_retry.max_attempts = static_cast<int>(next());
+    } else if (arg == "--storm") {
+      storm = true;
+    } else if (arg == "--storm-seed") {
+      storm_seed = static_cast<uint64_t>(next());
+    } else if (arg == "--burst-rate") {
+      burst_rate_per_s = next();
     } else if (arg == "--snapshot") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--snapshot needs a value\n");
@@ -154,11 +182,38 @@ int main(int argc, char** argv) {
   arrivals.seed = 2009;
   service::PoissonArrivals process(*net, arrivals);
 
+  // One deterministic storm across the middle of the day: burst, cost
+  // spike, worker stall, capacity squeeze, malformed/expired arrivals.
+  std::optional<service::FaultInjector> injector;
+  if (storm) {
+    service::FaultInjectorOptions fx;
+    fx.seed = storm_seed;
+    fx.burst_count = 1;
+    fx.burst_duration_s = arrivals.duration_s / 4.0;
+    fx.burst_rate_per_s =
+        burst_rate_per_s > 0.0 ? burst_rate_per_s : arrivals.rate_per_s;
+    fx.cost_spike_count = 1;
+    fx.cost_spike_duration_s = arrivals.duration_s / 8.0;
+    fx.stall_count = 1;
+    fx.squeeze_count = 1;
+    fx.squeeze_duration_s = arrivals.duration_s / 8.0;
+    fx.malformed_count = 10;
+    fx.expired_count = 10;
+    injector.emplace(*net, fx, arrivals.duration_s);
+    opts.fault_injector = &*injector;
+    std::printf("storm (seed %llu):\n%s",
+                static_cast<unsigned long long>(storm_seed),
+                injector->DebugString().c_str());
+  }
+
   std::printf(
       "service_day: %zu taxis, %.0f req/min for %.0f min, window %.1fs, "
-      "queue %zu, deadline %.1fs, %s clock\n",
+      "queue %zu, deadline %.1fs, %s clock, ladder %s, zones %zu, "
+      "retries %d\n",
       taxis, rate_per_min, minutes, opts.batch_window_s, opts.queue_capacity,
-      opts.shed_deadline_s, opts.virtual_clock ? "virtual" : "wall");
+      opts.shed_deadline_s, opts.virtual_clock ? "virtual" : "wall",
+      opts.ladder.enabled ? "on" : "off", opts.zone_admission.zones,
+      opts.ingest_retry.max_attempts);
 
   service::DispatchService server(*system, opts);
 

@@ -41,6 +41,24 @@ using BatchChooser = std::function<std::optional<size_t>(
 using MatchObserver = std::function<void(
     size_t worker, const vehicle::Request&, const MatchResult& match)>;
 
+/// One rung of the service-mode graceful-degradation ladder, as seen by a
+/// dispatcher (DESIGN.md section 14). Defaults mean "no degradation".
+/// The ladder orders the knobs by how much option quality they give up:
+/// skipping full re-matches only loses options that appeared *during*
+/// the current batch, the probe cap loses long-tail schedule orderings,
+/// and empty-vehicle-only loses all ridesharing options.
+struct DegradeMode {
+  /// Commit-phase reconciliation drops options on in-batch-dirtied
+  /// vehicles and falls through to the targeted reprobe instead of
+  /// re-running the full matcher (feasible: every surviving option was
+  /// computed against a schedule no commit touched).
+  bool skip_full_rematch = false;
+  /// Reduced matching effort applied to every match in the batch.
+  MatchEffort effort;
+
+  bool IsFull() const { return !skip_full_rematch && effort.IsFullEffort(); }
+};
+
 /// Batch-dispatch strategy interface. Every implementation realizes the
 /// paper's greedy semantics for simultaneous requests (Section 2.5):
 /// requests are committed one at a time in ascending (submit_time, id)

@@ -38,6 +38,7 @@ MatchResult IndexedMatcherBase::Match(const vehicle::Request& request,
   const double price_floor = price.MinPrice(request.num_riders, direct);
   const roadnet::GridIndex& grid = *ctx_.grid;
   const vehicle::VehicleIndex& vindex = *ctx_.vehicle_index;
+  const MatchEffort& effort = ctx_.effort;
 
   Skyline skyline;
   std::vector<char> seen(ctx_.fleet->size(), 0);
@@ -64,8 +65,13 @@ MatchResult IndexedMatcherBase::Match(const vehicle::Request& request,
         continue;
       }
       EvaluateVehicle(v, request, ctx, dist, price, direct, radius, skyline,
-                      result);
+                      result, effort.max_probe_branches);
     }
+
+    // Deepest degradation rung before shedding: non-empty vehicles (the
+    // only ones whose evaluation enumerates a kinetic tree) are skipped
+    // wholesale.
+    if (effort.empty_vehicle_only) return true;
 
     for (const vehicle::VehicleId id : vindex.NonEmptyVehicles(cell)) {
       if (seen[static_cast<size_t>(id)]) continue;
@@ -88,7 +94,7 @@ MatchResult IndexedMatcherBase::Match(const vehicle::Request& request,
         continue;
       }
       EvaluateVehicle(v, request, ctx, dist, price, direct, radius, skyline,
-                      result);
+                      result, effort.max_probe_branches);
     }
     return true;
   };

@@ -83,12 +83,13 @@ size_t EvaluateVehicle(const vehicle::Vehicle& v,
                        vehicle::DistanceProvider& dist,
                        const pricing::PricingPolicy& pricing,
                        roadnet::Weight direct, roadnet::Weight radius_m,
-                       Skyline& skyline, MatchResult& result) {
+                       Skyline& skyline, MatchResult& result,
+                       size_t max_probe_branches) {
   ++result.vehicles_examined;
   const roadnet::Weight current_total = v.tree().BestTotalDistance();
   const int committed_riders = v.tree().RidersCommitted();
-  std::vector<vehicle::InsertionCandidate> candidates =
-      v.tree().TrialInsert(request, ctx, dist, &result.insertion);
+  std::vector<vehicle::InsertionCandidate> candidates = v.tree().TrialInsert(
+      request, ctx, dist, &result.insertion, max_probe_branches);
   size_t accepted = 0;
   for (vehicle::InsertionCandidate& c : candidates) {
     if (c.pickup_distance > radius_m) continue;

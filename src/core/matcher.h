@@ -40,6 +40,30 @@ struct MatchResult {
   vehicle::InsertionStats insertion;
 };
 
+/// Reduced-effort matching controls — the knobs the service-mode
+/// graceful-degradation ladder turns under overload (DESIGN.md
+/// section 14). Defaults are full effort; every reduction preserves
+/// option *feasibility* (candidates are still exactly validated) and
+/// determinism, trading option completeness for bounded match cost:
+///
+///   * max_probe_branches caps how many kinetic-tree branches a trial
+///     insertion enumerates. Branches are kept sorted shortest-first, so
+///     the cap probes the best-K schedules — the ones most likely to
+///     yield the cheapest options — and skips the long tail.
+///   * empty_vehicle_only restricts matching to vehicles with no
+///     commitments: O(1) insertion work per vehicle, no tree
+///     enumeration at all. The deepest rung before shedding.
+struct MatchEffort {
+  /// 0 = unlimited; otherwise probe at most this many branches per tree.
+  size_t max_probe_branches = 0;
+  /// Consider only empty vehicles (skip every non-empty candidate).
+  bool empty_vehicle_only = false;
+
+  bool IsFullEffort() const {
+    return max_probe_branches == 0 && !empty_vehicle_only;
+  }
+};
+
 /// Shared wiring for matchers. All pointers outlive the matcher; the
 /// matcher mutates nothing but the oracle's cache/stats. Everything but
 /// the oracle is const — matching is a read-only view of system state,
@@ -56,6 +80,9 @@ struct MatchContext {
   /// Fare policy quotes AND pruning bounds (src/pricing/). Owned by
   /// PTRider; must honor the PricingPolicy bound contract.
   const pricing::PricingPolicy* pricing = nullptr;
+  /// Degraded-matching effort; full effort unless the service ladder is
+  /// engaged (value, not pointer: a snapshot per match).
+  MatchEffort effort;
 };
 
 /// Matching-method interface (the demo's matching algorithm module).
@@ -74,14 +101,16 @@ class Matcher {
 /// Evaluates a single vehicle exhaustively: trial-inserts the request into
 /// its kinetic tree and feeds every candidate within the pick-up radius
 /// into the skyline. Shared by all matchers. Returns the number of
-/// accepted candidates.
+/// accepted candidates. `max_probe_branches` (0 = unlimited) is the
+/// MatchEffort branch cap, forwarded to KineticTree::TrialInsert.
 size_t EvaluateVehicle(const vehicle::Vehicle& v,
                        const vehicle::Request& request,
                        const vehicle::ScheduleContext& ctx,
                        vehicle::DistanceProvider& dist,
                        const pricing::PricingPolicy& pricing,
                        roadnet::Weight direct, roadnet::Weight radius_m,
-                       class Skyline& skyline, MatchResult& result);
+                       class Skyline& skyline, MatchResult& result,
+                       size_t max_probe_branches = 0);
 
 /// Admissible lower bound on the pick-up distance any schedule of `v`
 /// could offer a request starting at `start`: the minimum grid lower

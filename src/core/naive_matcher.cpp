@@ -24,9 +24,11 @@ MatchResult NaiveMatcher::Match(const vehicle::Request& request,
   const roadnet::Weight radius = ctx_.config->MaxPickupRadiusM();
 
   Skyline skyline;
+  const MatchEffort& effort = ctx_.effort;
   for (const vehicle::Vehicle& v : ctx_.fleet->vehicles()) {
+    if (effort.empty_vehicle_only && !v.tree().empty()) continue;
     EvaluateVehicle(v, request, ctx, dist, price, direct, radius, skyline,
-                    result);
+                    result, effort.max_probe_branches);
   }
   result.options = skyline.TakeSorted();
   result.distance_computations = ctx_.oracle->computed() - computed_before;

@@ -135,11 +135,12 @@ util::Status PTRider::ValidateRequest(
 MatchResult PTRider::MatchReadOnly(const vehicle::Request& request,
                                    double now_s,
                                    roadnet::DistanceOracle& oracle,
-                                   const pricing::PricingPolicy* pricing)
-    const {
+                                   const pricing::PricingPolicy* pricing,
+                                   const MatchEffort* effort) const {
   MatchContext ctx = match_context_;
   ctx.oracle = &oracle;
   if (pricing != nullptr) ctx.pricing = pricing;
+  if (effort != nullptr) ctx.effort = *effort;
   const vehicle::ScheduleContext sched = MakeScheduleContext(now_s);
   // Matchers are stateless beyond their context; stack instances keep
   // this path reentrant.

@@ -126,11 +126,13 @@ class PTRider {
   /// system's policy), any number of MatchReadOnly calls may run
   /// concurrently, provided no mutating call (ChooseOption, vehicle
   /// updates, ...) overlaps them. This is the sharded-match phase of
-  /// dispatch::ParallelDispatcher.
+  /// dispatch::ParallelDispatcher. `effort` (null = the context's
+  /// default, i.e. full effort) applies the service ladder's reduced
+  /// matching effort to this call only.
   MatchResult MatchReadOnly(const vehicle::Request& request, double now_s,
                             roadnet::DistanceOracle& oracle,
-                            const pricing::PricingPolicy* pricing
-                            = nullptr) const;
+                            const pricing::PricingPolicy* pricing = nullptr,
+                            const MatchEffort* effort = nullptr) const;
 
   /// Step (iii): the rider chose `option`; commits the request to the
   /// option's vehicle and updates the vehicle index. When

@@ -86,7 +86,8 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
         const pricing::PricingPolicy* pricing =
             snapshot_pricing ? snapshots[i].get() : &live_policy;
         matches[i] = system_->MatchReadOnly(batch[i], now_s,
-                                            context.oracle(), pricing);
+                                            context.oracle(), pricing,
+                                            &degrade_.effort);
         if (observer_) observer_(context.index(), batch[i], matches[i]);
       },
       chunk);
@@ -137,18 +138,39 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
     // Unreachable destination: empty options regardless of fleet state.
     if (m.direct_distance_m == roadnet::kInfWeight) return;
     const vehicle::Request& r = batch[i];
-    for (const core::Option& o : m.options) {
-      if (is_dirty[static_cast<size_t>(o.vehicle)]) {
-        flush_reindex();  // the full re-match walks the vehicle index
-        m = system_->MatchReadOnly(r, now_s, system_->oracle(), &pricing);
-        ++rematch_count_;
-        return;
+    if (degrade_.skip_full_rematch) {
+      // Ladder rung: drop stale options on in-batch-dirtied vehicles
+      // instead of re-running the full matcher. Every surviving option
+      // was computed against a schedule no commit touched, so committing
+      // one remains exactly as safe as in the full path; what is lost is
+      // the chance to resurrect options the dropped ones dominated.
+      const size_t before = m.options.size();
+      m.options.erase(
+          std::remove_if(m.options.begin(), m.options.end(),
+                         [&](const core::Option& o) {
+                           return is_dirty[static_cast<size_t>(o.vehicle)]
+                                      != 0;
+                         }),
+          m.options.end());
+      if (m.options.size() != before) ++rematch_skips_;
+    } else {
+      for (const core::Option& o : m.options) {
+        if (is_dirty[static_cast<size_t>(o.vehicle)]) {
+          flush_reindex();  // the full re-match walks the vehicle index
+          m = system_->MatchReadOnly(r, now_s, system_->oracle(), &pricing,
+                                     &degrade_.effort);
+          ++rematch_count_;
+          return;
+        }
       }
     }
     core::Skyline skyline;
     bool reprobing = false;
     const double floor =
         pricing.MinPrice(r.num_riders, m.direct_distance_m);
+    // Every committed vehicle carries at least one pending request now,
+    // so under empty-vehicle-only matching none of them may contribute.
+    if (degrade_.effort.empty_vehicle_only) return;
     for (const vehicle::VehicleId id : dirty) {
       const vehicle::Vehicle& v = system_->fleet().at(id);
       const roadnet::Weight t_lb =
@@ -176,7 +198,8 @@ util::Result<std::vector<core::BatchItem>> ParallelDispatcher::Dispatch(
       }
       core::IndexedDistanceProvider dist(system_->oracle(), grid);
       EvaluateVehicle(v, r, system_->MakeScheduleContext(now_s), dist,
-                      pricing, m.direct_distance_m, radius, skyline, m);
+                      pricing, m.direct_distance_m, radius, skyline, m,
+                      degrade_.effort.max_probe_branches);
     }
     if (reprobing) m.options = skyline.TakeSorted();
   };

@@ -48,6 +48,15 @@ class ParallelDispatcher : public core::Dispatcher {
 
   size_t num_threads() const { return pool_.num_threads(); }
 
+  /// Installs the degradation rung every subsequent Dispatch call runs
+  /// under (service-mode ladder, DESIGN.md section 14). Degraded
+  /// dispatch stays deterministic and thread-count-invariant — phase 1
+  /// is a pure function of the frozen pre-batch fleet regardless of how
+  /// it is sharded, and phase 2 is sequential — but is NOT item-for-item
+  /// equal to the sequential dispatcher (it intentionally skips work).
+  void SetDegrade(const core::DegradeMode& degrade) { degrade_ = degrade; }
+  const core::DegradeMode& degrade() const { return degrade_; }
+
   // --- Diagnostics ---------------------------------------------------------
   /// Commit-phase full re-matches: an earlier in-batch commitment left
   /// stale options in the request's list.
@@ -59,6 +68,9 @@ class ParallelDispatcher : public core::Dispatcher {
   /// Batches routed through the sequential dispatcher wholesale (rare id
   /// corner cases, see Dispatch).
   uint64_t sequential_fallbacks() const { return sequential_fallbacks_; }
+  /// Full re-matches avoided because skip_full_rematch was engaged (the
+  /// stale options were dropped instead).
+  uint64_t rematch_skips() const { return rematch_skips_; }
   /// Cumulative wall-clock of the sharded-match phase — the part that
   /// scales with threads.
   double match_phase_seconds() const { return match_phase_seconds_; }
@@ -71,8 +83,10 @@ class ParallelDispatcher : public core::Dispatcher {
   core::PTRider* system_;
   core::BatchDispatcher sequential_;
   WorkerPool pool_;
+  core::DegradeMode degrade_;
   uint64_t rematch_count_ = 0;
   uint64_t reprobe_count_ = 0;
+  uint64_t rematch_skips_ = 0;
   uint64_t sequential_fallbacks_ = 0;
   double match_phase_seconds_ = 0.0;
   double commit_phase_seconds_ = 0.0;

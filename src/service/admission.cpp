@@ -1,13 +1,96 @@
 #include "service/admission.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace ptrider::service {
 
-std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(
-    double shed_deadline_s) {
-  if (shed_deadline_s > 0.0) {
-    return std::make_unique<DeadlineShedder>(shed_deadline_s);
+core::DegradeMode DegradeForRung(int rung, const LadderOptions& ladder) {
+  core::DegradeMode d;
+  if (rung >= 1) d.skip_full_rematch = true;
+  if (rung >= 2) {
+    d.effort.max_probe_branches = std::max<size_t>(1, ladder.probe_branch_cap);
   }
-  return std::make_unique<AdmitAll>();
+  if (rung >= 3) d.effort.empty_vehicle_only = true;
+  return d;
+}
+
+AdaptiveAdmission::AdaptiveAdmission(double deadline_s,
+                                     const LadderOptions& ladder,
+                                     const ZoneAdmissionOptions& zone)
+    : deadline_s_(deadline_s), ladder_(ladder), zone_(zone) {
+  ladder_.max_rung = std::min(std::max(ladder_.max_rung, 0), kNumRungs - 1);
+  if (ladder_.interval_s <= 0.0) ladder_.interval_s = 16.0;
+  if (zone_.zones > 0) zone_admitted_.assign(zone_.zones, 0);
+  if (zone_.trigger_delay_s <= 0.0) {
+    // Derive the quota trigger from whatever delay signal exists: the
+    // ladder target when the ladder runs, else half the hard deadline.
+    if (ladder_.enabled) {
+      zone_.trigger_delay_s = ladder_.target_delay_s;
+    } else if (deadline_s_ > 0.0) {
+      zone_.trigger_delay_s = 0.5 * deadline_s_;
+    } else {
+      zone_.trigger_delay_s = -1.0;  // no signal: quotas never arm
+    }
+  }
+}
+
+void AdaptiveAdmission::BeginDrain(double now_s, size_t drained,
+                                   double min_delay_s, size_t zones_in_drain,
+                                   double capacity_requests) {
+  // --- Ladder controller (CoDel-style) ------------------------------------
+  // The *minimum* delay over an interval is the standing-queue signal:
+  // a burst inflates the max immediately but the min only rises once
+  // every drained request waits — exactly when less effort per request
+  // buys more goodput than full matching of a backlog nobody will keep.
+  if (drained > 0) {
+    if (!interval_has_sample_ || min_delay_s < interval_min_delay_s_) {
+      interval_min_delay_s_ = min_delay_s;
+    }
+    interval_has_sample_ = true;
+  }
+  if (now_s - interval_start_s_ >= ladder_.interval_s) {
+    if (ladder_.enabled) {
+      const bool standing =
+          interval_has_sample_ &&
+          interval_min_delay_s_ > ladder_.target_delay_s;
+      if (standing && rung_ < ladder_.max_rung) {
+        ++rung_;
+        ++escalations_;
+      } else if (!standing && rung_ > 0) {
+        --rung_;
+      }
+      max_rung_reached_ = std::max(max_rung_reached_, rung_);
+    }
+    interval_start_s_ = now_s;
+    interval_has_sample_ = false;
+    interval_min_delay_s_ = 0.0;
+  }
+
+  // --- Zone fair-share quota for this drain -------------------------------
+  zone_quota_ = 0;
+  std::fill(zone_admitted_.begin(), zone_admitted_.end(), 0);
+  if (zone_.zones > 0 && zone_.fair_factor > 0.0 && drained > 0 &&
+      zones_in_drain > 0 && capacity_requests > 0.0 &&
+      zone_.trigger_delay_s >= 0.0 &&
+      min_delay_s > zone_.trigger_delay_s) {
+    const double share =
+        zone_.fair_factor * capacity_requests /
+        static_cast<double>(zones_in_drain);
+    zone_quota_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(share)));
+  }
+}
+
+ShedReason AdaptiveAdmission::Admit(double delay_s, size_t zone) {
+  if (deadline_s_ > 0.0 && delay_s > deadline_s_) {
+    return ShedReason::kDeadline;
+  }
+  if (zone_quota_ > 0 && zone < zone_admitted_.size()) {
+    if (zone_admitted_[zone] >= zone_quota_) return ShedReason::kZone;
+    ++zone_admitted_[zone];
+  }
+  return ShedReason::kAdmit;
 }
 
 }  // namespace ptrider::service

@@ -7,7 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "dispatch/parallel_dispatcher.h"
 #include "service/clock.h"
+#include "service/fault_injector.h"
 #include "service/mpsc_queue.h"
 #include "service/workload_driver.h"
 #include "sim/simulator.h"
@@ -86,9 +88,40 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
   stats.horizon_s = process.end_time_s();
 
   RequestQueue queue(opt.queue_capacity);
-  WorkloadDriver driver(process, queue);
-  std::unique_ptr<AdmissionPolicy> admission =
-      MakeAdmissionPolicy(opt.shed_deadline_s);
+  WorkloadDriver driver(process, queue, opt.ingest_retry);
+  FaultInjector* injector = opt.fault_injector;
+
+  // Zone partition: contiguous grid-cell ranges, exactly the scheme the
+  // vehicle index shards by, so one hot neighborhood maps to one zone.
+  const roadnet::GridIndex& grid = impl_->system->grid();
+  const size_t num_cells = grid.NumCells();
+  const size_t zones =
+      num_cells > 0 ? std::min(opt.zone_admission.zones, num_cells) : 0;
+  ZoneAdmissionOptions zone_opt = opt.zone_admission;
+  zone_opt.zones = zones;
+  if (zones > 0) stats.shed_by_zone.assign(zones, 0);
+  const auto zone_of = [&](roadnet::VertexId origin) -> size_t {
+    if (zones == 0) return 0;
+    return static_cast<size_t>(grid.CellOfVertex(origin)) * zones /
+           num_cells;
+  };
+
+  AdaptiveAdmission admission(opt.shed_deadline_s, opt.ladder, zone_opt);
+
+  // The ladder's dispatcher: degraded batches route through a dedicated
+  // ParallelDispatcher regardless of the configured strategy, because
+  // its two-phase result is a pure function of the frozen pre-batch
+  // fleet — invariant in thread count — whereas "skip full re-matches"
+  // has no sequential-dispatcher analogue. Rung-0 batches keep using the
+  // configured dispatcher (proven item-identical across strategies), so
+  // full-storm reports stay bit-identical for dispatch_threads 0/1/2.
+  std::unique_ptr<dispatch::ParallelDispatcher> degraded;
+  if (opt.ladder.enabled) {
+    degraded = std::make_unique<dispatch::ParallelDispatcher>(
+        *impl_->system,
+        static_cast<size_t>(
+            std::max(1, impl_->system->config().dispatch_threads)));
+  }
 
   const bool virt = opt.virtual_clock;
   std::unique_ptr<ServiceClock> clock;
@@ -111,7 +144,7 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
   std::vector<util::Percentiles> worker_quotes(worker_slots);
   if (!virt) {
     ServiceClock* clk = clock.get();
-    sim.dispatcher()->SetMatchObserver(
+    core::MatchObserver observer =
         [&ingest_time, &worker_quotes, clk](size_t worker,
                                             const vehicle::Request& r,
                                             const core::MatchResult&) {
@@ -119,7 +152,9 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
           if (it == ingest_time.end()) return;
           worker_quotes[worker % worker_quotes.size()].Add(clk->NowS() -
                                                            it->second);
-        });
+        };
+    sim.dispatcher()->SetMatchObserver(observer);
+    if (degraded != nullptr) degraded->SetMatchObserver(observer);
   }
 
   // Wall-clock mode: the open-loop producer runs on its own thread,
@@ -138,13 +173,36 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
   // behind a backlog starts that much later — its start delay, which the
   // deadline shedder and the latency percentiles both see. Offered rate
   // above 1/assign_cost_s makes the backlog grow without bound: the
-  // knee.
+  // knee. Fault windows modulate the model: cost spikes multiply the
+  // per-request cost, stall windows suspend the pay-down; the ladder
+  // divides the cost by its rung's factor.
   double backlog_s = 0.0;
   double last_drain_s = 0.0;
+  // Stage-1 rejections of fault-injected arrivals (the injector pushes
+  // once, no retry): a funnel term the driver cannot see.
+  uint64_t injected_rejected = 0;
 
   std::vector<IngestedTrip> staged;
   std::vector<vehicle::Request> batch;
   std::vector<double> delays;
+  std::vector<size_t> staged_zone;
+  std::vector<char> zone_seen(zones > 0 ? zones : 1, 0);
+  std::vector<InjectedArrival> injected_due;
+
+  // FaultPoint::kIngress, once per tick: capacity squeeze (before any
+  // push of the tick sees it), then injected arrivals after the driver
+  // pump — a fixed interleave, so the ingestion order is reproducible.
+  const auto ingress_faults = [&](double now_s) {
+    if (injector == nullptr) return;
+    injected_due.clear();
+    injector->ArrivalsDue(now_s, injected_due);
+    for (const InjectedArrival& a : injected_due) {
+      const double stamp =
+          (virt ? a.trip.time_s : clock->NowS()) + a.ingest_offset_s;
+      if (!queue.TryPush(IngestedTrip{a.trip, stamp})) ++injected_rejected;
+    }
+    injector->WindowsEndedBy(now_s);
+  };
 
   // Same integer tick/window grid as Simulator::Run (drift-free over
   // day-scale horizons; final tick clamped to end_time).
@@ -161,10 +219,55 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
     stats.queue_depth.Add(static_cast<double>(queue.size()));
     staged.clear();
     const size_t drained = queue.DrainTo(staged);
-    if (virt) {
-      backlog_s = std::max(0.0, backlog_s - (now_s - last_drain_s));
+
+    // FaultPoint::kDrain: cost spikes scale the modeled per-request
+    // cost; stall windows suspend the backlog pay-down.
+    const double elapsed = std::max(0.0, now_s - last_drain_s);
+    double fault_cost_factor = 1.0;
+    if (injector != nullptr) {
+      fault_cost_factor = injector->CostFactorAt(now_s);
+      const double stalled = injector->StallSecondsIn(last_drain_s, now_s);
+      stats.fault_stall_s += stalled;
+      if (virt) backlog_s += stalled;  // undone by the pay-down below
     }
+    if (virt) backlog_s = std::max(0.0, backlog_s - elapsed);
     last_drain_s = now_s;
+
+    // First pass: ingestion waits and zones, for the window-level
+    // admission update (standing-delay minimum, zones present).
+    staged_zone.clear();
+    std::fill(zone_seen.begin(), zone_seen.end(), 0);
+    size_t zones_in_drain = 0;
+    double min_wait = 0.0;
+    for (size_t i = 0; i < staged.size(); ++i) {
+      const double wait = std::max(0.0, now_s - staged[i].ingest_time_s);
+      if (i == 0 || wait < min_wait) min_wait = wait;
+      const size_t z = zone_of(staged[i].trip.origin);
+      staged_zone.push_back(z);
+      if (zones > 0 && !zone_seen[z]) {
+        zone_seen[z] = 1;
+        ++zones_in_drain;
+      }
+    }
+    const double min_delay = min_wait + (virt ? backlog_s : 0.0);
+    // Zone fair shares are quoted against nominal (rung-0) capacity so
+    // the quota does not widen as the ladder cheapens requests.
+    const double nominal_cost = opt.assign_cost_s * fault_cost_factor;
+    const double capacity_requests =
+        virt && nominal_cost > 0.0 ? elapsed / nominal_cost : 0.0;
+
+    // Attribute the elapsed span to the rung that was active across it,
+    // then let the controller move.
+    stats.time_in_rung_s[static_cast<size_t>(admission.rung())] += elapsed;
+    admission.BeginDrain(now_s, drained, min_delay, zones_in_drain,
+                         capacity_requests);
+    const int rung = admission.rung();
+    const double rung_factor =
+        opt.degrade_cost_factors[static_cast<size_t>(rung)];
+    const double cost_eff = nominal_cost * rung_factor;
+    const double quote_eff =
+        opt.quote_cost_s * fault_cost_factor * rung_factor;
+
     if (drained == 0) {
       report.sim.match_phase_seconds += phase_timer.ElapsedSeconds();
       return util::Status::Ok();
@@ -172,21 +275,34 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
 
     batch.clear();
     delays.clear();
-    for (const IngestedTrip& in : staged) {
+    for (size_t i = 0; i < staged.size(); ++i) {
+      const IngestedTrip& in = staged[i];
       const double queue_wait = std::max(0.0, now_s - in.ingest_time_s);
       const double delay = virt ? queue_wait + backlog_s : queue_wait;
-      AdmissionContext ctx;
-      ctx.delay_s = delay;
-      ctx.drained = drained;
-      if (admission->ShouldShed(ctx)) {
+      const ShedReason verdict = admission.Admit(delay, staged_zone[i]);
+      if (verdict != ShedReason::kAdmit) {
         ++stats.shed;
+        if (verdict == ShedReason::kDeadline) {
+          ++stats.shed_deadline;
+        } else {
+          ++stats.shed_zone;
+        }
+        if (zones > 0) ++stats.shed_by_zone[staged_zone[i]];
         continue;
       }
       vehicle::Request r = sim.MakeRequest(in.trip);
-      PTRIDER_RETURN_IF_ERROR(impl_->system->ValidateRequest(r));
+      // Robustness: an invalid request (e.g. an injected malformed
+      // fault) is absorbed — counted, skipped — never allowed to abort
+      // the service loop.
+      const util::Status valid = impl_->system->ValidateRequest(r);
+      if (!valid.ok()) {
+        ++stats.malformed;
+        ++stats.faults_absorbed;
+        continue;
+      }
       if (virt) {
-        backlog_s += opt.assign_cost_s;
-        stats.quote_latency_s.Add(delay + opt.quote_cost_s);
+        backlog_s += cost_eff;
+        stats.quote_latency_s.Add(delay + quote_eff);
       } else {
         ingest_time[r.id] = in.ingest_time_s;
       }
@@ -194,10 +310,20 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
       delays.push_back(delay);
     }
 
+    // Ladder rungs > 0 route through the dedicated degraded dispatcher
+    // (see its construction above); rung 0 takes the configured path.
+    core::Dispatcher* route = nullptr;
+    if (rung > 0 && degraded != nullptr) {
+      degraded->SetDegrade(DegradeForRung(rung, opt.ladder));
+      route = degraded.get();
+      if (!batch.empty()) ++stats.degraded_batches;
+    }
+
     // Ids were issued in staged (time) order and ingest stamps are
     // nondecreasing, so the dispatcher's (submit_time, id) commit order
     // is the staged order: items[i] pairs with delays[i].
-    auto items = sim.DispatchBatch(std::move(batch), now_s, report.sim);
+    auto items = sim.DispatchBatch(std::move(batch), now_s, report.sim,
+                                   route);
     PTRIDER_RETURN_IF_ERROR(items.status());
     stats.dispatched += items->size();
     const double done_s = virt ? 0.0 : clock->NowS();
@@ -207,7 +333,7 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
       if (!item.assigned) continue;
       ++stats.assigned;
       if (virt) {
-        stats.assign_latency_s.Add(delays[i] + opt.assign_cost_s);
+        stats.assign_latency_s.Add(delays[i] + cost_eff);
       } else {
         // delays[i] is the queue wait, so now_s - delays[i] recovers the
         // ingestion instant; done_s is the post-dispatch clock read.
@@ -221,11 +347,23 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
   for (int64_t tick = 1; tick <= total_ticks; ++tick) {
     const double prev = now;
     now = std::min(static_cast<double>(tick) * opt.tick_s, end_time);
+    if (injector != nullptr) {
+      // Capacity squeeze applies before any push of this tick.
+      const double cap_factor = injector->CapacityFactorAt(now);
+      queue.SetCapacityLimit(
+          cap_factor < 1.0
+              ? std::max<size_t>(
+                    1, static_cast<size_t>(
+                           static_cast<double>(opt.queue_capacity) *
+                           cap_factor))
+              : 0);
+    }
     if (virt) {
       driver.PumpUntil(now);
     } else {
       clock->SleepUntilS(now);
     }
+    ingress_faults(now);
     if (now + 1e-9 >= static_cast<double>(next_window) * opt.batch_window_s) {
       PTRIDER_RETURN_IF_ERROR(drain_and_dispatch(now));
       while (static_cast<double>(next_window) * opt.batch_window_s <=
@@ -237,10 +375,11 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
     if (opt.verbose && now >= next_progress_log) {
       const RequestQueue::Counters qc = queue.counters();
       PTRIDER_LOG(kInfo) << util::StrFormat(
-          "t=%.1fh offered=%llu shed=%llu assigned=%llu depth=%zu",
+          "t=%.1fh offered=%llu shed=%llu assigned=%llu depth=%zu rung=%d",
           now / 3600.0, static_cast<unsigned long long>(qc.pushed + qc.rejected),
           static_cast<unsigned long long>(stats.rejected + stats.shed),
-          static_cast<unsigned long long>(stats.assigned), qc.size);
+          static_cast<unsigned long long>(stats.assigned), qc.size,
+          admission.rung());
       next_progress_log += 3600.0;
     }
   }
@@ -248,8 +387,11 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
   if (producer != nullptr) producer->Join();
   // Final partial window: anything still queued (arrivals between the
   // last flush and end_time) gets one last dispatch, like Run's
-  // epilogue.
+  // epilogue. Pending ingestion retries are declared failed first — the
+  // run is over, their arrivals never made it in.
   if (virt) driver.PumpUntil(end_time);
+  ingress_faults(end_time);
+  driver.GiveUpPending();
   PTRIDER_RETURN_IF_ERROR(drain_and_dispatch(now));
 
   if (!virt) {
@@ -261,8 +403,19 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
   const RequestQueue::Counters qc = queue.counters();
   stats.offered = driver.offered();
   stats.ingested = qc.pushed;
-  stats.rejected = qc.rejected;
+  // Raw queue rejections double-count retried pushes; the funnel terms
+  // are the arrivals that finally gave up plus rejected injections:
+  // offered + faults_injected == ingested + rejected.
+  stats.rejected = driver.gave_up() + injected_rejected;
+  stats.retried = driver.retried();
+  stats.retry_gave_up = driver.gave_up();
   stats.max_queue_depth = qc.max_depth;
+  stats.ladder_escalations = admission.escalations();
+  stats.max_rung = admission.max_rung_reached();
+  if (injector != nullptr) {
+    stats.faults_injected = injector->stats().arrivals_offered;
+    stats.faults_absorbed += injector->stats().windows_crossed;
+  }
 
   for (const vehicle::Vehicle& v : impl_->system->fleet().vehicles()) {
     report.sim.fleet_total_distance_m += v.total_distance_m();

@@ -1,6 +1,7 @@
 #ifndef PTRIDER_SERVICE_DISPATCH_SERVICE_H_
 #define PTRIDER_SERVICE_DISPATCH_SERVICE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
@@ -12,6 +13,8 @@
 #include "util/status.h"
 
 namespace ptrider::service {
+
+class FaultInjector;
 
 /// Knobs of one service run. Defaults give a deterministic virtual-clock
 /// server with an unmodeled (zero-cost) matcher — set assign_cost_s to
@@ -28,8 +31,29 @@ struct ServiceOptions {
   /// Ingestion queue capacity (admission stage 1: reject-on-full).
   size_t queue_capacity = 4096;
   /// Admission stage 2: drop drained requests whose start delay exceeds
-  /// this many seconds before matching; 0 disables (AdmitAll).
+  /// this many seconds before matching; 0 disables the hard deadline.
   double shed_deadline_s = 0.0;
+  /// Bounded-retry backpressure for rejected ingestion pushes (default:
+  /// no retries — the pre-backpressure drop behavior).
+  RetryOptions ingest_retry;
+
+  /// Graceful-degradation ladder between "full effort" and "shed"
+  /// (admission.h). Off by default; target_delay_s should sit well below
+  /// shed_deadline_s when both are on.
+  LadderOptions ladder;
+  /// Per-grid-zone fair-share admission (admission.h). Off by default.
+  ZoneAdmissionOptions zone_admission;
+  /// Virtual-clock model of what each ladder rung buys: the modeled
+  /// assign/quote cost is multiplied by the factor of the active rung
+  /// (wall-clock mode measures the real savings instead and ignores
+  /// this). Index = rung; rung 0 must be 1.0.
+  std::array<double, kNumRungs> degrade_cost_factors = {1.0, 0.7, 0.45,
+                                                        0.25};
+
+  /// Optional deterministic fault schedule (fault_injector.h), borrowed,
+  /// not owned; null = no injection. Must not be shared across
+  /// concurrent runs (its cursors advance).
+  FaultInjector* fault_injector = nullptr;
 
   /// Virtual-clock service-time model (DESIGN.md section 11): modeled
   /// server seconds consumed per dispatched request. With a positive

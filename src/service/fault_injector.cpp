@@ -1,0 +1,203 @@
+#include "service/fault_injector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace ptrider::service {
+
+namespace {
+
+/// One valid trip with distinct uniform endpoints at `time_s`.
+sim::Trip UniformTrip(const roadnet::RoadNetwork& graph, util::Rng& rng,
+                      double time_s) {
+  sim::Trip trip;
+  trip.time_s = time_s;
+  const auto n = static_cast<int64_t>(graph.NumVertices());
+  trip.origin = static_cast<roadnet::VertexId>(rng.UniformInt(0, n - 1));
+  trip.destination = trip.origin;
+  while (trip.destination == trip.origin && n > 1) {
+    trip.destination =
+        static_cast<roadnet::VertexId>(rng.UniformInt(0, n - 1));
+  }
+  trip.num_riders = 1;
+  return trip;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kArrivalBurst:
+      return "arrival-burst";
+    case FaultKind::kCostSpike:
+      return "cost-spike";
+    case FaultKind::kWorkerStall:
+      return "worker-stall";
+    case FaultKind::kCapacitySqueeze:
+      return "capacity-squeeze";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const roadnet::RoadNetwork& graph,
+                             const FaultInjectorOptions& options,
+                             double horizon_s)
+    : horizon_s_(horizon_s > 0.0 ? horizon_s : 0.0) {
+  util::Rng rng(options.seed);
+
+  // Window placement: uniform starts, clamped so every window fits the
+  // horizon. Generation order is fixed (bursts, spikes, stalls,
+  // squeezes) so a given seed always yields the same schedule.
+  const auto place = [&](FaultKind kind, size_t count, double duration,
+                         double magnitude) {
+    const double dur = std::min(std::max(duration, 0.0), horizon_s_);
+    for (size_t i = 0; i < count; ++i) {
+      FaultWindow w;
+      w.kind = kind;
+      w.start_s = rng.UniformDouble(0.0, std::max(0.0, horizon_s_ - dur));
+      w.end_s = w.start_s + dur;
+      w.magnitude = magnitude;
+      windows_.push_back(w);
+    }
+  };
+  place(FaultKind::kArrivalBurst, options.burst_count,
+        options.burst_duration_s, options.burst_rate_per_s);
+  place(FaultKind::kCostSpike, options.cost_spike_count,
+        options.cost_spike_duration_s,
+        std::max(1.0, options.cost_spike_factor));
+  place(FaultKind::kWorkerStall, options.stall_count,
+        options.stall_duration_s, 1.0);
+  place(FaultKind::kCapacitySqueeze, options.squeeze_count,
+        options.squeeze_duration_s,
+        std::min(1.0, std::max(1e-3, options.squeeze_capacity_frac)));
+
+  // Burst arrivals: a Poisson stream at the window's rate within its
+  // span, valid endpoints (regular overload, just more of it).
+  for (const FaultWindow& w : windows_) {
+    if (w.kind != FaultKind::kArrivalBurst || w.magnitude <= 0.0) continue;
+    double t = w.start_s;
+    while (true) {
+      t += rng.Exponential(w.magnitude);
+      if (t > w.end_s || t > horizon_s_) break;
+      InjectedArrival a;
+      a.trip = UniformTrip(graph, rng, t);
+      arrivals_.push_back(a);
+    }
+  }
+  // Malformed requests: valid vertices but origin == destination, so
+  // they survive request construction and must die in validation.
+  for (size_t i = 0; i < options.malformed_count; ++i) {
+    InjectedArrival a;
+    a.trip = UniformTrip(graph, rng, rng.UniformDouble(0.0, horizon_s_));
+    a.trip.destination = a.trip.origin;
+    a.malformed = true;
+    arrivals_.push_back(a);
+  }
+  // Expired requests: already older than any sane deadline on arrival.
+  for (size_t i = 0; i < options.expired_count; ++i) {
+    InjectedArrival a;
+    a.trip = UniformTrip(graph, rng, rng.UniformDouble(0.0, horizon_s_));
+    a.ingest_offset_s = -std::max(0.0, options.expired_age_s);
+    arrivals_.push_back(a);
+  }
+
+  // Canonical orders: windows by (start, kind), arrivals by time with a
+  // stable tiebreak on generation order — the cursor consumption below
+  // is then a pure function of the queried instants.
+  std::stable_sort(windows_.begin(), windows_.end(),
+                   [](const FaultWindow& a, const FaultWindow& b) {
+                     if (a.start_s != b.start_s) return a.start_s < b.start_s;
+                     return static_cast<int>(a.kind) <
+                            static_cast<int>(b.kind);
+                   });
+  std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                   [](const InjectedArrival& a, const InjectedArrival& b) {
+                     return a.trip.time_s < b.trip.time_s;
+                   });
+  window_ends_sorted_.reserve(windows_.size());
+  for (const FaultWindow& w : windows_) {
+    window_ends_sorted_.push_back(w.end_s);
+  }
+  std::sort(window_ends_sorted_.begin(), window_ends_sorted_.end());
+}
+
+size_t FaultInjector::ArrivalsDue(double now_s,
+                                  std::vector<InjectedArrival>& out) {
+  size_t count = 0;
+  while (next_arrival_ < arrivals_.size() &&
+         arrivals_[next_arrival_].trip.time_s <= now_s) {
+    const InjectedArrival& a = arrivals_[next_arrival_++];
+    out.push_back(a);
+    ++count;
+    ++stats_.arrivals_offered;
+    if (a.malformed) ++stats_.malformed_offered;
+    if (a.ingest_offset_s < 0.0) ++stats_.expired_offered;
+  }
+  return count;
+}
+
+double FaultInjector::CapacityFactorAt(double now_s) const {
+  double factor = 1.0;
+  for (const FaultWindow& w : windows_) {
+    if (w.kind != FaultKind::kCapacitySqueeze) continue;
+    if (now_s >= w.start_s && now_s < w.end_s) {
+      factor = std::min(factor, w.magnitude);
+    }
+  }
+  return factor;
+}
+
+double FaultInjector::CostFactorAt(double now_s) const {
+  double factor = 1.0;
+  for (const FaultWindow& w : windows_) {
+    if (w.kind != FaultKind::kCostSpike) continue;
+    if (now_s >= w.start_s && now_s < w.end_s) factor *= w.magnitude;
+  }
+  return factor;
+}
+
+double FaultInjector::StallSecondsIn(double from_s, double to_s) const {
+  if (to_s <= from_s) return 0.0;
+  // Union of stall overlaps via a sweep over the (start-sorted) windows:
+  // merge as we go so overlapping stalls are not double-counted.
+  double covered = 0.0;
+  double cursor = from_s;
+  for (const FaultWindow& w : windows_) {
+    if (w.kind != FaultKind::kWorkerStall) continue;
+    const double lo = std::max(cursor, w.start_s);
+    const double hi = std::min(to_s, w.end_s);
+    if (hi > lo) {
+      covered += hi - lo;
+      cursor = hi;
+    }
+  }
+  return covered;
+}
+
+size_t FaultInjector::WindowsEndedBy(double now_s) {
+  size_t count = 0;
+  while (windows_counted_ < window_ends_sorted_.size() &&
+         window_ends_sorted_[windows_counted_] <= now_s) {
+    ++windows_counted_;
+    ++count;
+    ++stats_.windows_crossed;
+  }
+  return count;
+}
+
+std::string FaultInjector::DebugString() const {
+  std::ostringstream os;
+  os << util::StrFormat("fault schedule: %zu windows, %zu arrivals\n",
+                        windows_.size(), arrivals_.size());
+  for (const FaultWindow& w : windows_) {
+    os << util::StrFormat("  %-16s [%8.1fs, %8.1fs) x%.2f\n",
+                          FaultKindName(w.kind), w.start_s, w.end_s,
+                          w.magnitude);
+  }
+  return os.str();
+}
+
+}  // namespace ptrider::service

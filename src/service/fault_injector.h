@@ -1,0 +1,160 @@
+#ifndef PTRIDER_SERVICE_FAULT_INJECTOR_H_
+#define PTRIDER_SERVICE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "sim/trip.h"
+
+namespace ptrider::service {
+
+/// Named hook points in the DispatchService loop where faults act. The
+/// service queries the injector at each point with the current simulated
+/// instant; the injector itself never touches service state.
+enum class FaultPoint {
+  /// Arrival side, once per tick before the driver pump: injected
+  /// arrivals (bursts, malformed, expired) and queue-capacity squeezes.
+  kIngress,
+  /// Drain side, per batch window before admission: nothing injected
+  /// here today; reserved so schedules can target the admission decision
+  /// without an API change.
+  kAdmission,
+  /// Server side, per batch window: match-cost spikes and worker-stall
+  /// windows act on the modeled service time / backlog pay-down.
+  kDrain,
+};
+
+/// The fault taxonomy of DESIGN.md section 14.
+enum class FaultKind {
+  kArrivalBurst,     // extra open-loop arrivals at `magnitude` req/s
+  kCostSpike,        // modeled per-request match cost x `magnitude`
+  kWorkerStall,      // server makes no progress for the window
+  kCapacitySqueeze,  // queue capacity clamped to `magnitude` fraction
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// A closed time window during which one fault condition holds.
+struct FaultWindow {
+  FaultKind kind = FaultKind::kArrivalBurst;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Kind-dependent: burst -> extra arrivals/s; spike -> cost
+  /// multiplier; squeeze -> capacity fraction in (0,1]; stall -> unused
+  /// (the window itself is the stall).
+  double magnitude = 1.0;
+};
+
+/// One fault-injected request, offered to the ingestion queue at the
+/// kIngress hook of the first tick with time >= trip.time_s.
+struct InjectedArrival {
+  sim::Trip trip;
+  /// Added to the ingestion stamp: negative backdates the request so it
+  /// arrives already older than any deadline (an "expired" fault the
+  /// stage-2 shedder must absorb).
+  double ingest_offset_s = 0.0;
+  /// Origin == destination: survives request construction but must be
+  /// absorbed by validation, not abort the service loop.
+  bool malformed = false;
+};
+
+/// Everything the schedule generator needs. All counts are events over
+/// the whole load horizon; windows may overlap (their effects compose:
+/// factors multiply, stall overlap unions).
+struct FaultInjectorOptions {
+  uint64_t seed = 4242;
+
+  size_t burst_count = 0;
+  double burst_duration_s = 30.0;
+  /// Extra arrivals/s during a burst window (on top of the base load).
+  double burst_rate_per_s = 2.0;
+
+  size_t cost_spike_count = 0;
+  double cost_spike_duration_s = 20.0;
+  double cost_spike_factor = 3.0;
+
+  size_t stall_count = 0;
+  double stall_duration_s = 5.0;
+
+  size_t squeeze_count = 0;
+  double squeeze_duration_s = 20.0;
+  double squeeze_capacity_frac = 0.25;
+
+  size_t malformed_count = 0;
+  size_t expired_count = 0;
+  /// How stale an expired request is on arrival, seconds.
+  double expired_age_s = 120.0;
+};
+
+/// Injection-side counters (the service folds them into ServiceStats).
+struct FaultStats {
+  /// Injected arrivals offered to the queue so far (all kinds).
+  uint64_t arrivals_offered = 0;
+  uint64_t malformed_offered = 0;
+  uint64_t expired_offered = 0;
+  /// Fault windows whose span the service has fully crossed.
+  uint64_t windows_crossed = 0;
+};
+
+/// Deterministic fault-schedule generator for service-mode chaos runs
+/// (DESIGN.md section 14). The entire schedule — window placement and
+/// every injected arrival — is derived from `options.seed` at
+/// construction; afterwards every query is a pure function of the
+/// simulated instant plus a monotone cursor, so a virtual-clock service
+/// run replays the identical fault sequence regardless of
+/// dispatch-thread count, queue capacity, or host timing. The service
+/// queries it only from the loop-owner thread (it is not thread-safe,
+/// and does not need to be: faults land on the tick grid, inside the
+/// determinism boundary of DESIGN.md section 11).
+class FaultInjector {
+ public:
+  /// `graph` supplies valid endpoints for injected trips; `horizon_s` is
+  /// the load horizon the windows and arrivals are placed within.
+  FaultInjector(const roadnet::RoadNetwork& graph,
+                const FaultInjectorOptions& options, double horizon_s);
+
+  // --- FaultPoint::kIngress ------------------------------------------------
+  /// Appends every not-yet-consumed injected arrival with
+  /// trip.time_s <= now_s to `out`, in schedule order; returns the count.
+  size_t ArrivalsDue(double now_s, std::vector<InjectedArrival>& out);
+  /// Queue-capacity fraction in (0, 1] at `now_s` (min over overlapping
+  /// squeeze windows; 1 outside all of them).
+  double CapacityFactorAt(double now_s) const;
+
+  // --- FaultPoint::kDrain --------------------------------------------------
+  /// Modeled match-cost multiplier at `now_s` (>= 1; product over
+  /// overlapping spike windows).
+  double CostFactorAt(double now_s) const;
+  /// Seconds of [from_s, to_s) covered by the union of stall windows —
+  /// time the modeled server made no progress.
+  double StallSecondsIn(double from_s, double to_s) const;
+
+  /// Consumes (counts into stats) every window with end_s <= now_s not
+  /// yet counted; returns how many. The service calls this per tick so
+  /// "faults absorbed" advances as the run survives each window.
+  size_t WindowsEndedBy(double now_s);
+
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+  const std::vector<InjectedArrival>& arrivals() const { return arrivals_; }
+  const FaultStats& stats() const { return stats_; }
+  double horizon_s() const { return horizon_s_; }
+
+  /// One line per window plus arrival totals (chaos-run logs).
+  std::string DebugString() const;
+
+ private:
+  double horizon_s_;
+  std::vector<FaultWindow> windows_;     // sorted by (start_s, kind)
+  std::vector<InjectedArrival> arrivals_;  // sorted by trip.time_s
+  size_t next_arrival_ = 0;
+  size_t windows_counted_ = 0;  // count of end-sorted windows consumed
+  std::vector<double> window_ends_sorted_;
+  FaultStats stats_;
+};
+
+}  // namespace ptrider::service
+
+#endif  // PTRIDER_SERVICE_FAULT_INJECTOR_H_

@@ -1,6 +1,7 @@
 #ifndef PTRIDER_SERVICE_MPSC_QUEUE_H_
 #define PTRIDER_SERVICE_MPSC_QUEUE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -55,7 +56,9 @@ class BoundedMpscQueue {
   /// capacity or closed; both cases count into rejected().
   bool TryPush(T item) EXCLUDES(mu_) {
     const util::MutexLock lock(mu_);
-    if (closed_ || items_.size() >= capacity_) {
+    const size_t effective =
+        limit_ > 0 ? std::min(capacity_, limit_) : capacity_;
+    if (closed_ || items_.size() >= effective) {
       ++rejected_;
       return false;
     }
@@ -71,6 +74,16 @@ class BoundedMpscQueue {
   void Close() EXCLUDES(mu_) {
     const util::MutexLock lock(mu_);
     closed_ = true;
+  }
+
+  /// Temporarily clamps the accept threshold to min(capacity, limit);
+  /// 0 restores the configured capacity. Items already queued above the
+  /// limit stay queued — only new pushes see the squeeze. The
+  /// fault-injection hook for capacity-squeeze windows (any caller may
+  /// use it; it composes with the fixed capacity, never exceeds it).
+  void SetCapacityLimit(size_t limit) EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
+    limit_ = limit;
   }
 
   /// Consumer side: appends everything queued to `out` in push order and
@@ -127,6 +140,7 @@ class BoundedMpscQueue {
  private:
   const size_t capacity_;
   mutable util::Mutex mu_;
+  size_t limit_ GUARDED_BY(mu_) = 0;  // 0 = no squeeze
   std::deque<T> items_ GUARDED_BY(mu_);
   bool closed_ GUARDED_BY(mu_) = false;
   uint64_t pushed_ GUARDED_BY(mu_) = 0;

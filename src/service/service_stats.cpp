@@ -12,8 +12,28 @@ void ServiceStats::Merge(const ServiceStats& other) {
   ingested += other.ingested;
   rejected += other.rejected;
   shed += other.shed;
+  shed_deadline += other.shed_deadline;
+  shed_zone += other.shed_zone;
+  malformed += other.malformed;
   dispatched += other.dispatched;
   assigned += other.assigned;
+  retried += other.retried;
+  retry_gave_up += other.retry_gave_up;
+  faults_injected += other.faults_injected;
+  faults_absorbed += other.faults_absorbed;
+  fault_stall_s += other.fault_stall_s;
+  for (size_t r = 0; r < time_in_rung_s.size(); ++r) {
+    time_in_rung_s[r] += other.time_in_rung_s[r];
+  }
+  degraded_batches += other.degraded_batches;
+  ladder_escalations += other.ladder_escalations;
+  max_rung = std::max(max_rung, other.max_rung);
+  if (shed_by_zone.size() < other.shed_by_zone.size()) {
+    shed_by_zone.resize(other.shed_by_zone.size(), 0);
+  }
+  for (size_t z = 0; z < other.shed_by_zone.size(); ++z) {
+    shed_by_zone[z] += other.shed_by_zone[z];
+  }
   quote_latency_s.Merge(other.quote_latency_s);
   assign_latency_s.Merge(other.assign_latency_s);
   queue_depth.Merge(other.queue_depth);
@@ -29,15 +49,55 @@ std::string ServiceStats::ToString() const {
       "offered                  %llu (%.2f req/s over %.0fs)\n",
       static_cast<unsigned long long>(offered), OfferedRps(), horizon_s);
   os << util::StrFormat(
-      "admission                %llu ingested, %llu rejected (queue full), "
-      "%llu shed (deadline)\n",
+      "admission                %llu ingested, %llu rejected (queue full)\n",
       static_cast<unsigned long long>(ingested),
-      static_cast<unsigned long long>(rejected),
-      static_cast<unsigned long long>(shed));
+      static_cast<unsigned long long>(rejected));
+  os << util::StrFormat(
+      "shed                     %llu (%llu deadline, %llu zone quota)\n",
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(shed_deadline),
+      static_cast<unsigned long long>(shed_zone));
+  if (malformed > 0) {
+    os << util::StrFormat("malformed absorbed       %llu\n",
+                          static_cast<unsigned long long>(malformed));
+  }
+  if (retried > 0 || retry_gave_up > 0) {
+    os << util::StrFormat(
+        "ingest backpressure      %llu retried, %llu gave up\n",
+        static_cast<unsigned long long>(retried),
+        static_cast<unsigned long long>(retry_gave_up));
+  }
   os << util::StrFormat(
       "dispatched               %llu (%llu assigned)\n",
       static_cast<unsigned long long>(dispatched),
       static_cast<unsigned long long>(assigned));
+  if (faults_injected > 0 || faults_absorbed > 0) {
+    os << util::StrFormat(
+        "faults                   %llu injected, %llu absorbed, "
+        "%.1fs stalled\n",
+        static_cast<unsigned long long>(faults_injected),
+        static_cast<unsigned long long>(faults_absorbed), fault_stall_s);
+  }
+  if (ladder_escalations > 0 || degraded_batches > 0 || max_rung > 0) {
+    os << util::StrFormat(
+        "ladder                   max rung %d, %llu escalations, "
+        "%llu degraded batches\n",
+        max_rung, static_cast<unsigned long long>(ladder_escalations),
+        static_cast<unsigned long long>(degraded_batches));
+    os << "time in rung (s)        ";
+    for (size_t r = 0; r < time_in_rung_s.size(); ++r) {
+      os << util::StrFormat(" r%zu=%.0f", r, time_in_rung_s[r]);
+    }
+    os << "\n";
+  }
+  if (!shed_by_zone.empty()) {
+    os << "shed by zone            ";
+    for (size_t z = 0; z < shed_by_zone.size(); ++z) {
+      os << util::StrFormat(" z%zu=%llu", z,
+                            static_cast<unsigned long long>(shed_by_zone[z]));
+    }
+    os << "\n";
+  }
   os << util::StrFormat("goodput                  %.2f assigned/s\n",
                         GoodputRps());
   os << util::StrFormat("shed rate                %.1f%%\n",

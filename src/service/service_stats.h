@@ -1,9 +1,12 @@
 #ifndef PTRIDER_SERVICE_SERVICE_STATS_H_
 #define PTRIDER_SERVICE_SERVICE_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "service/admission.h"
 #include "sim/metrics.h"
 #include "util/stats.h"
 
@@ -23,12 +26,54 @@ struct ServiceStats {
   /// Refused at the queue — full or closed (stage-1 reject).
   uint64_t rejected = 0;
   /// Drained but dropped by the admission policy before matching
-  /// (stage-2 shed).
+  /// (stage-2 shed); shed == shed_deadline + shed_zone.
   uint64_t shed = 0;
+  /// Stage-2 sheds whose start delay was past the hard deadline.
+  uint64_t shed_deadline = 0;
+  /// Stage-2 sheds because the request's grid zone exhausted its
+  /// fair-share quota for the window.
+  uint64_t shed_zone = 0;
+  /// Drained requests that failed validation (e.g. injected malformed
+  /// faults) — absorbed, not dispatched, not counted as shed.
+  uint64_t malformed = 0;
   /// Handed to the dispatcher.
   uint64_t dispatched = 0;
   /// Dispatched and assigned a vehicle (the goodput numerator).
   uint64_t assigned = 0;
+
+  // --- Ingestion backpressure (workload-driver retries) ---------------------
+  /// Successful re-pushes after a queue-full rejection.
+  uint64_t retried = 0;
+  /// Arrivals dropped after exhausting their retry budget (or at
+  /// end-of-run); with retries disabled this is every stage-1 reject.
+  uint64_t retry_gave_up = 0;
+
+  // --- Fault injection (chaos runs; DESIGN.md section 14) -------------------
+  /// Injected arrivals offered to the queue (the funnel term:
+  /// offered + faults_injected == ingested + rejected).
+  uint64_t faults_injected = 0;
+  /// Fault events the run survived: fault windows fully crossed plus
+  /// malformed arrivals absorbed by validation.
+  uint64_t faults_absorbed = 0;
+  /// Modeled server seconds lost to worker-stall windows.
+  double fault_stall_s = 0.0;
+
+  // --- Degradation ladder ---------------------------------------------------
+  /// Simulated seconds spent at each ladder rung (index = rung; sums to
+  /// ~the drained span when the ladder is on).
+  std::array<double, kNumRungs> time_in_rung_s = {};
+  /// Batch windows dispatched at rung > 0.
+  uint64_t degraded_batches = 0;
+  /// Ladder escalation events (rung increments).
+  uint64_t ladder_escalations = 0;
+  /// Highest rung the controller reached.
+  int max_rung = 0;
+
+  // --- Per-zone admission ---------------------------------------------------
+  /// Stage-2 sheds per grid zone (empty when zone admission is off);
+  /// the starvation diagnostic — one hot zone's sheds must not be
+  /// spread across the city.
+  std::vector<uint64_t> shed_by_zone;
 
   // --- Latency (simulation seconds; ingestion -> event) ---------------------
   /// Ingestion to quote availability (first match result).

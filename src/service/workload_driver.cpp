@@ -59,21 +59,71 @@ std::optional<sim::Trip> PoissonArrivals::Next() {
   return trip;
 }
 
-WorkloadDriver::WorkloadDriver(ArrivalProcess& process, RequestQueue& queue)
-    : process_(&process), queue_(&queue) {}
+WorkloadDriver::WorkloadDriver(ArrivalProcess& process, RequestQueue& queue,
+                               const RetryOptions& retry)
+    : process_(&process), queue_(&queue), retry_(retry), rng_(retry.seed) {
+  if (retry_.max_attempts < 0) retry_.max_attempts = 0;
+  if (retry_.backoff_s <= 0.0) retry_.backoff_s = 0.5;
+  if (retry_.jitter_frac < 0.0) retry_.jitter_frac = 0.0;
+  if (retry_.max_sleep_s <= 0.0) retry_.max_sleep_s = 2.0;
+}
 
 std::optional<sim::Trip> WorkloadDriver::Peek() {
   if (!lookahead_) lookahead_ = process_->Next();
   return lookahead_;
 }
 
+double WorkloadDriver::NextBackoff(int attempts) {
+  double delay = retry_.backoff_s;
+  for (int i = 1; i < attempts; ++i) delay *= 2.0;
+  // Jitter spreads a rejected burst's retries out instead of letting
+  // them re-collide on the same tick; seeded, so the schedule is part
+  // of the deterministic replay.
+  if (retry_.jitter_frac > 0.0) {
+    delay *= 1.0 + rng_.UniformDouble(0.0, retry_.jitter_frac);
+  }
+  return delay;
+}
+
+void WorkloadDriver::OfferVirtual(IngestedTrip item, double now_s,
+                                  int rejections) {
+  if (queue_->TryPush(item)) {
+    if (rejections > 0) ++retried_;
+    return;
+  }
+  ++rejections;
+  if (rejections > retry_.max_attempts) {
+    ++gave_up_;
+    return;
+  }
+  PendingRetry p;
+  p.item = std::move(item);
+  p.due_s = now_s + NextBackoff(rejections);
+  p.attempts = rejections;
+  pending_.push_back(std::move(p));
+}
+
 size_t WorkloadDriver::PumpUntil(double now_s) {
+  // Due retries first: their rejection preceded every arrival of this
+  // tick. Exactly the current entries are visited once (re-queued items
+  // append behind the untouched tail, outside the pop budget).
+  for (size_t i = pending_.size(); i > 0; --i) {
+    PendingRetry p = std::move(pending_.front());
+    pending_.pop_front();
+    if (p.due_s > now_s) {
+      pending_.push_back(std::move(p));
+      continue;
+    }
+    OfferVirtual(std::move(p.item), now_s, p.attempts);
+  }
   size_t offered_now = 0;
   while (true) {
     std::optional<sim::Trip> trip = Peek();
     if (!trip || trip->time_s > now_s) break;
     lookahead_.reset();
-    queue_->TryPush(IngestedTrip{*trip, trip->time_s});
+    // The stamp is the arrival instant and survives retries — the rider
+    // has been waiting since then, whatever the queue said.
+    OfferVirtual(IngestedTrip{*trip, trip->time_s}, now_s, 0);
     ++offered_;
     ++offered_now;
   }
@@ -86,10 +136,34 @@ void WorkloadDriver::RunBlocking(ServiceClock& clock) {
     if (!trip) break;
     lookahead_.reset();
     clock.SleepUntilS(trip->time_s);
-    queue_->TryPush(IngestedTrip{*trip, clock.NowS()});
     ++offered_;
+    int rejections = 0;
+    bool pushed = false;
+    while (true) {
+      if (queue_->TryPush(IngestedTrip{*trip, clock.NowS()})) {
+        pushed = true;
+        break;
+      }
+      ++rejections;
+      if (rejections > retry_.max_attempts) break;
+      // In-line capped backoff sleep: open-loop arrivals queue up behind
+      // it, which is honest — one producer connection really would stall.
+      const double delay =
+          std::min(NextBackoff(rejections), retry_.max_sleep_s);
+      clock.SleepUntilS(clock.NowS() + delay);
+    }
+    if (pushed) {
+      if (rejections > 0) ++retried_;
+    } else {
+      ++gave_up_;
+    }
   }
   queue_->Close();
+}
+
+void WorkloadDriver::GiveUpPending() {
+  gave_up_ += pending_.size();
+  pending_.clear();
 }
 
 }  // namespace ptrider::service

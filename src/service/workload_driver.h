@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <thread>  // lint: allow(raw-thread)
 #include <vector>
@@ -92,41 +93,96 @@ class PoissonArrivals : public ArrivalProcess {
   double next_time_s_ = 0.0;
 };
 
+/// Bounded-retry backpressure for rejected ingestion pushes. A rejected
+/// arrival is not silently dropped anymore: it is retried up to
+/// `max_attempts` more times with exponential backoff and deterministic
+/// seeded jitter (so synchronized retry herds do not re-collide), then
+/// counted as given up. 0 attempts restores the old drop-on-reject
+/// behavior.
+struct RetryOptions {
+  /// Re-push attempts after the initial rejection; 0 = no retries.
+  int max_attempts = 0;
+  /// Base backoff before the first retry; doubles per attempt.
+  double backoff_s = 0.5;
+  /// Uniform jitter as a fraction of the backoff (0.5 = +/-0 to +50%).
+  double jitter_frac = 0.5;
+  /// Seed for the jitter stream (virtual mode consumes it in arrival
+  /// order, so retry schedules are bit-reproducible).
+  uint64_t seed = 1777;
+  /// Wall-clock mode only: hard cap on one in-line retry sleep.
+  double max_sleep_s = 2.0;
+};
+
 /// The open-loop workload driver: feeds an ArrivalProcess into the
 /// service ingestion queue on the arrival schedule. Two modes, one per
 /// side of the determinism boundary (DESIGN.md section 11):
 ///
 ///   * PumpUntil (virtual clock) — the service loop calls it inline each
-///     tick; every arrival due at or before `now` is pushed in arrival
-///     order with its arrival instant as the ingestion stamp.
-///     Single-threaded, deterministic ingestion order and reject
-///     decisions.
+///     tick; retries that came due are re-pushed first (their rejection
+///     preceded this tick), then every arrival due at or before `now`
+///     in arrival order, each stamped with its arrival instant. A
+///     rejected item keeps its original stamp across retries — its
+///     rider has been waiting since the arrival, and the latency
+///     accounting must say so. Single-threaded, deterministic ingestion
+///     order, reject decisions and retry schedule.
 ///   * RunBlocking (wall clock) — run on a dedicated producer thread;
 ///     sleeps the clock to each arrival's instant and pushes with the
-///     real (scaled) push time as the ingestion stamp. Closes the queue
-///     at exhaustion.
+///     real (scaled) push time as the ingestion stamp, retrying in-line
+///     with capped backoff sleeps. Closes the queue at exhaustion.
 class WorkloadDriver {
  public:
-  WorkloadDriver(ArrivalProcess& process, RequestQueue& queue);
+  WorkloadDriver(ArrivalProcess& process, RequestQueue& queue,
+                 const RetryOptions& retry = RetryOptions{});
 
-  /// Virtual-clock ingestion: pushes every arrival with time_s <= now_s.
-  /// Returns the number offered (pushed + rejected-on-full).
+  /// Virtual-clock ingestion: due retries, then every arrival with
+  /// time_s <= now_s. Returns the number of *new* arrivals offered.
   size_t PumpUntil(double now_s);
 
   /// Wall-clock ingestion loop; blocks until the process is exhausted,
   /// then closes the queue.
   void RunBlocking(ServiceClock& clock);
 
-  /// Arrivals offered to the queue so far (accepted + rejected).
+  /// Declares every still-pending retry failed (end of run). The
+  /// offered/gave-up accounting only balances after this (or after
+  /// RunBlocking returns, which gives up in-line).
+  void GiveUpPending();
+
+  /// Arrivals offered so far — each arrival once, however many retry
+  /// pushes it needed. offered() == pushed-accepted + gave_up() +
+  /// still-pending retries.
   uint64_t offered() const { return offered_; }
+  /// Successful re-pushes after at least one rejection.
+  uint64_t retried() const { return retried_; }
+  /// Arrivals dropped for good: retry budget exhausted, queue closed,
+  /// or GiveUpPending.
+  uint64_t gave_up() const { return gave_up_; }
 
  private:
+  struct PendingRetry {
+    IngestedTrip item;
+    double due_s = 0.0;
+    int attempts = 0;  // rejections so far
+  };
+
   std::optional<sim::Trip> Peek();
+  /// Backoff delay before retry number `attempts` (exponential, with a
+  /// seeded jitter draw consumed per call).
+  double NextBackoff(int attempts);
+  /// Push with retry bookkeeping; queues a PendingRetry on rejection (or
+  /// counts the give-up when the budget is spent).
+  void OfferVirtual(IngestedTrip item, double now_s, int attempts);
 
   ArrivalProcess* process_;
   RequestQueue* queue_;
+  RetryOptions retry_;
+  util::Rng rng_;
   std::optional<sim::Trip> lookahead_;
+  std::deque<PendingRetry> pending_;  // due-time order (FIFO suffices:
+                                      // equal backoff growth keeps it
+                                      // near-sorted; due checks gate it)
   uint64_t offered_ = 0;
+  uint64_t retried_ = 0;
+  uint64_t gave_up_ = 0;
 };
 
 /// RAII producer thread for wall-clock mode: runs

@@ -114,9 +114,10 @@ std::optional<size_t> Simulator::PickOption(const vehicle::Request& request,
 
 util::Result<std::vector<core::BatchItem>> Simulator::DispatchBatch(
     std::vector<vehicle::Request> batch, double now,
-    SimulationReport& report) {
+    SimulationReport& report, core::Dispatcher* dispatcher) {
   if (batch.empty()) return std::vector<core::BatchItem>{};
-  if (dispatcher_ == nullptr) {
+  if (dispatcher == nullptr) dispatcher = dispatcher_.get();
+  if (dispatcher == nullptr) {
     return util::Status::FailedPrecondition(
         "DispatchBatch needs BeginStepping (or a batched Run) first");
   }
@@ -129,7 +130,7 @@ util::Result<std::vector<core::BatchItem>> Simulator::DispatchBatch(
                   const core::MatchResult& match) {
         return PickOption(r, match, now);
       };
-  auto items = dispatcher_->Dispatch(std::move(batch), now, chooser);
+  auto items = dispatcher->Dispatch(std::move(batch), now, chooser);
   PTRIDER_RETURN_IF_ERROR(items.status());
   for (const core::BatchItem& item : *items) {
     PTRIDER_RETURN_IF_ERROR(RecordOutcome(

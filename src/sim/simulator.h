@@ -78,10 +78,14 @@ class Simulator {
   /// Dispatches `batch` at `now` through the configured dispatcher and
   /// folds every outcome into `report` exactly like one of Run's batch
   /// windows; returns the per-request items (processing order) so the
-  /// caller can stamp per-request service latencies.
+  /// caller can stamp per-request service latencies. `dispatcher` (null
+  /// = the configured one) routes the batch through a caller-owned
+  /// strategy instead — the service's degradation ladder dispatches
+  /// degraded windows through its own thread-count-invariant dispatcher
+  /// while rng/report accounting stays identical.
   util::Result<std::vector<core::BatchItem>> DispatchBatch(
       std::vector<vehicle::Request> batch, double now,
-      SimulationReport& report);
+      SimulationReport& report, core::Dispatcher* dispatcher = nullptr);
   /// One movement tick from `prev` to `now` (fleet budget pro-rated to
   /// the interval, exactly like Run's tick loop).
   util::Status AdvanceTick(double prev, double now,

@@ -227,7 +227,8 @@ bool KineticTree::ValidateWithBounds(const std::vector<Stop>& stops,
 
 std::vector<InsertionCandidate> KineticTree::TrialInsert(
     const Request& request, const ScheduleContext& ctx,
-    DistanceProvider& dist, InsertionStats* stats) const {
+    DistanceProvider& dist, InsertionStats* stats,
+    size_t max_probe_branches) const {
   std::vector<InsertionCandidate> out;
   InsertionStats local;
 
@@ -264,7 +265,14 @@ std::vector<InsertionCandidate> KineticTree::TrialInsert(
   if (branches_.empty()) {
     consider({pickup, dropoff});
   } else {
-    for (const Branch& branch : branches_) {
+    // Branches are kept sorted by total distance, so a probe cap
+    // enumerates the best-K schedules and skips the tail.
+    const size_t probe_limit =
+        max_probe_branches > 0
+            ? std::min(max_probe_branches, branches_.size())
+            : branches_.size();
+    for (size_t bi = 0; bi < probe_limit; ++bi) {
+      const Branch& branch = branches_[bi];
       const size_t n = branch.stops.size();
       for (size_t i = 0; i <= n; ++i) {
         for (size_t j = i; j <= n; ++j) {

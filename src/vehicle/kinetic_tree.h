@@ -136,11 +136,17 @@ class KineticTree {
   /// Enumerates all valid schedules that additionally serve `request`
   /// (not yet constrained by a pick-up deadline — the returned candidates
   /// are exactly the vehicle's feasible (time, price) offers). Does not
-  /// modify the tree.
+  /// modify the tree. `max_probe_branches` (0 = unlimited) probes only
+  /// the best (shortest-total) K branches — the service-mode degradation
+  /// ladder's bounded-effort knob (core::MatchEffort): every returned
+  /// candidate is still exactly validated, the cap only skips the
+  /// longer-schedule tail of the enumeration.
   std::vector<InsertionCandidate> TrialInsert(const Request& request,
                                               const ScheduleContext& ctx,
                                               DistanceProvider& dist,
-                                              InsertionStats* stats) const;
+                                              InsertionStats* stats,
+                                              size_t max_probe_branches =
+                                                  0) const;
 
   /// Commits `request` with the rider-chosen planned pick-up distance:
   /// sets planned pick-up time now + dist/speed, deadline = planned + w,

@@ -1,0 +1,24 @@
+// Fixture for the direct-push rule: a TryPush call site outside the
+// WorkloadDriver / dispatch-service ingress bypasses the
+// offered/retried/gave-up accounting that the admission funnel
+// invariants are audited against — only the driver may ingest.
+// Mentioning TryPush in a comment or a string must not fire; the
+// allowlisted files (workload_driver.*, dispatch_service.cpp,
+// mpsc_queue.h) are covered by linting the real tree.
+
+namespace fixture {
+
+struct Queue {
+  bool TryPush(int) { return true; }  // expect: direct-push
+};
+
+inline void SneakyIngest(Queue& q) {
+  const char* doc = "call TryPush through the driver";  // string: no finding
+  (void)doc;
+  q.TryPush(42);  // expect: direct-push
+  q.TryPush(43);  // lint: allow(direct-push) — escape hatch keeps working
+  int my_TryPush_count = 0;  // identifier boundary: no finding
+  (void)my_TryPush_count;
+}
+
+}  // namespace fixture

@@ -228,15 +228,90 @@ TEST(DispatchServiceTest, WallClockSmoke) {
   }
 }
 
-TEST(MakeAdmissionPolicyTest, SelectsByDeadline) {
-  EXPECT_STREQ(MakeAdmissionPolicy(0.0)->name(), "admit-all");
-  EXPECT_STREQ(MakeAdmissionPolicy(-1.0)->name(), "admit-all");
-  EXPECT_STREQ(MakeAdmissionPolicy(5.0)->name(), "deadline-shed");
-  AdmissionContext ctx;
-  ctx.delay_s = 6.0;
-  EXPECT_TRUE(MakeAdmissionPolicy(5.0)->ShouldShed(ctx));
-  ctx.delay_s = 4.0;
-  EXPECT_FALSE(MakeAdmissionPolicy(5.0)->ShouldShed(ctx));
+TEST(AdaptiveAdmissionTest, DeadlineIsAlwaysOnHardBound) {
+  AdaptiveAdmission a(5.0, LadderOptions{}, ZoneAdmissionOptions{});
+  a.BeginDrain(2.0, 1, 6.0, 0, 0.0);
+  EXPECT_EQ(a.Admit(6.0, 0), ShedReason::kDeadline);
+  EXPECT_EQ(a.Admit(4.0, 0), ShedReason::kAdmit);
+  // deadline <= 0 disables the hard bound entirely.
+  AdaptiveAdmission open(0.0, LadderOptions{}, ZoneAdmissionOptions{});
+  open.BeginDrain(2.0, 1, 100.0, 0, 0.0);
+  EXPECT_EQ(open.Admit(100.0, 0), ShedReason::kAdmit);
+}
+
+TEST(AdaptiveAdmissionTest, LadderEscalatesOnStandingDelayOnly) {
+  LadderOptions ladder;
+  ladder.enabled = true;
+  ladder.target_delay_s = 2.0;
+  ladder.interval_s = 10.0;
+  AdaptiveAdmission a(60.0, ladder, ZoneAdmissionOptions{});
+  EXPECT_EQ(a.rung(), 0);
+  // Standing delay above target across whole intervals: one rung per
+  // interval boundary, capped at max_rung.
+  for (int i = 1; i <= 6; ++i) {
+    a.BeginDrain(10.0 * i, 4, 5.0, 0, 0.0);
+  }
+  EXPECT_EQ(a.rung(), ladder.max_rung);
+  EXPECT_EQ(a.max_rung_reached(), ladder.max_rung);
+  EXPECT_GE(a.escalations(), 3u);
+  // Delay back under target: de-escalates one rung per interval.
+  for (int i = 7; i <= 12; ++i) {
+    a.BeginDrain(10.0 * i, 4, 0.5, 0, 0.0);
+  }
+  EXPECT_EQ(a.rung(), 0);
+}
+
+TEST(AdaptiveAdmissionTest, BurstDoesNotEscalate) {
+  LadderOptions ladder;
+  ladder.enabled = true;
+  ladder.target_delay_s = 2.0;
+  ladder.interval_s = 10.0;
+  AdaptiveAdmission a(60.0, ladder, ZoneAdmissionOptions{});
+  // A spike in one drain, but some drain in every interval still sees a
+  // small minimum: no standing queue, no escalation.
+  for (int i = 1; i <= 6; ++i) {
+    a.BeginDrain(10.0 * i - 5.0, 4, 50.0, 0, 0.0);
+    a.BeginDrain(10.0 * i, 4, 0.5, 0, 0.0);
+  }
+  EXPECT_EQ(a.rung(), 0);
+  EXPECT_EQ(a.escalations(), 0u);
+}
+
+TEST(AdaptiveAdmissionTest, ZoneQuotaCapsHotZone) {
+  ZoneAdmissionOptions zone;
+  zone.zones = 2;
+  zone.fair_factor = 1.0;
+  zone.trigger_delay_s = 1.0;
+  AdaptiveAdmission a(0.0, LadderOptions{}, zone);
+  // Behind (min delay above trigger), capacity 4 requests over 2 zones:
+  // quota = ceil(1.0 * 4 / 2) = 2 per zone.
+  a.BeginDrain(10.0, 8, 2.0, 2, 4.0);
+  EXPECT_EQ(a.Admit(2.0, 0), ShedReason::kAdmit);
+  EXPECT_EQ(a.Admit(2.0, 0), ShedReason::kAdmit);
+  EXPECT_EQ(a.Admit(2.0, 0), ShedReason::kZone);  // hot zone capped
+  EXPECT_EQ(a.Admit(2.0, 1), ShedReason::kAdmit);  // cold zone unharmed
+  // Not behind: quotas disarmed, the hot zone runs free.
+  a.BeginDrain(20.0, 8, 0.5, 2, 4.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.Admit(0.5, 0), ShedReason::kAdmit);
+  }
+}
+
+TEST(AdaptiveAdmissionTest, DegradeForRungOrdersTheLadder) {
+  LadderOptions ladder;
+  ladder.probe_branch_cap = 4;
+  const core::DegradeMode r0 = DegradeForRung(0, ladder);
+  EXPECT_TRUE(r0.IsFull());
+  const core::DegradeMode r1 = DegradeForRung(1, ladder);
+  EXPECT_TRUE(r1.skip_full_rematch);
+  EXPECT_TRUE(r1.effort.IsFullEffort());
+  const core::DegradeMode r2 = DegradeForRung(2, ladder);
+  EXPECT_TRUE(r2.skip_full_rematch);
+  EXPECT_EQ(r2.effort.max_probe_branches, 4u);
+  EXPECT_FALSE(r2.effort.empty_vehicle_only);
+  const core::DegradeMode r3 = DegradeForRung(3, ladder);
+  EXPECT_TRUE(r3.effort.empty_vehicle_only);
+  EXPECT_EQ(r3.effort.max_probe_branches, 4u);
 }
 
 }  // namespace

@@ -138,6 +138,133 @@ TEST(WorkloadDriverTest, PumpCountsRejectsAsOffered) {
   EXPECT_DOUBLE_EQ(out[1].trip.time_s, 1.0);
 }
 
+// Bounded-retry backpressure: a queue-full rejection parks the arrival
+// on a deterministic backoff schedule, a later pump (after the queue
+// drained) re-pushes it with the original arrival stamp intact.
+TEST(WorkloadDriverTest, RetryRecoversAfterDrainWithOriginalStamp) {
+  std::vector<sim::Trip> trace(2);
+  trace[0].time_s = 1.0;
+  trace[1].time_s = 1.5;
+  TraceArrivals process(trace);
+  RequestQueue queue(1);
+  RetryOptions retry;
+  retry.max_attempts = 2;
+  retry.backoff_s = 1.0;
+  retry.jitter_frac = 0.0;  // exact due times for the assertions below
+  WorkloadDriver driver(process, queue, retry);
+
+  EXPECT_EQ(driver.PumpUntil(2.0), 2u);  // first accepted, second parked
+  EXPECT_EQ(queue.pushed(), 1u);
+  EXPECT_EQ(driver.retried(), 0u);
+  EXPECT_EQ(driver.gave_up(), 0u);
+
+  std::vector<IngestedTrip> out;
+  queue.DrainTo(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].ingest_time_s, 1.0);
+
+  // Backoff for attempt 1 is 1.0s from the rejection at t=2.0: not due
+  // at 2.5, due at 3.0.
+  EXPECT_EQ(driver.PumpUntil(2.5), 0u);
+  EXPECT_EQ(queue.pushed(), 1u);
+  EXPECT_EQ(driver.PumpUntil(3.0), 0u);  // retries are not new offers
+  EXPECT_EQ(queue.pushed(), 2u);
+  EXPECT_EQ(driver.retried(), 1u);
+  out.clear();
+  queue.DrainTo(out);
+  ASSERT_EQ(out.size(), 1u);
+  // The rider has been waiting since the arrival, not since the retry.
+  EXPECT_DOUBLE_EQ(out[0].ingest_time_s, 1.5);
+  EXPECT_EQ(driver.offered(), 2u);
+}
+
+// Exhausting the retry budget gives up exactly once per arrival.
+TEST(WorkloadDriverTest, GivesUpAfterRetryBudget) {
+  std::vector<sim::Trip> trace(2);
+  trace[0].time_s = 0.0;
+  trace[1].time_s = 0.0;
+  TraceArrivals process(trace);
+  RequestQueue queue(1);
+  RetryOptions retry;
+  retry.max_attempts = 1;
+  retry.backoff_s = 1.0;
+  retry.jitter_frac = 0.0;
+  WorkloadDriver driver(process, queue, retry);
+
+  EXPECT_EQ(driver.PumpUntil(0.0), 2u);  // second parked (attempt 1)
+  EXPECT_EQ(driver.PumpUntil(1.0), 0u);  // retry finds the queue still full
+  EXPECT_EQ(driver.gave_up(), 1u);
+  EXPECT_EQ(driver.retried(), 0u);
+  EXPECT_EQ(driver.offered(), 2u);
+  EXPECT_EQ(queue.pushed(), 1u);
+}
+
+// End-of-run epilogue: arrivals still parked on a backoff are given up,
+// which is what closes the admission funnel —
+// offered == accepted + gave_up.
+TEST(WorkloadDriverTest, GiveUpPendingClosesTheFunnel) {
+  std::vector<sim::Trip> trace(4);
+  for (size_t i = 0; i < trace.size(); ++i) trace[i].time_s = 0.0;
+  TraceArrivals process(trace);
+  RequestQueue queue(1);
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.backoff_s = 10.0;
+  WorkloadDriver driver(process, queue, retry);
+  EXPECT_EQ(driver.PumpUntil(0.0), 4u);
+  EXPECT_EQ(queue.pushed(), 1u);
+  driver.GiveUpPending();
+  EXPECT_EQ(driver.gave_up(), 3u);
+  EXPECT_EQ(driver.offered(), queue.pushed() + driver.gave_up());
+  driver.GiveUpPending();  // idempotent once drained
+  EXPECT_EQ(driver.gave_up(), 3u);
+}
+
+// The jittered backoff schedule is part of the deterministic replay: two
+// drivers with the same seed walk the same retry timeline; the jitter
+// stays inside its configured band.
+TEST(WorkloadDriverTest, RetryBackoffDeterministicBySeed) {
+  const auto run = [](uint64_t seed) {
+    std::vector<sim::Trip> trace(6);
+    for (size_t i = 0; i < trace.size(); ++i) {
+      trace[i].time_s = static_cast<double>(i) * 0.25;
+    }
+    TraceArrivals process(trace);
+    RequestQueue queue(1);
+    RetryOptions retry;
+    retry.max_attempts = 3;
+    retry.backoff_s = 0.5;
+    retry.jitter_frac = 0.5;
+    retry.seed = seed;
+    WorkloadDriver driver(process, queue, retry);
+    // Drain only every other pump so retries race real arrivals.
+    std::vector<double> stamps;
+    std::vector<IngestedTrip> out;
+    for (int step = 0; step <= 40; ++step) {
+      driver.PumpUntil(0.25 * step);
+      if (step % 2 == 0) {
+        out.clear();
+        queue.DrainTo(out);
+        for (const IngestedTrip& t : out) stamps.push_back(t.ingest_time_s);
+      }
+    }
+    driver.GiveUpPending();
+    struct Outcome {
+      std::vector<double> stamps;
+      uint64_t retried, gave_up, offered;
+    };
+    return Outcome{stamps, driver.retried(), driver.gave_up(),
+                   driver.offered()};
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  EXPECT_EQ(a.stamps, b.stamps);
+  EXPECT_EQ(a.retried, b.retried);
+  EXPECT_EQ(a.gave_up, b.gave_up);
+  EXPECT_EQ(a.offered, 6u);
+  EXPECT_EQ(a.offered, b.offered);
+}
+
 TEST(WorkloadDriverTest, RunBlockingClosesQueueAtExhaustion) {
   std::vector<sim::Trip> trace(3);
   trace[0].time_s = 0.01;

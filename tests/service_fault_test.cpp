@@ -1,0 +1,194 @@
+// FaultInjector schedule semantics: seed-determinism, monotone cursor
+// consumption, and the window-composition rules the service's virtual
+// service-time model relies on (DESIGN.md section 14).
+#include "service/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "roadnet/graph_generator.h"
+
+namespace ptrider::service {
+namespace {
+
+roadnet::RoadNetwork SmallGrid(uint64_t seed = 11) {
+  roadnet::CityGridOptions gopts;
+  gopts.rows = 8;
+  gopts.cols = 8;
+  gopts.seed = seed;
+  auto g = roadnet::MakeCityGrid(gopts);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+FaultInjectorOptions EveryKind(uint64_t seed) {
+  FaultInjectorOptions fx;
+  fx.seed = seed;
+  fx.burst_count = 2;
+  fx.burst_duration_s = 20.0;
+  fx.burst_rate_per_s = 3.0;
+  fx.cost_spike_count = 2;
+  fx.cost_spike_duration_s = 15.0;
+  fx.cost_spike_factor = 2.5;
+  fx.stall_count = 2;
+  fx.stall_duration_s = 6.0;
+  fx.squeeze_count = 2;
+  fx.squeeze_duration_s = 10.0;
+  fx.squeeze_capacity_frac = 0.5;
+  fx.malformed_count = 4;
+  fx.expired_count = 3;
+  return fx;
+}
+
+bool SameWindow(const FaultWindow& a, const FaultWindow& b) {
+  return a.kind == b.kind && a.start_s == b.start_s && a.end_s == b.end_s &&
+         a.magnitude == b.magnitude;
+}
+
+bool SameArrival(const InjectedArrival& a, const InjectedArrival& b) {
+  return a.trip.time_s == b.trip.time_s && a.trip.origin == b.trip.origin &&
+         a.trip.destination == b.trip.destination &&
+         a.ingest_offset_s == b.ingest_offset_s && a.malformed == b.malformed;
+}
+
+// The whole schedule is a pure function of the seed: two injectors built
+// from the same options are bit-identical; a different seed is not.
+TEST(FaultInjectorTest, ScheduleIsDeterministicBySeed) {
+  const auto graph = SmallGrid();
+  FaultInjector a(graph, EveryKind(5), 300.0);
+  FaultInjector b(graph, EveryKind(5), 300.0);
+  ASSERT_EQ(a.windows().size(), b.windows().size());
+  ASSERT_EQ(a.windows().size(), 8u);  // 2 of each of the 4 kinds
+  for (size_t i = 0; i < a.windows().size(); ++i) {
+    EXPECT_TRUE(SameWindow(a.windows()[i], b.windows()[i])) << "window " << i;
+  }
+  ASSERT_EQ(a.arrivals().size(), b.arrivals().size());
+  EXPECT_GT(a.arrivals().size(), 7u);  // bursts + 4 malformed + 3 expired
+  for (size_t i = 0; i < a.arrivals().size(); ++i) {
+    EXPECT_TRUE(SameArrival(a.arrivals()[i], b.arrivals()[i]))
+        << "arrival " << i;
+  }
+
+  FaultInjector c(graph, EveryKind(6), 300.0);
+  bool any_diff = c.windows().size() != a.windows().size() ||
+                  c.arrivals().size() != a.arrivals().size();
+  for (size_t i = 0; !any_diff && i < a.windows().size(); ++i) {
+    any_diff = !SameWindow(a.windows()[i], c.windows()[i]);
+  }
+  for (size_t i = 0; !any_diff && i < a.arrivals().size(); ++i) {
+    any_diff = !SameArrival(a.arrivals()[i], c.arrivals()[i]);
+  }
+  EXPECT_TRUE(any_diff) << "seed 5 and 6 produced the identical schedule";
+}
+
+// Windows and arrivals land inside the horizon, sorted; malformed and
+// expired arrivals carry the shapes the service must absorb.
+TEST(FaultInjectorTest, ScheduleShapesAreWellFormed) {
+  const auto graph = SmallGrid();
+  FaultInjector fx(graph, EveryKind(5), 300.0);
+  for (const FaultWindow& w : fx.windows()) {
+    EXPECT_GE(w.start_s, 0.0);
+    EXPECT_GT(w.end_s, w.start_s);
+    EXPECT_LE(w.end_s, 300.0 + 1e-9);
+  }
+  size_t malformed = 0, expired = 0;
+  double prev = -1.0;
+  for (const InjectedArrival& a : fx.arrivals()) {
+    EXPECT_GE(a.trip.time_s, prev);  // sorted
+    prev = a.trip.time_s;
+    EXPECT_LE(a.trip.time_s, 300.0 + 1e-9);
+    if (a.malformed) {
+      ++malformed;
+      EXPECT_EQ(a.trip.origin, a.trip.destination);
+    } else {
+      EXPECT_NE(a.trip.origin, a.trip.destination);
+    }
+    if (a.ingest_offset_s < 0.0) ++expired;
+  }
+  EXPECT_EQ(malformed, 4u);
+  EXPECT_EQ(expired, 3u);
+}
+
+// ArrivalsDue is a monotone cursor: each arrival is handed out exactly
+// once, in order, and a repeated query at the same instant is empty.
+TEST(FaultInjectorTest, ArrivalsDueConsumesEachArrivalOnce) {
+  const auto graph = SmallGrid();
+  FaultInjector fx(graph, EveryKind(5), 300.0);
+  const size_t total = fx.arrivals().size();
+  std::vector<InjectedArrival> out;
+  size_t seen = 0;
+  for (double t = 0.0; t <= 300.0; t += 7.0) {
+    out.clear();
+    const size_t n = fx.ArrivalsDue(t, out);
+    EXPECT_EQ(n, out.size());
+    for (const InjectedArrival& a : out) EXPECT_LE(a.trip.time_s, t);
+    seen += n;
+    out.clear();
+    EXPECT_EQ(fx.ArrivalsDue(t, out), 0u) << "re-query at t=" << t;
+  }
+  out.clear();
+  seen += fx.ArrivalsDue(301.0, out);
+  EXPECT_EQ(seen, total);
+  EXPECT_EQ(fx.stats().arrivals_offered, total);
+  EXPECT_EQ(fx.stats().malformed_offered, 4u);
+  EXPECT_EQ(fx.stats().expired_offered, 3u);
+}
+
+// Factor/stall queries against a hand-built schedule (counts = 1 so the
+// single window of each kind is easy to locate).
+TEST(FaultInjectorTest, WindowQueriesComposeCorrectly) {
+  const auto graph = SmallGrid();
+  FaultInjectorOptions fx_opts;
+  fx_opts.seed = 12;
+  fx_opts.cost_spike_count = 1;
+  fx_opts.cost_spike_duration_s = 30.0;
+  fx_opts.cost_spike_factor = 3.0;
+  fx_opts.stall_count = 1;
+  fx_opts.stall_duration_s = 10.0;
+  fx_opts.squeeze_count = 1;
+  fx_opts.squeeze_duration_s = 25.0;
+  fx_opts.squeeze_capacity_frac = 0.25;
+  FaultInjector fx(graph, fx_opts, 500.0);
+  ASSERT_EQ(fx.windows().size(), 3u);
+
+  const FaultWindow* spike = nullptr;
+  const FaultWindow* stall = nullptr;
+  const FaultWindow* squeeze = nullptr;
+  for (const FaultWindow& w : fx.windows()) {
+    if (w.kind == FaultKind::kCostSpike) spike = &w;
+    if (w.kind == FaultKind::kWorkerStall) stall = &w;
+    if (w.kind == FaultKind::kCapacitySqueeze) squeeze = &w;
+  }
+  ASSERT_NE(spike, nullptr);
+  ASSERT_NE(stall, nullptr);
+  ASSERT_NE(squeeze, nullptr);
+
+  const double mid_spike = 0.5 * (spike->start_s + spike->end_s);
+  EXPECT_DOUBLE_EQ(fx.CostFactorAt(mid_spike), 3.0);
+  EXPECT_DOUBLE_EQ(fx.CostFactorAt(spike->end_s + 1.0), 1.0);
+
+  const double mid_squeeze = 0.5 * (squeeze->start_s + squeeze->end_s);
+  EXPECT_DOUBLE_EQ(fx.CapacityFactorAt(mid_squeeze), 0.25);
+  EXPECT_DOUBLE_EQ(fx.CapacityFactorAt(squeeze->start_s - 1.0), 1.0);
+
+  // Full containment, partial overlap, and no overlap.
+  EXPECT_NEAR(fx.StallSecondsIn(stall->start_s - 5.0, stall->end_s + 5.0),
+              stall->end_s - stall->start_s, 1e-9);
+  const double half = 0.5 * (stall->start_s + stall->end_s);
+  EXPECT_NEAR(fx.StallSecondsIn(stall->start_s, half), half - stall->start_s,
+              1e-9);
+  EXPECT_DOUBLE_EQ(fx.StallSecondsIn(stall->end_s + 1.0, stall->end_s + 9.0),
+                   0.0);
+
+  // WindowsEndedBy is a monotone consuming counter over window ends.
+  EXPECT_EQ(fx.WindowsEndedBy(0.0), 0u);
+  size_t crossed = fx.WindowsEndedBy(501.0);
+  EXPECT_EQ(crossed, 3u);
+  EXPECT_EQ(fx.WindowsEndedBy(501.0), 0u);
+  EXPECT_EQ(fx.stats().windows_crossed, 3u);
+}
+
+}  // namespace
+}  // namespace ptrider::service

@@ -70,6 +70,98 @@ TEST(BoundedMpscQueueTest, DrainAppendsToExistingVector) {
   EXPECT_EQ(out[2], 3);
 }
 
+// Degenerate capacity: a capacity-1 queue alternates exactly one accept
+// per drain, forever, with no off-by-one at the boundary.
+TEST(BoundedMpscQueueTest, CapacityOneAlternatesPushAndDrain) {
+  BoundedMpscQueue<int> q(1);
+  std::vector<int> out;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.TryPush(i));
+    EXPECT_FALSE(q.TryPush(100 + i));  // burst at capacity: suffix rejected
+    EXPECT_EQ(q.DrainTo(out), 1u);
+  }
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  EXPECT_EQ(q.pushed(), 5u);
+  EXPECT_EQ(q.rejected(), 5u);
+  EXPECT_EQ(q.max_depth(), 1u);
+}
+
+// A burst twice the capacity: exactly the first `capacity` items are
+// accepted (rejection hits the suffix, never punches holes in the
+// prefix), and the drain preserves their order.
+TEST(BoundedMpscQueueTest, BurstAtCapacityRejectsSuffixInOrder) {
+  BoundedMpscQueue<int> q(4);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(q.TryPush(i), i < 4);
+  EXPECT_EQ(q.pushed(), 4u);
+  EXPECT_EQ(q.rejected(), 4u);
+  std::vector<int> out;
+  EXPECT_EQ(q.DrainTo(out), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+}
+
+// The capacity-squeeze fault hook: a limit below capacity clamps
+// admission, a limit above it is a no-op, and 0 restores the configured
+// capacity. Items already queued above the squeeze survive and drain.
+TEST(BoundedMpscQueueTest, SetCapacityLimitSqueezesAndRestores) {
+  BoundedMpscQueue<int> q(8);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  q.SetCapacityLimit(2);  // already above the limit: nothing evicted...
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_FALSE(q.TryPush(99));  // ...but no further admission
+  std::vector<int> out;
+  q.DrainTo(out);
+  EXPECT_EQ(out.size(), 4u);
+
+  EXPECT_TRUE(q.TryPush(10));
+  EXPECT_TRUE(q.TryPush(11));
+  EXPECT_FALSE(q.TryPush(12));  // squeezed to 2
+  q.SetCapacityLimit(100);      // above capacity: clamps to capacity 8
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.TryPush(20 + i));
+  EXPECT_FALSE(q.TryPush(99));
+  out.clear();
+  EXPECT_EQ(q.DrainTo(out), 8u);
+
+  q.SetCapacityLimit(1);
+  EXPECT_TRUE(q.TryPush(30));
+  EXPECT_FALSE(q.TryPush(31));
+  q.SetCapacityLimit(0);  // restore
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(q.TryPush(40 + i));
+  EXPECT_FALSE(q.TryPush(99));
+}
+
+// Close during concurrent production: after Close every in-flight and
+// subsequent TryPush is rejected, already-accepted items all drain, and
+// pushed + rejected still balances. Runs under TSan in CI.
+TEST(BoundedMpscQueueTest, DrainAfterCloseUnderConcurrentProducers) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 1000;
+  BoundedMpscQueue<int> q(32);
+  std::vector<uint64_t> accepted(kProducers, 0);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &accepted, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.TryPush(p * kPerProducer + i)) ++accepted[static_cast<size_t>(p)];
+        if (i == kPerProducer / 2 && p == 0) q.Close();
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_TRUE(q.closed());
+  std::vector<int> out;
+  q.DrainTo(out);  // post-close drain still yields everything accepted
+  uint64_t total_accepted = 0;
+  for (uint64_t a : accepted) total_accepted += a;
+  EXPECT_EQ(out.size(), total_accepted);
+  EXPECT_EQ(q.pushed(), total_accepted);
+  EXPECT_EQ(q.pushed() + q.rejected(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_FALSE(q.TryPush(-1));
+  EXPECT_EQ(q.size(), 0u);
+}
+
 // Multi-producer pressure with a concurrent drainer: every accepted item
 // comes out exactly once, per-producer order is preserved, and the
 // accepted + rejected accounting matches what producers observed. Run

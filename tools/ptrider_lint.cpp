@@ -30,6 +30,13 @@
 //                   outside util/mutex.h. A bare mutex is invisible to the
 //                   thread-safety analysis (util/thread_annotations.h), so
 //                   nothing checks its discipline.
+//   direct-push     `TryPush` call sites outside service/workload_driver
+//                   (the retrying producer), service/dispatch_service.cpp
+//                   (fault-arrival ingress) and the queue's own header.
+//                   A push that bypasses the WorkloadDriver skips the
+//                   offered/retried/gave-up accounting the admission
+//                   funnel invariants are audited against (DESIGN.md
+//                   section 14), silently unbalancing every funnel check.
 //
 // Escape hatch: a `// lint: allow(<rule>)` comment on the offending line
 // suppresses that rule for that line (policy in DESIGN.md section 13:
@@ -248,6 +255,15 @@ bool AllowedRawThread(const std::string& rel) {
 
 bool AllowedRawMutex(const std::string& rel) {
   return rel == "src/util/mutex.h";
+}
+
+bool AllowedDirectPush(const std::string& rel) {
+  // The retrying producer, the service's fault-arrival ingress, and the
+  // queue defining the method. Everything else must go through the
+  // WorkloadDriver so the admission funnel stays balanced.
+  return StartsWith(rel, "src/service/workload_driver.") ||
+         rel == "src/service/dispatch_service.cpp" ||
+         rel == "src/service/mpsc_queue.h";
 }
 
 /// Report-feeding directories: files here compute what lands in
@@ -501,6 +517,18 @@ void LintFile(const fs::path& path, std::vector<Finding>& findings,
       }
     }
 
+    // direct-push -----------------------------------------------------------
+    if (!AllowedDirectPush(rel)) {
+      const size_t pos = FindToken(code, "TryPush");
+      if (pos != std::string::npos &&
+          code.find('(', pos + 7) == pos + 7) {
+        emit(li, "direct-push",
+             "direct queue TryPush bypasses the WorkloadDriver's "
+             "offered/retried/gave-up accounting and unbalances the "
+             "admission funnel; ingest through service::WorkloadDriver");
+      }
+    }
+
     // unordered-iter -------------------------------------------------------
     if (!unordered_names.empty()) {
       size_t pos = 0;
@@ -557,7 +585,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: ptrider_lint [--self-test] <dir-or-file>...\n"
           "rules: raw-rand wall-clock raw-thread unordered-iter "
-          "raw-mutex\n"
+          "raw-mutex direct-push\n"
           "escape: // lint: allow(<rule>) on the offending line\n");
       return 0;
     } else {
