@@ -25,13 +25,27 @@ namespace ptrider::dispatch {
 /// changed by an earlier in-batch commitment — some committed vehicle's
 /// pick-up lower bound reaches into its radius — is re-matched against
 /// live state before its rider chooses; all other phase-1 results are
-/// provably exact (DESIGN.md section 5).
+/// provably exact (DESIGN.md section 5). Full re-matches are issued as a
+/// wavefront: when one request's options go stale, every later
+/// not-yet-committed request whose options are stale too is re-matched
+/// in the same parallel sweep, and a per-request watermark into the
+/// commit log replaces the all-or-nothing phase-1 staleness test
+/// (DESIGN.md section 15).
 ///
 /// The result is deterministic and item-for-item identical to
 /// core::BatchDispatcher for every chooser, matcher and pricing policy
 /// (tests/dispatch_parallel_test.cpp proves it); threads only buy
 /// latency.
-class ParallelDispatcher : public core::Dispatcher {
+///
+/// The dispatcher is also a core::StagedDispatcher: the pipelined tick
+/// engine calls PrepareMatch / RunMatch / CommitMatch separately so the
+/// read-only RunMatch stage can overlap the same tick's movement advance
+/// on a dispatch::PipelineExecutor stage thread. `staged_` holds the
+/// state between the calls under the single-owner protocol declared in
+/// core/batch.h — no lock is needed because the caller's join orders the
+/// stage hand-offs.
+class ParallelDispatcher : public core::Dispatcher,
+                           public core::StagedDispatcher {
  public:
   /// `num_threads` matching threads total, the dispatching thread
   /// included (clamped to >= 1): num_threads - 1 pool workers are
@@ -46,6 +60,15 @@ class ParallelDispatcher : public core::Dispatcher {
 
   const char* name() const override { return "parallel"; }
 
+  core::StagedDispatcher* staged() override { return this; }
+
+  // --- Staged stages (core::StagedDispatcher) ------------------------------
+  bool PrepareMatch(std::vector<vehicle::Request> batch,
+                    double now_s) override;
+  void RunMatch() override;
+  util::Result<std::vector<core::BatchItem>> CommitMatch(
+      const core::BatchChooser& chooser) override;
+
   size_t num_threads() const { return pool_.num_threads(); }
 
   /// Installs the degradation rung every subsequent Dispatch call runs
@@ -59,7 +82,7 @@ class ParallelDispatcher : public core::Dispatcher {
 
   // --- Diagnostics ---------------------------------------------------------
   /// Commit-phase full re-matches: an earlier in-batch commitment left
-  /// stale options in the request's list.
+  /// stale options in the request's list (each wavefront member counts).
   uint64_t rematch_count() const { return rematch_count_; }
   /// Commit-phase local re-matches: one or more committed vehicles were
   /// re-probed into the request's phase-1 skyline (much cheaper than a
@@ -71,23 +94,49 @@ class ParallelDispatcher : public core::Dispatcher {
   /// Full re-matches avoided because skip_full_rematch was engaged (the
   /// stale options were dropped instead).
   uint64_t rematch_skips() const { return rematch_skips_; }
+  /// Parallel wavefront sweeps the full re-matches above were issued in
+  /// (one sweep re-matches every concurrently-stale request).
+  uint64_t wavefront_batches() const { return wavefront_batches_; }
   /// Cumulative wall-clock of the sharded-match phase — the part that
   /// scales with threads.
   double match_phase_seconds() const { return match_phase_seconds_; }
   /// Cumulative wall-clock of the sequential commit phase (commits,
-  /// re-validation, choosers) — the Amdahl floor; parallelizing it is a
-  /// ROADMAP item.
+  /// re-validation, choosers) — the Amdahl floor; the pipelined tick
+  /// engine overlaps the match phase with movement instead of shrinking
+  /// this one.
   double commit_phase_seconds() const { return commit_phase_seconds_; }
 
  private:
+  /// Staged-dispatch state alive between PrepareMatch and CommitMatch.
+  /// Single-owner protocol (core/batch.h): exactly one thread touches it
+  /// at any instant — the owning thread in Prepare/Commit, at most one
+  /// stage thread in RunMatch, with the caller's fork/join providing the
+  /// ordering. Not lock-guarded by design; overlapping calls are a
+  /// driver bug, not a data-race to paper over.
+  struct Staged {
+    std::vector<vehicle::Request> batch;
+    std::vector<util::Status> valid;
+    std::vector<std::unique_ptr<pricing::PricingPolicy>> snapshots;
+    std::vector<core::MatchResult> matches;
+    double now_s = 0.0;
+    bool snapshot_pricing = false;
+    /// Degenerate ids: CommitMatch must route through the sequential
+    /// reference wholesale.
+    bool fallback = false;
+    /// PrepareMatch ran and CommitMatch has not consumed it yet.
+    bool armed = false;
+  };
+
   core::PTRider* system_;
   core::BatchDispatcher sequential_;
   WorkerPool pool_;
   core::DegradeMode degrade_;
+  Staged staged_;
   uint64_t rematch_count_ = 0;
   uint64_t reprobe_count_ = 0;
   uint64_t rematch_skips_ = 0;
   uint64_t sequential_fallbacks_ = 0;
+  uint64_t wavefront_batches_ = 0;
   double match_phase_seconds_ = 0.0;
   double commit_phase_seconds_ = 0.0;
 };

@@ -1,0 +1,40 @@
+#include "dispatch/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace ptrider::dispatch {
+
+PipelineExecutor::PipelineExecutor(size_t stage_threads)
+    : pool_(std::max<size_t>(1, stage_threads)) {}
+
+void PipelineExecutor::Launch(std::function<void()> fn,
+                              double* out_seconds) {
+  {
+    util::MutexLock lock(mu_);
+    ++inflight_;
+  }
+  pool_.Submit([this, fn = std::move(fn), out_seconds](size_t) {
+    util::WallTimer timer;
+    fn();
+    if (out_seconds != nullptr) *out_seconds = timer.ElapsedSeconds();
+    util::MutexLock lock(mu_);
+    if (--inflight_ == 0) idle_cv_.NotifyAll();
+  });
+}
+
+double PipelineExecutor::AwaitAll() {
+  util::WallTimer timer;
+  util::MutexLock lock(mu_);
+  while (inflight_ > 0) idle_cv_.Wait(mu_);
+  return timer.ElapsedSeconds();
+}
+
+bool PipelineExecutor::Idle() const {
+  util::MutexLock lock(mu_);
+  return inflight_ == 0;
+}
+
+}  // namespace ptrider::dispatch

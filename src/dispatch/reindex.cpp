@@ -1,5 +1,7 @@
 #include "dispatch/reindex.h"
 
+#include <algorithm>
+
 namespace ptrider::dispatch {
 
 namespace {
@@ -17,6 +19,7 @@ void ApplyReindex(vehicle::VehicleIndex& index,
   if (pool == nullptr || shards <= 1 ||
       pending.size() < kParallelReindexMin) {
     index.ApplyBatch(pending);
+    index.MaybeRebalance();
     return;
   }
   // Sequential bookkeeping once, then one task per shard: updates within
@@ -31,6 +34,19 @@ void ApplyReindex(vehicle::VehicleIndex& index,
         }
       },
       /*chunk=*/1);
+  index.MaybeRebalance();
+}
+
+uint64_t ReindexShardMask(
+    const vehicle::VehicleIndex& index,
+    std::span<const vehicle::PendingUpdate> pending) {
+  uint64_t mask = 0;
+  for (const vehicle::PendingUpdate& u : pending) {
+    for (const roadnet::CellId c : u.cells) {
+      mask |= uint64_t{1} << std::min<uint32_t>(index.ShardOfCell(c), 63);
+    }
+  }
+  return mask;
 }
 
 }  // namespace ptrider::dispatch

@@ -28,6 +28,7 @@ sim::SimulatorOptions MakeSimOptions(const ServiceOptions& o) {
   s.seed = o.seed;
   s.choice = o.choice;
   s.move_jobs = o.move_jobs;
+  s.pipeline_depth = o.pipeline_depth;
   s.verbose = false;  // The service emits its own progress lines.
   return s;
 }
@@ -213,8 +214,14 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
       static_cast<int64_t>(std::ceil(end_time / opt.tick_s));
 
   // One batch-window drain at simulated instant `now_s`: admission,
-  // latency stamping, dispatch, outcome accounting.
-  auto drain_and_dispatch = [&](double now_s) -> util::Status {
+  // latency stamping, dispatch, outcome accounting. `with_tick` runs
+  // the boundary movement tick from `prev_s` as part of the same
+  // Simulator::StepWindow — which is what lets the pipelined tick
+  // engine overlap this window's match with the tick's advance
+  // (depth >= 2); without it the batch dispatches alone (the epilogue's
+  // final partial window, which has no tick left to pair with).
+  auto drain_and_dispatch = [&](double prev_s, double now_s,
+                                bool with_tick) -> util::Status {
     util::WallTimer phase_timer;
     stats.queue_depth.Add(static_cast<double>(queue.size()));
     staged.clear();
@@ -270,6 +277,7 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
 
     if (drained == 0) {
       report.sim.match_phase_seconds += phase_timer.ElapsedSeconds();
+      if (with_tick) return sim.AdvanceTick(prev_s, now_s, report.sim);
       return util::Status::Ok();
     }
 
@@ -319,12 +327,27 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
       if (!batch.empty()) ++stats.degraded_batches;
     }
 
+    // Admission/staging span only: the dispatch below times itself into
+    // match_phase_seconds through StepWindow (double counting it here
+    // would overstate the phase).
+    report.sim.match_phase_seconds += phase_timer.ElapsedSeconds();
+
     // Ids were issued in staged (time) order and ingest stamps are
     // nondecreasing, so the dispatcher's (submit_time, id) commit order
     // is the staged order: items[i] pairs with delays[i].
-    auto items = sim.DispatchBatch(std::move(batch), now_s, report.sim,
-                                   route);
+    util::Result<std::vector<core::BatchItem>> items = [&] {
+      if (with_tick) {
+        return sim.StepWindow(std::move(batch), prev_s, now_s, report.sim,
+                              route);
+      }
+      util::WallTimer dispatch_timer;
+      auto dispatched =
+          sim.DispatchBatch(std::move(batch), now_s, report.sim, route);
+      report.sim.match_phase_seconds += dispatch_timer.ElapsedSeconds();
+      return dispatched;
+    }();
     PTRIDER_RETURN_IF_ERROR(items.status());
+    phase_timer.Restart();  // the trailing add covers just the stamping
     stats.dispatched += items->size();
     const double done_s = virt ? 0.0 : clock->NowS();
     for (size_t i = 0; i < items->size(); ++i) {
@@ -365,14 +388,21 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
     }
     ingress_faults(now);
     if (now + 1e-9 >= static_cast<double>(next_window) * opt.batch_window_s) {
-      PTRIDER_RETURN_IF_ERROR(drain_and_dispatch(now));
+      // Boundary: window + movement tick as one StepWindow, so the
+      // pipelined tick engine can overlap them (depth >= 2).
+      PTRIDER_RETURN_IF_ERROR(drain_and_dispatch(prev, now,
+                                                 /*with_tick=*/true));
       while (static_cast<double>(next_window) * opt.batch_window_s <=
              now + 1e-9) {
         ++next_window;
       }
+    } else {
+      PTRIDER_RETURN_IF_ERROR(sim.AdvanceTick(prev, now, report.sim));
     }
-    PTRIDER_RETURN_IF_ERROR(sim.AdvanceTick(prev, now, report.sim));
     if (opt.verbose && now >= next_progress_log) {
+      // Everything logged here is final for the tick: stats and report
+      // counters fold on this thread; a floated reindex batch touches
+      // no logged field until its join.
       const RequestQueue::Counters qc = queue.counters();
       PTRIDER_LOG(kInfo) << util::StrFormat(
           "t=%.1fh offered=%llu shed=%llu assigned=%llu depth=%zu rung=%d",
@@ -392,7 +422,10 @@ util::Result<ServiceReport> DispatchService::Run(ArrivalProcess& process) {
   if (virt) driver.PumpUntil(end_time);
   ingress_faults(end_time);
   driver.GiveUpPending();
-  PTRIDER_RETURN_IF_ERROR(drain_and_dispatch(now));
+  PTRIDER_RETURN_IF_ERROR(drain_and_dispatch(now, now,
+                                             /*with_tick=*/false));
+  // Land any still-floating pipeline stage before the report is sealed.
+  PTRIDER_RETURN_IF_ERROR(sim.FinishStepping(report.sim));
 
   if (!virt) {
     for (const util::Percentiles& p : worker_quotes) {

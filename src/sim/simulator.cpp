@@ -121,6 +121,9 @@ util::Result<std::vector<core::BatchItem>> Simulator::DispatchBatch(
     return util::Status::FailedPrecondition(
         "DispatchBatch needs BeginStepping (or a batched Run) first");
   }
+  // The match walks the vehicle index; floated reindex batches must
+  // land first (no-op below depth 3).
+  JoinReindex(report);
   // The chooser runs in the dispatcher's sequential commit phase, in
   // (submit_time, id) order — rng_ consumption is identical for every
   // dispatch strategy, which is what makes sequential and parallel runs
@@ -137,6 +140,7 @@ util::Result<std::vector<core::BatchItem>> Simulator::DispatchBatch(
         item.request, item.match, item.assigned ? &item.chosen : nullptr,
         now, report));
   }
+  SyncAssignedMasks(*items);
   return items;
 }
 
@@ -152,6 +156,9 @@ util::Status Simulator::BeginStepping() {
   if (options_.tick_s <= 0.0) {
     return util::Status::InvalidArgument("tick must be positive");
   }
+  if (options_.pipeline_depth < 1) {
+    return util::Status::InvalidArgument("pipeline depth must be >= 1");
+  }
   if (system_->fleet().empty()) {
     return util::Status::FailedPrecondition("fleet is empty");
   }
@@ -162,8 +169,18 @@ util::Status Simulator::BeginStepping() {
     move_pool_ = std::make_unique<dispatch::WorkerPool>(
         *system_, static_cast<size_t>(options_.move_jobs));
   }
+  EnsurePipeline();
   motions_.assign(system_->fleet().size(), Motion{});
   return util::Status::Ok();
+}
+
+void Simulator::EnsurePipeline() {
+  if (options_.pipeline_depth <= 1 || pipeline_ != nullptr) return;
+  // One stage thread carries the overlapped match; a second one the
+  // floated reindex batches (depth >= 3) so a long match stage never
+  // delays an index commit behind it.
+  pipeline_ = std::make_unique<dispatch::PipelineExecutor>(
+      options_.pipeline_depth >= 3 ? 2 : 1);
 }
 
 util::Status Simulator::AdvanceTick(double prev, double now,
@@ -171,12 +188,118 @@ util::Status Simulator::AdvanceTick(double prev, double now,
   if (now < prev) {
     return util::Status::InvalidArgument("ticks must move forward");
   }
-  return MovePhase(now, system_->config().speed_mps * (now - prev),
-                   report);
+  const double budget = system_->config().speed_mps * (now - prev);
+  if (!FloatingReindex()) return MovePhase(now, budget, report);
+  // Depth >= 3: same stages, but the reindex floats onto a stage
+  // thread and overlaps the NEXT tick's advance/commit (movement never
+  // reads the index; DESIGN.md section 15).
+  RunAdvance(now, budget, report);
+  const util::Status moved = CommitMove(now, report);
+  // Like MovePhase, reindex even after a commit error: vehicles
+  // committed before the failure must still reach the index.
+  PrepareReindex(report);
+  FloatReindex(report);
+  return moved;
+}
+
+util::Result<std::vector<core::BatchItem>> Simulator::StepWindow(
+    std::vector<vehicle::Request> batch, double prev, double now,
+    SimulationReport& report, core::Dispatcher* route) {
+  if (now < prev) {
+    return util::Status::InvalidArgument("ticks must move forward");
+  }
+  core::Dispatcher* dispatcher =
+      route != nullptr ? route : dispatcher_.get();
+  if (dispatcher == nullptr) {
+    return util::Status::FailedPrecondition(
+        "StepWindow needs BeginStepping (or a batched Run) first");
+  }
+  core::StagedDispatcher* staged =
+      pipeline_ != nullptr && !batch.empty() ? dispatcher->staged()
+                                             : nullptr;
+  if (staged == nullptr) {
+    // Depth-1 order (also the route for unstaged dispatchers and empty
+    // windows, which today never touch the dispatcher): dispatch the
+    // window, then run the boundary movement tick.
+    util::WallTimer phase_timer;
+    auto items = DispatchBatch(std::move(batch), now, report, dispatcher);
+    report.match_phase_seconds += phase_timer.ElapsedSeconds();
+    PTRIDER_RETURN_IF_ERROR(items.status());
+    PTRIDER_RETURN_IF_ERROR(AdvanceTick(prev, now, report));
+    return items;
+  }
+
+  // Pipelined boundary: the window's read-only match runs on a stage
+  // thread concurrently with this tick's movement advance — both read
+  // the frozen pre-window fleet/index/pricing snapshot (DESIGN.md
+  // section 15). Everything mutating stays on this thread, in the
+  // depth-1 order: match commit (rider rng), redo of assigned
+  // vehicles' advances, movement commit (idle rng), reindex.
+  JoinReindex(report);  // the match stage reads the index
+  const double budget = system_->config().speed_mps * (now - prev);
+  util::WallTimer phase_timer;
+  const bool prepared = staged->PrepareMatch(std::move(batch), now);
+  report.match_phase_seconds += phase_timer.ElapsedSeconds();
+  double stage_seconds = 0.0;
+  if (prepared) {
+    pipeline_->Launch([staged] { staged->RunMatch(); }, &stage_seconds);
+  }
+  util::WallTimer driver_timer;
+  RunAdvance(now, budget, report);
+  const double driver_seconds = driver_timer.ElapsedSeconds();
+  if (prepared) {
+    const double stall = pipeline_->AwaitAll();
+    report.pipeline_stall_seconds += stall;
+    report.pipeline_fill_seconds += std::min(stage_seconds, driver_seconds);
+    report.match_phase_seconds += stage_seconds;
+  }
+
+  phase_timer.Restart();
+  const core::BatchChooser chooser =
+      [this, now](const vehicle::Request& r,
+                  const core::MatchResult& match) {
+        return PickOption(r, match, now);
+      };
+  auto items = staged->CommitMatch(chooser);
+  report.match_phase_seconds += phase_timer.ElapsedSeconds();
+  PTRIDER_RETURN_IF_ERROR(items.status());
+  for (const core::BatchItem& item : *items) {
+    PTRIDER_RETURN_IF_ERROR(RecordOutcome(
+        item.request, item.match, item.assigned ? &item.chosen : nullptr,
+        now, report));
+  }
+  SyncAssignedMasks(*items);
+  RedoAdvance(now, budget, *items, report);
+  const util::Status moved = CommitMove(now, report);
+  PrepareReindex(report);
+  if (FloatingReindex()) {
+    FloatReindex(report);
+  } else {
+    ApplyReindexNow(report);
+  }
+  PTRIDER_RETURN_IF_ERROR(moved);
+  return items;
+}
+
+util::Status Simulator::FinishStepping(SimulationReport& report) {
+  JoinReindex(report);
+  return util::Status::Ok();
 }
 
 util::Status Simulator::MovePhase(double now, double budget,
                                   SimulationReport& report) {
+  // The depth-1 composition of the movement stages — identical
+  // operation order and timer placement to the historical monolithic
+  // phase.
+  RunAdvance(now, budget, report);
+  const util::Status moved = CommitMove(now, report);
+  PrepareReindex(report);
+  ApplyReindexNow(report);
+  return moved;
+}
+
+void Simulator::RunAdvance(double now, double budget,
+                           SimulationReport& report) {
   const size_t n = system_->fleet().size();
   util::WallTimer timer;
   advances_.resize(n);
@@ -202,8 +325,30 @@ util::Status Simulator::MovePhase(double now, double budget,
     }
   }
   report.move_advance_seconds += timer.ElapsedSeconds();
-  timer.Restart();
+}
 
+void Simulator::RedoAdvance(double now, double budget,
+                            const std::vector<core::BatchItem>& items,
+                            SimulationReport& report) {
+  // The overlapped advance ran against pre-commit state; the depth-1
+  // order advances AFTER the dispatch, so vehicles the window's commits
+  // touched (new stops via ChooseOption, re-targeted motion via
+  // ReplanMotion) must be re-advanced. AdvanceVehicle is a pure
+  // function of one vehicle's state, so exactly these slots differ.
+  util::WallTimer timer;
+  for (const core::BatchItem& item : items) {
+    if (!item.assigned) continue;
+    const size_t i = static_cast<size_t>(item.chosen.vehicle);
+    advances_[i] =
+        AdvanceVehicle(*system_, item.chosen.vehicle, motions_[i], now,
+                       budget, system_->oracle());
+  }
+  report.move_advance_seconds += timer.ElapsedSeconds();
+}
+
+util::Status Simulator::CommitMove(double now, SimulationReport& report) {
+  const size_t n = system_->fleet().size();
+  util::WallTimer timer;
   // Commit in vehicle-id order: install scratch state, fold arrival
   // events into the report with exactly the sequential loop's
   // accounting, then finish idle remainders (the only rng_ consumers).
@@ -251,23 +396,150 @@ util::Status Simulator::MovePhase(double now, double budget,
     }
   }
   report.move_commit_seconds += timer.ElapsedSeconds();
-  timer.Restart();
+  return commit_status;
+}
 
+void Simulator::PrepareReindex(SimulationReport& report) {
   // Deferred reindex: one end-of-tick registration per moved vehicle,
-  // prepared in vehicle-id order (the per-shard application order), then
-  // applied across shards — concurrently on the movement pool when the
-  // tick moved enough vehicles to pay the fan-out. Bit-identical lists
-  // at every move_jobs x index_shards setting (DESIGN.md section 10).
+  // prepared in vehicle-id order (the per-shard application order).
+  util::WallTimer timer;
   pending_reindex_.clear();
   vehicle::VehicleIndex& index = system_->vehicle_index();
+  const size_t n = move_dirty_.size();
   for (size_t i = 0; i < n; ++i) {
     if (!move_dirty_[i]) continue;
     pending_reindex_.push_back(index.Prepare(
         system_->fleet().at(static_cast<vehicle::VehicleId>(i))));
   }
-  dispatch::ApplyReindex(index, pending_reindex_, move_pool_.get());
   report.index_update_seconds += timer.ElapsedSeconds();
-  return commit_status;
+}
+
+void Simulator::ApplyReindexNow(SimulationReport& report) {
+  // Applied across shards — concurrently on the movement pool when the
+  // tick moved enough vehicles to pay the fan-out. Bit-identical lists
+  // at every move_jobs x index_shards setting (DESIGN.md section 10).
+  util::WallTimer timer;
+  dispatch::ApplyReindex(system_->vehicle_index(), pending_reindex_,
+                         move_pool_.get());
+  pending_reindex_.clear();
+  report.index_update_seconds += timer.ElapsedSeconds();
+}
+
+void Simulator::RefreshMasks() {
+  // Quiescent-index walk: every floated batch has been joined, so
+  // RegisteredCells and ShardOfCell are stable.
+  const vehicle::VehicleIndex& index = system_->vehicle_index();
+  const size_t n = system_->fleet().size();
+  reindex_mask_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (const roadnet::CellId c :
+         index.RegisteredCells(static_cast<vehicle::VehicleId>(i))) {
+      reindex_mask_[i] |=
+          uint64_t{1} << std::min<uint32_t>(index.ShardOfCell(c), 63);
+    }
+  }
+  masks_valid_ = true;
+  seen_rebalances_ = index.rebalance_count();
+}
+
+void Simulator::SyncAssignedMasks(
+    const std::vector<core::BatchItem>& items) {
+  // A dispatch commit re-registers assigned vehicles through the
+  // dispatcher's own (synchronous) reindex flush, bypassing the float
+  // path that normally maintains reindex_mask_. Every dispatch runs
+  // against a joined index (DispatchBatch / StepWindow join first and
+  // float nothing before the commit), so reading it here is safe.
+  if (!FloatingReindex() || !masks_valid_) return;
+  const vehicle::VehicleIndex& index = system_->vehicle_index();
+  for (const core::BatchItem& item : items) {
+    if (!item.assigned) continue;
+    const size_t slot = static_cast<size_t>(item.chosen.vehicle);
+    uint64_t mask = 0;
+    for (const roadnet::CellId c :
+         index.RegisteredCells(item.chosen.vehicle)) {
+      mask |= uint64_t{1} << std::min<uint32_t>(index.ShardOfCell(c), 63);
+    }
+    reindex_mask_[slot] = mask;
+  }
+}
+
+void Simulator::FloatReindex(SimulationReport& report) {
+  if (pending_reindex_.empty()) return;
+  vehicle::VehicleIndex& index = system_->vehicle_index();
+  if (!masks_valid_ || seen_rebalances_ != index.rebalance_count()) {
+    // Boundaries moved (or first float): rebuild the per-vehicle masks
+    // from the joined index. Rebalances only ever run on a quiescent
+    // index, so the join below is usually a no-op.
+    JoinReindex(report);
+    RefreshMasks();
+  }
+  util::WallTimer timer;
+  uint64_t mask = 0;
+  for (const vehicle::PendingUpdate& u : pending_reindex_) {
+    // New-registration shards plus the shards of the vehicle's current
+    // registration: ApplyShard must visit the latter to remove stale
+    // entries, so they count as touched for the conflict test too.
+    const uint64_t next = dispatch::ReindexShardMask(index, {&u, 1});
+    const size_t slot = static_cast<size_t>(u.id);
+    mask |= next | reindex_mask_[slot];
+    reindex_mask_[slot] = next;
+  }
+  if ((mask & inflight_shard_mask_) != 0) {
+    // Overlapping shards with an in-flight batch: updates must apply in
+    // tick order within a shard, so land everything first. Disjoint
+    // batches skip this and commit concurrently.
+    report.index_update_seconds += timer.ElapsedSeconds();
+    JoinReindex(report);
+    timer.Restart();
+  }
+  // Sequential bookkeeping on the driver (BeginBatch touches no state
+  // ApplyShard reads, so it may overlap in-flight shard application of
+  // earlier batches), then float the shard loops onto a stage thread.
+  index.BeginBatch(pending_reindex_);
+  floated_.push_back(
+      FloatedReindex{std::move(pending_reindex_), mask, 0.0});
+  pending_reindex_.clear();
+  inflight_shard_mask_ |= mask;
+  FloatedReindex& entry = floated_.back();
+  report.index_update_seconds += timer.ElapsedSeconds();
+  pipeline_->Launch(
+      [&entry, &index] {
+        // Only shards in the batch's mask: another in-flight batch with
+        // a disjoint mask may be applying its own shards right now, and
+        // even ApplyShard's early-out path reads the shard's
+        // registration map. Shards >= 64 share the saturated bit 63, so
+        // a set bit 63 conservatively visits them all (ApplyShard is a
+        // no-op on genuinely untouched shards).
+        const auto shards = static_cast<uint32_t>(index.num_shards());
+        for (uint32_t s = 0; s < shards; ++s) {
+          if (((entry.shard_mask >> std::min<uint32_t>(s, 63)) & 1) == 0) {
+            continue;
+          }
+          for (const vehicle::PendingUpdate& u : entry.batch) {
+            index.ApplyShard(u, s);
+          }
+        }
+      },
+      &entry.seconds);
+}
+
+void Simulator::JoinReindex(SimulationReport& report) {
+  if (floated_.empty()) return;
+  const double stall = pipeline_->AwaitAll();
+  report.pipeline_stall_seconds += stall;
+  double stage_seconds = 0.0;
+  vehicle::VehicleIndex& index = system_->vehicle_index();
+  while (!floated_.empty()) {
+    stage_seconds += floated_.front().seconds;
+    floated_.pop_front();
+    // Count the batch toward the density-rebalance cadence here, on the
+    // quiescent driver side — never on the stage thread, where a
+    // rebalance would race every concurrent reader.
+    index.MaybeRebalance();
+  }
+  report.index_update_seconds += stage_seconds;
+  report.pipeline_fill_seconds += std::max(0.0, stage_seconds - stall);
+  inflight_shard_mask_ = 0;
 }
 
 util::Status Simulator::MoveIdleVehicle(vehicle::VehicleId id, double now,
@@ -337,6 +609,9 @@ util::Result<SimulationReport> Simulator::Run(
   if (options_.batch_window_s < 0.0) {
     return util::Status::InvalidArgument("batch window must be >= 0");
   }
+  if (options_.pipeline_depth < 1) {
+    return util::Status::InvalidArgument("pipeline depth must be >= 1");
+  }
   const bool batched = options_.batch_window_s > 0.0;
   if (batched && dispatcher_ == nullptr) {
     dispatcher_ = dispatch::CreateDispatcher(*system_);
@@ -345,6 +620,10 @@ util::Result<SimulationReport> Simulator::Run(
     move_pool_ = std::make_unique<dispatch::WorkerPool>(
         *system_, static_cast<size_t>(options_.move_jobs));
   }
+  // Per-request mode matches against live state inside the tick — there
+  // is no read-only stage to overlap, so the pipeline only engages
+  // batched runs.
+  if (batched) EnsurePipeline();
   for (size_t i = 1; i < trips.size(); ++i) {
     if (trips[i].time_s < trips[i - 1].time_s) {
       return util::Status::InvalidArgument("trips must be time-sorted");
@@ -363,7 +642,6 @@ util::Result<SimulationReport> Simulator::Run(
   const double end_time = options_.end_time_s > 0.0
                               ? options_.end_time_s
                               : last_trip + options_.drain_s;
-  const double speed = system_->config().speed_mps;
 
   size_t next_trip = 0;
   double now = 0.0;
@@ -382,26 +660,38 @@ util::Result<SimulationReport> Simulator::Run(
   for (int64_t tick = 1; tick <= total_ticks; ++tick) {
     const double prev = now;
     now = std::min(static_cast<double>(tick) * options_.tick_s, end_time);
-    phase_timer.Restart();
     if (batched) {
+      phase_timer.Restart();
       PTRIDER_RETURN_IF_ERROR(CollectDueRequests(trips, next_trip, now));
+      report.match_phase_seconds += phase_timer.ElapsedSeconds();
       if (now + 1e-9 >= static_cast<double>(next_window) *
                             options_.batch_window_s) {
-        PTRIDER_RETURN_IF_ERROR(DispatchPending(now, report));
+        // Window boundary: dispatch + boundary tick as one StepWindow,
+        // pipelined per options_.pipeline_depth.
+        std::vector<vehicle::Request> batch = std::move(pending_);
+        pending_.clear();
+        PTRIDER_RETURN_IF_ERROR(
+            StepWindow(std::move(batch), prev, now, report).status());
         while (static_cast<double>(next_window) *
                    options_.batch_window_s <=
                now + 1e-9) {
           ++next_window;
         }
+      } else {
+        PTRIDER_RETURN_IF_ERROR(AdvanceTick(prev, now, report));
       }
     } else {
+      phase_timer.Restart();
       PTRIDER_RETURN_IF_ERROR(
           SubmitDueRequests(trips, next_trip, now, report));
+      report.match_phase_seconds += phase_timer.ElapsedSeconds();
+      PTRIDER_RETURN_IF_ERROR(AdvanceTick(prev, now, report));
     }
-    report.match_phase_seconds += phase_timer.ElapsedSeconds();
-    PTRIDER_RETURN_IF_ERROR(
-        MovePhase(now, speed * (now - prev), report));
     if (options_.verbose && now >= next_progress_log) {
+      // Every field read here is final for this tick: counters and
+      // response stats are folded on this thread in the commit stages,
+      // and the only work possibly still in flight (a floated reindex
+      // batch) touches no report field until its join.
       PTRIDER_LOG(kInfo) << util::StrFormat(
           "t=%.0fh submitted=%lld assigned=%lld completed=%lld "
           "avg_rt=%.2fms",
@@ -421,6 +711,9 @@ util::Result<SimulationReport> Simulator::Run(
     PTRIDER_RETURN_IF_ERROR(DispatchPending(now, report));
     report.match_phase_seconds += phase_timer.ElapsedSeconds();
   }
+  // Land any still-floating reindex batch (and fold its stage seconds)
+  // before the report is sealed.
+  JoinReindex(report);
 
   for (const vehicle::Vehicle& v : system_->fleet().vehicles()) {
     report.fleet_total_distance_m += v.total_distance_m();

@@ -13,13 +13,84 @@ VehicleIndex::VehicleIndex(const roadnet::GridIndex& grid,
   empty_lists_.assign(cells, {});
   non_empty_lists_.assign(cells, {});
   shards_.resize(shards);
-  // Contiguous cell-range shards: shard(c) = c * S / cells is
-  // non-decreasing in c and splits the grid into S balanced regions
-  // (consecutive cell ids are geometric row neighbors).
-  shard_of_cell_.resize(cells);
-  for (size_t c = 0; c < cells; ++c) {
-    shard_of_cell_[c] = static_cast<uint32_t>(c * shards / cells);
+  shard_owner_.reset(new std::atomic<uint32_t>[shards]);
+  for (size_t s = 0; s < shards; ++s) {
+    shard_owner_[s].store(0, std::memory_order_relaxed);
   }
+  shard_of_cell_.resize(cells);
+  // With no registrations every cell weighs 1, so the initial
+  // density-based split degenerates to the uniform cell-count split
+  // shard(c) = c * S / cells (consecutive cell ids are geometric row
+  // neighbors).
+  Rebalance();
+}
+
+void VehicleIndex::Rebalance() {
+  ++rebalances_;
+  const size_t cells = shard_of_cell_.size();
+  const size_t shards = shards_.size();
+  if (shards <= 1) {
+    std::fill(shard_of_cell_.begin(), shard_of_cell_.end(), 0u);
+    return;
+  }
+  // Cell weight = current registration load (+1 so empty regions keep
+  // nonzero width and every shard owns at least the cells the uniform
+  // split would give it when the grid is empty). Boundaries place each
+  // cell by its exclusive weight prefix, which keeps shards contiguous
+  // and non-decreasing in c — the invariant ShardOfCell readers and the
+  // sorted-run split in ApplyShard rely on.
+  uint64_t total = 0;
+  for (size_t c = 0; c < cells; ++c) {
+    total += empty_lists_[c].size() + non_empty_lists_[c].size() + 1;
+  }
+  uint64_t prefix = 0;
+  for (size_t c = 0; c < cells; ++c) {
+    shard_of_cell_[c] = static_cast<uint32_t>(
+        std::min<uint64_t>(shards - 1, prefix * shards / total));
+    prefix += empty_lists_[c].size() + non_empty_lists_[c].size() + 1;
+  }
+  // Re-bucket registrations under the new ownership. The per-cell lists
+  // and position handles are never touched: each vehicle's full sorted
+  // registration is gathered from the old shards (ascending contiguous
+  // ranges, so shard-order concatenation stays sorted) and re-split into
+  // runs along the new boundaries. Iterating the id-dense presence
+  // bitmap — not the unordered maps — keeps the walk deterministic.
+  std::vector<Shard> next(shards);
+  for (size_t slot = 0; slot < registered_.size(); ++slot) {
+    if (!registered_[slot]) continue;
+    const VehicleId id = static_cast<VehicleId>(slot);
+    ShardRegistration full;
+    for (Shard& sh : shards_) {
+      const auto it = sh.reg.find(id);
+      if (it == sh.reg.end()) continue;
+      full.is_empty = it->second.is_empty;
+      full.cells.insert(full.cells.end(), it->second.cells.begin(),
+                        it->second.cells.end());
+      full.pos.insert(full.pos.end(), it->second.pos.begin(),
+                      it->second.pos.end());
+    }
+    size_t i = 0;
+    while (i < full.cells.size()) {
+      const uint32_t s = ShardOfCell(full.cells[i]);
+      size_t j = i;
+      while (j < full.cells.size() && ShardOfCell(full.cells[j]) == s) {
+        ++j;
+      }
+      ShardRegistration part;
+      part.is_empty = full.is_empty;
+      part.cells.assign(full.cells.begin() + static_cast<ptrdiff_t>(i),
+                        full.cells.begin() + static_cast<ptrdiff_t>(j));
+      part.pos.assign(full.pos.begin() + static_cast<ptrdiff_t>(i),
+                      full.pos.begin() + static_cast<ptrdiff_t>(j));
+      next[s].reg.emplace(id, std::move(part));
+      i = j;
+    }
+  }
+  shards_ = std::move(next);
+}
+
+void VehicleIndex::MaybeRebalance() {
+  if (++reindex_batches_ % kRebalanceInterval == 0) Rebalance();
 }
 
 void VehicleIndex::Update(const Vehicle& v) {
@@ -93,6 +164,18 @@ void VehicleIndex::RemoveEntry(std::vector<std::vector<VehicleId>>& lists,
 }
 
 void VehicleIndex::ApplyShard(const PendingUpdate& u, uint32_t shard) {
+  // Shard-ownership token (see the member doc): claimed for the whole
+  // call, released on every exit path.
+  struct OwnerToken {
+    std::atomic<uint32_t>& owner;
+    explicit OwnerToken(std::atomic<uint32_t>& o) : owner(o) {
+      const uint32_t prev = owner.exchange(1, std::memory_order_acquire);
+      assert(prev == 0 && "concurrent ApplyShard calls on one shard");
+      (void)prev;
+    }
+    ~OwnerToken() { owner.store(0, std::memory_order_release); }
+  } token(shard_owner_[shard]);
+
   Shard& sh = shards_[shard];
   // In-shard slice of the new cells: shards are contiguous cell ranges
   // and u.cells is sorted, so it is one contiguous run.

@@ -1,7 +1,9 @@
 #ifndef PTRIDER_VEHICLE_VEHICLE_INDEX_H_
 #define PTRIDER_VEHICLE_VEHICLE_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -75,7 +77,10 @@ class VehicleIndex {
 
   /// Sequential bookkeeping for a batch about to be applied via
   /// ApplyShard: registration presence and the update counter. Call once
-  /// per batch, before any ApplyShard of it.
+  /// per batch, before any ApplyShard of it. Touches only registered_ /
+  /// num_registered_ / update_count_ — state no ApplyShard reads — so
+  /// the pipelined tick engine may run it concurrently with a PREVIOUS
+  /// batch's still-in-flight ApplyShard calls (DESIGN.md section 15).
   void BeginBatch(std::span<const PendingUpdate> pending);
 
   /// Applies the part of `u` owned by `shard`: diffs the vehicle's old
@@ -106,6 +111,30 @@ class VehicleIndex {
   }
   size_t num_shards() const { return shards_.size(); }
 
+  // --- Density-based shard load-balancing ----------------------------------
+  /// Recomputes the contiguous shard boundaries so each shard owns
+  /// roughly the same registration weight (per-cell list sizes, plus one
+  /// so empty regions keep nonzero width), then re-buckets existing
+  /// per-shard registrations under the new ownership. The per-cell lists
+  /// and every position handle are untouched — only which shard OWNS
+  /// each (vehicle, cell-run) slice changes — so a rebalance is
+  /// invisible to readers and to the report (the sharded==unsharded
+  /// list-identity regression in tests/vehicle_index_test.cpp pins
+  /// this). Sequential-only: must not overlap any ApplyShard.
+  void Rebalance();
+  /// Batch-boundary hook: counts reindex batches and triggers
+  /// Rebalance() every kRebalanceInterval-th one. Called from
+  /// dispatch::ApplyReindex (and the simulator's floated-reindex join),
+  /// NOT from Update/ApplyBatch — per-update callers (e.g. the E11
+  /// bench) never pay for rebalances they didn't ask for.
+  void MaybeRebalance();
+  /// Reindex batches MaybeRebalance has observed.
+  uint64_t reindex_batches() const { return reindex_batches_; }
+  /// Times Rebalance() ran (the constructor's initial split included).
+  /// Readers caching cell->shard decisions (the pipelined tick engine's
+  /// float masks) compare this to detect moved boundaries.
+  uint64_t rebalance_count() const { return rebalances_; }
+
   /// Total number of Update/Remove operations applied (experiment E11).
   uint64_t update_count() const { return update_count_; }
   /// Number of registered vehicles.
@@ -131,11 +160,27 @@ class VehicleIndex {
   uint32_t AppendEntry(std::vector<std::vector<VehicleId>>& lists,
                        roadnet::CellId cell, VehicleId id);
 
+  /// Rebalance cadence, in reindex batches (a city-scale day runs a few
+  /// thousand batches, so boundaries track demand drift at ~minute
+  /// granularity without rebalance cost showing up in profiles).
+  static constexpr uint64_t kRebalanceInterval = 64;
+
   const roadnet::GridIndex* grid_;
   std::vector<uint32_t> shard_of_cell_;
   std::vector<std::vector<VehicleId>> empty_lists_;
   std::vector<std::vector<VehicleId>> non_empty_lists_;
   std::vector<Shard> shards_;
+  /// Shard-ownership tokens, one per shard: ApplyShard claims its
+  /// shard's token (exchange 0 -> 1, acquire) on entry and releases it
+  /// (store 0, release) on every exit, asserting the claim found the
+  /// token free. Two ApplyShard calls on DISTINCT shards therefore
+  /// concurrently hold distinct tokens — the checkable form of the
+  /// disjoint-shard commit rule the pipelined tick engine relies on
+  /// (DESIGN.md section 15); a same-shard overlap trips the assert in
+  /// debug builds and the TSan CI jobs.
+  std::unique_ptr<std::atomic<uint32_t>[]> shard_owner_;
+  uint64_t reindex_batches_ = 0;
+  uint64_t rebalances_ = 0;
   /// Presence bitmap + count (ids are dense per Fleet). Mutated only in
   /// the sequential entry points (BeginBatch / Remove).
   std::vector<char> registered_;

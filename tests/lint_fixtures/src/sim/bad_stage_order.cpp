@@ -1,0 +1,33 @@
+// Fixture: direct stage calls outside the tick engine. Only
+// Simulator::Run / StepWindow / AdvanceTick may sequence the dispatch
+// and movement stages — a hand-rolled MovePhase/DispatchBatch loop
+// skips the reindex joins and mask bookkeeping of the pipelined engine.
+// (This file's repo-relative path is src/sim/bad_stage_order.cpp, which
+// is NOT on the stage-order allowlist.)
+
+namespace fixture {
+
+struct FakeSim {
+  // Token-level rule: redeclaring the stage names outside the engine
+  // fires too (mirrors the direct-push fixture idiom).
+  int DispatchBatch(int batch, double now);  // expect: stage-order
+  int MovePhase(double now, double budget);  // expect: stage-order
+  int StepWindow(int batch, double now) { return batch + (now > 0); }
+};
+
+int HandRolledLoop(FakeSim& sim) {
+  int total = 0;
+  total += sim.DispatchBatch(3, 1.0);  // expect: stage-order
+  total += sim.MovePhase(1.0, 2.0);    // expect: stage-order
+  // Mentioning DispatchBatch in a comment or "MovePhase(" in a string
+  // must not fire:
+  const char* doc = "never call MovePhase() directly";
+  total += doc != nullptr;
+  // The sanctioned entry point is fine:
+  total += sim.StepWindow(3, 2.0);
+  // And a justified escape silences exactly this line:
+  total += sim.MovePhase(2.0, 3.0);  // lint: allow(stage-order)
+  return total;
+}
+
+}  // namespace fixture

@@ -313,6 +313,97 @@ TEST_F(VehicleIndexTest, DeferredApplyMatchesImmediateUpdate) {
   EXPECT_EQ(deferred.update_count(), 2u);
 }
 
+// --- Density-based shard load-balancing -------------------------------------
+//
+// Rebalance() moves shard *ownership* boundaries toward equal
+// registration load, but never touches the per-cell lists or position
+// handles — so a rebalanced sharded index must stay entry-for-entry
+// identical to an unsharded one, and the pipelined engine may rebalance
+// on whatever cadence it likes without perturbing reports.
+
+TEST(VehicleIndexRebalanceTest, DensityShiftsBoundariesListsUnchanged) {
+  roadnet::CityGridOptions gopts;
+  gopts.rows = 10;
+  gopts.cols = 10;
+  gopts.seed = 31;
+  auto g = roadnet::MakeCityGrid(gopts);
+  ASSERT_TRUE(g.ok());
+  const roadnet::RoadNetwork graph = std::move(g).value();
+  roadnet::GridIndexOptions grid_opts;
+  grid_opts.cells_x = 6;
+  grid_opts.cells_y = 6;
+  auto grid = roadnet::GridIndex::Build(graph, grid_opts);
+  ASSERT_TRUE(grid.ok());
+
+  VehicleIndex sharded(*grid, 4);
+  VehicleIndex flat(*grid, 1);
+  ASSERT_EQ(sharded.rebalance_count(), 1u);  // the ctor's uniform split
+
+  // A hotspot: pile vehicles onto vertices in the lowest-numbered cells
+  // so nearly all registration weight sits at the front of the cell
+  // range, then fill in a sparse tail.
+  VehicleId next = 0;
+  for (roadnet::VertexId v = 0;
+       v < static_cast<roadnet::VertexId>(graph.NumVertices()); ++v) {
+    const roadnet::CellId c = grid->CellOfVertex(v);
+    const int copies = c < 3 ? 12 : (v % 17 == 0 ? 1 : 0);
+    for (int k = 0; k < copies; ++k) {
+      Vehicle veh(next++, v, 4);
+      sharded.Update(veh);
+      flat.Update(veh);
+    }
+  }
+
+  // Uniform split owes cell 5 to shard 0 (36 cells / 4 shards); after a
+  // density rebalance the hotspot's weight pushes the boundary left.
+  ASSERT_EQ(sharded.ShardOfCell(5), 0u);
+  sharded.Rebalance();
+  EXPECT_EQ(sharded.rebalance_count(), 2u);
+  EXPECT_GT(sharded.ShardOfCell(5), 0u);
+  // Ownership stays contiguous and covers every shard.
+  uint32_t prev = 0;
+  std::vector<char> hit(4, 0);
+  for (roadnet::CellId c = 0; c < grid->NumCells(); ++c) {
+    const uint32_t s = sharded.ShardOfCell(c);
+    ASSERT_LT(s, 4u);
+    EXPECT_GE(s, prev);
+    prev = s;
+    hit[s] = 1;
+  }
+  EXPECT_EQ(std::count(hit.begin(), hit.end(), 1), 4);
+
+  // The regression core: rebalancing re-bucketed every registration yet
+  // the observable lists are bit-identical to the unsharded index, and
+  // further updates keep them so.
+  const auto expect_lists_equal = [&] {
+    for (roadnet::CellId c = 0; c < grid->NumCells(); ++c) {
+      SCOPED_TRACE("cell " + std::to_string(c));
+      EXPECT_EQ(sharded.EmptyVehicles(c), flat.EmptyVehicles(c));
+      EXPECT_EQ(sharded.NonEmptyVehicles(c), flat.NonEmptyVehicles(c));
+    }
+  };
+  expect_lists_equal();
+  util::Rng rng(97);
+  const auto n_vertices = static_cast<int64_t>(graph.NumVertices()) - 1;
+  for (VehicleId id = 0; id < next; id += 3) {
+    Vehicle veh(id,
+                static_cast<roadnet::VertexId>(
+                    rng.UniformInt(0, n_vertices)),
+                4);
+    sharded.Update(veh);
+    flat.Update(veh);
+  }
+  expect_lists_equal();
+
+  // The batch-cadence trigger: every kRebalanceInterval-th counted batch
+  // rebalances (the pipelined engine calls this from its quiescent join
+  // points).
+  const uint64_t before = sharded.rebalance_count();
+  for (int i = 0; i < 64; ++i) sharded.MaybeRebalance();
+  EXPECT_EQ(sharded.rebalance_count(), before + 1);
+  expect_lists_equal();
+}
+
 TEST_F(VehicleIndexTest, ManyVehiclesPartitionByCell) {
   // One vehicle at every vertex: each appears in exactly its own cell.
   for (int label = 1; label <= 17; ++label) {
